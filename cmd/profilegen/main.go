@@ -1,0 +1,86 @@
+// Command profilegen dumps the calibrated response-time profiles used by
+// the reproduction: expected per-tuple and total response times across the
+// block-size range, plus the analytic optimum. Useful for inspecting or
+// plotting the profile shapes of Figs. 1–3, 6(a) and 7(a).
+//
+// Usage:
+//
+//	profilegen -list
+//	profilegen -conf conf2.2 [-step 500]
+//	profilegen -fig1 5 [-step 500]
+//	profilegen -fig2a 2 | -fig2b 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"wsopt/internal/core"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the named configurations")
+		conf  = flag.String("conf", "", "named configuration (conf1.1 .. conf2.2)")
+		fig1  = flag.Int("fig1", -1, "Fig. 1 family: number of concurrent web-server jobs")
+		fig2a = flag.Int("fig2a", -1, "Fig. 2(a) family: number of concurrent WAN queries")
+		fig2b = flag.Int("fig2b", -1, "Fig. 2(b) family: number of concurrent LAN queries")
+		step  = flag.Int("step", 500, "block-size grid step")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range profile.Specs() {
+			fmt.Printf("%-10s tuples=%d limits=[%d,%d] b1=%g\n", s.Name, s.Tuples, s.Limits.Min, s.Limits.Max, s.B1)
+		}
+		return
+	}
+
+	var (
+		model  netsim.CostModel
+		limits core.Limits
+		tuples int
+		name   string
+	)
+	switch {
+	case *conf != "":
+		spec, err := profile.SpecByName(*conf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		model = spec.New(1).Model()
+		limits, tuples, name = spec.Limits, spec.Tuples, spec.Name
+	case *fig1 >= 0:
+		model = profile.Fig1Model(*fig1)
+		limits = core.Limits{Min: 100, Max: 10000}
+		tuples, name = profile.CustomerTuples, fmt.Sprintf("fig1/jobs=%d", *fig1)
+	case *fig2a >= 0:
+		model = profile.Fig2aModel(*fig2a)
+		limits = core.Limits{Min: 100, Max: 10000}
+		tuples, name = profile.CustomerTuples, fmt.Sprintf("fig2a/queries=%d", *fig2a)
+	case *fig2b >= 0:
+		model = profile.Fig2bModel(*fig2b)
+		limits = core.Limits{Min: 100, Max: 10000}
+		tuples, name = profile.CustomerTuples, fmt.Sprintf("fig2b/queries=%d", *fig2b)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt, optMS := model.OptimalFixedSize(tuples, limits, 50)
+	fmt.Printf("profile %s: %s\n", name, model)
+	fmt.Printf("optimum fixed size = %d tuples (expected total %.1f s)\n\n", opt, optMS/1000)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "block\tper-tuple ms\ttotal s\tvs opt")
+	for x := limits.Min; x <= limits.Max; x += *step {
+		t := model.ExpectedTotalMS(tuples, x)
+		fmt.Fprintf(w, "%d\t%.4f\t%.1f\t%.3f\n", x, model.ExpectedPerTupleMS(x), t/1000, t/optMS)
+	}
+	w.Flush()
+}

@@ -1,0 +1,162 @@
+// Command wsbench compares every block-size controller end to end over a
+// live (in-process) web service with injected delays: the one-command
+// answer to "which controller should I use on a link like mine?".
+//
+// Usage:
+//
+//	wsbench                         # conf2.2-shaped link, all controllers
+//	wsbench -conf conf1.3 -runs 5
+//	wsbench -codec binary -sf 0.2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"wsopt/internal/client"
+	"wsopt/internal/core"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+	"wsopt/internal/service"
+	"wsopt/internal/stats"
+	"wsopt/internal/sysid"
+	"wsopt/internal/tpch"
+	"wsopt/internal/wire"
+)
+
+func main() {
+	var (
+		confName  = flag.String("conf", "conf2.2", "link profile shaping the injected delays")
+		sf        = flag.Float64("sf", 0.1, "TPC-H scale factor for the served data")
+		runs      = flag.Int("runs", 3, "runs per controller (results are averaged)")
+		codecName = flag.String("codec", "xml", "block codec")
+		seed      = flag.Int64("seed", 1, "randomization seed")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "wsbench: ", 0)
+
+	spec, err := profile.SpecByName(*confName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	codec, err := wire.ByName(*codecName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	logger.Printf("generating data at scale %g ...", *sf)
+	cat, err := tpch.Load(*sf)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// Scale the link so the (smaller) live dataset sees the same
+	// block-count dynamics as the paper's full-size runs.
+	scale := float64(profile.CustomerTuples) / float64(tpch.CustomerCount(*sf))
+	model := scaleModel(spec.New(*seed).Model(), scale)
+	limits := core.Limits{Min: int(float64(spec.Limits.Min)/scale + 0.5), Max: int(float64(spec.Limits.Max) / scale)}
+	if limits.Min < 1 {
+		limits.Min = 1
+	}
+	b1 := spec.B1 / scale
+
+	srv, err := service.New(service.Config{Catalog: cat, Codec: codec, CostModel: model, Seed: *seed})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL, codec, nil)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	mkCfg := func(seed int64) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Limits = limits
+		cfg.InitialSize = limits.Clamp(int(1000/scale + 0.5))
+		cfg.B1 = b1
+		cfg.DitherFactor = 25 / scale
+		cfg.Seed = seed
+		return cfg
+	}
+	controllers := map[string]func(seed int64) (core.Controller, error){
+		"static-1000/s": func(int64) (core.Controller, error) {
+			return core.NewStatic(limits.Clamp(int(1000 / scale))), nil
+		},
+		"constant": func(seed int64) (core.Controller, error) { return core.NewConstant(mkCfg(seed)) },
+		"adaptive": func(seed int64) (core.Controller, error) { return core.NewAdaptive(mkCfg(seed)) },
+		"hybrid":   func(seed int64) (core.Controller, error) { return core.NewHybrid(mkCfg(seed)) },
+		"aimd": func(seed int64) (core.Controller, error) {
+			return core.NewAIMD(core.AIMDConfig{
+				InitialSize: limits.Clamp(int(1000 / scale)), Increase: b1 / 2, Decrease: 0.5,
+				Limits: limits, AvgHorizon: 3, Seed: seed,
+			})
+		},
+		"model-parabolic": func(int64) (core.Controller, error) {
+			return sysid.NewModelBased(sysid.ModelBasedConfig{Limits: limits, Kind: sysid.ModelParabolic})
+		},
+		"self-tuning": func(int64) (core.Controller, error) {
+			return sysid.NewSelfTuning(sysid.SelfTuningConfig{Limits: limits, Kind: sysid.ModelParabolic})
+		},
+	}
+
+	type outcome struct {
+		name   string
+		meanMS float64
+		blocks int
+	}
+	var results []outcome
+	ctx := context.Background()
+	for name, mk := range controllers {
+		var totals []float64
+		blocks := 0
+		for r := 0; r < *runs; r++ {
+			ctl, err := mk(*seed + int64(r)*101)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			res, err := c.Run(ctx, client.Query{Table: "customer", Columns: []string{"c_custkey", "c_acctbal"}},
+				ctl, client.MetricPerTuple, true)
+			if err != nil {
+				logger.Fatalf("%s: %v", name, err)
+			}
+			totals = append(totals, res.SimulatedMS)
+			blocks = res.Blocks
+		}
+		results = append(results, outcome{name: name, meanMS: stats.Mean(totals), blocks: blocks})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].meanMS < results[j].meanMS })
+
+	fmt.Printf("link: %s (%s), data: %d customers, %d runs per controller\n\n",
+		spec.Name, model, tpch.CustomerCount(*sf), *runs)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "controller\tmean simulated time\tvs best\tblocks (last run)")
+	best := results[0].meanMS
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%v\t%.2fx\t%d\n",
+			r.name, time.Duration(r.meanMS*float64(time.Millisecond)).Round(time.Millisecond),
+			r.meanMS/best, r.blocks)
+	}
+	w.Flush()
+}
+
+// scaleModel shrinks the cost model's tuple axis by the given factor so a
+// smaller dataset reproduces the full-size dynamics.
+func scaleModel(m netsim.CostModel, scale float64) netsim.CostModel {
+	m.PerTupleMS *= scale
+	if m.KneeTuples > 0 {
+		m.KneeTuples /= scale
+	}
+	m.PenaltyMS *= scale * scale
+	if m.RipplePeriod > 0 {
+		m.RipplePeriod /= scale
+	}
+	return m
+}

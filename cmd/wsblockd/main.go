@@ -1,0 +1,131 @@
+// Command wsblockd runs the block-pull web service over generated
+// TPC-H-style data — the reproduction of the paper's OGSA-DAI data
+// service on Apache Tomcat.
+//
+// Usage:
+//
+//	wsblockd -addr :8080 -sf 0.1
+//	wsblockd -addr :8080 -sf 1 -codec binary -conf conf2.2 -timescale 0.001
+//
+// With -conf, per-block delays are drawn from the named calibrated cost
+// profile and injected (scaled by -timescale) so a laptop reproduces the
+// paper's WAN/loaded-server conditions. Load can also be adjusted at
+// runtime via PUT /load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsopt/internal/minidb"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+	"wsopt/internal/service"
+	"wsopt/internal/tpch"
+	"wsopt/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		sf        = flag.Float64("sf", 0.1, "TPC-H scale factor (1 = 150K customers, 450K orders)")
+		codecName = flag.String("codec", "xml", "block codec: xml or binary")
+		confName  = flag.String("conf", "", "inject delays from a calibrated profile (conf1.1 .. conf2.2)")
+		timescale = flag.Float64("timescale", 0.001, "real milliseconds slept per simulated millisecond")
+		quiet     = flag.Bool("quiet", false, "suppress request logging")
+		dataDir   = flag.String("data", "", "cache generated tables in this directory across restarts")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "wsblockd: ", log.LstdFlags)
+	codec, err := wire.ByName(*codecName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	var cat *minidb.Catalog
+	if *dataDir != "" {
+		if loaded, err := minidb.LoadCatalog(*dataDir); err == nil {
+			cat = loaded
+			logger.Printf("loaded cached tables %v from %s", cat.Names(), *dataDir)
+		}
+	}
+	if cat == nil {
+		logger.Printf("generating TPC-H data at scale %g ...", *sf)
+		start := time.Now()
+		var err error
+		cat, err = tpch.Load(*sf)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("generated %v in %v", cat.Names(), time.Since(start).Round(time.Millisecond))
+		if *dataDir != "" {
+			if err := minidb.SaveCatalog(*dataDir, cat); err != nil {
+				logger.Printf("warning: could not cache tables: %v", err)
+			} else {
+				logger.Printf("cached tables to %s", *dataDir)
+			}
+		}
+	}
+
+	var model netsim.CostModel
+	if *confName != "" {
+		spec, err := profile.SpecByName(*confName)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		model = spec.New(time.Now().UnixNano()).Model()
+		logger.Printf("injecting delays from %s (%s) at timescale %g", spec.Name, model, *timescale)
+	}
+
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv, err := service.New(service.Config{
+		Catalog:    cat,
+		Codec:      codec,
+		CostModel:  model,
+		SleepScale: *timescale,
+		Logger:     reqLogger,
+		Seed:       time.Now().UnixNano(),
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// Janitor: expire idle sessions once a minute.
+	go func() {
+		for range time.Tick(time.Minute) {
+			if n := srv.ExpireIdle(time.Now()); n > 0 {
+				logger.Printf("expired %d idle sessions", n)
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Graceful shutdown: finish in-flight block transfers on SIGINT/TERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down ...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("wsblockd listening on %s (codec=%s)\n", *addr, codec.Name())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Command wsquery executes a pull-mode query against a wsblockd service
+// with a chosen block-size controller — Algorithm 1 of the paper, live.
+//
+// Usage:
+//
+//	wsquery -url http://localhost:8080 -table customer -controller hybrid
+//	wsquery -table orders -controller model-parabolic -limits 100:20000
+//	wsquery -table customer -controller static -size 1000
+//	wsquery -table customer -controller constant -b1 800 -trace
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"wsopt/internal/client"
+	"wsopt/internal/core"
+	"wsopt/internal/sysid"
+	"wsopt/internal/wire"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "service base URL")
+		table     = flag.String("table", "customer", "relation to scan")
+		columns   = flag.String("columns", "", "comma-separated projection (default: all)")
+		where     = flag.String("where", "", "SQL-flavoured filter, e.g. \"c_acctbal > 1000 AND c_mktsegment = 'BUILDING'\"")
+		codecName = flag.String("codec", "xml", "block codec (must match the server)")
+		ctlName   = flag.String("controller", "hybrid", "static | constant | adaptive | hybrid | hybrid-s | aimd | mimd | model-quadratic | model-parabolic | self-tuning | setpoint | supervisor")
+		size      = flag.Int("size", 1000, "initial (or static) block size")
+		b1        = flag.Float64("b1", 2000, "constant gain")
+		b2        = flag.Float64("b2", 25, "adaptive gain coefficient")
+		limitsArg = flag.String("limits", "100:20000", "block-size limits lo:hi")
+		useInj    = flag.Bool("simtime", true, "observe server-injected simulated delays instead of wall time")
+		trace     = flag.Bool("trace", false, "print each block decision")
+		traceCSV  = flag.String("trace-csv", "", "write the full controller trace to this CSV file")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "wsquery: ", 0)
+	var limits core.Limits
+	if _, err := fmt.Sscanf(*limitsArg, "%d:%d", &limits.Min, &limits.Max); err != nil {
+		logger.Fatalf("bad -limits %q: %v", *limitsArg, err)
+	}
+
+	ctl, err := buildController(*ctlName, *size, *b1, *b2, limits)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var tracer *core.Tracer
+	if *traceCSV != "" {
+		tracer = core.NewTracer(ctl, 0)
+		ctl = tracer
+	}
+	codec, err := wire.ByName(*codecName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	c, err := client.New(*url, codec, nil)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	q := client.Query{Table: *table, Where: *where}
+	if *columns != "" {
+		q.Columns = strings.Split(*columns, ",")
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var res *client.RunResult
+	if *trace {
+		res, err = runTraced(ctx, c, q, ctl, *useInj)
+	} else {
+		res, err = c.Run(ctx, q, ctl, client.MetricPerTuple, *useInj)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if tracer != nil {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := tracer.WriteCSV(f); err != nil {
+			logger.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("trace written to %s", *traceCSV)
+	}
+	fmt.Printf("controller:      %s\n", ctl.Name())
+	fmt.Printf("tuples:          %d in %d blocks\n", res.Tuples, res.Blocks)
+	fmt.Printf("wall time:       %v\n", elapsed.Round(time.Millisecond))
+	if res.SimulatedMS > 0 {
+		fmt.Printf("simulated time:  %.1f s\n", res.SimulatedMS/1000)
+	}
+	if len(res.Sizes) > 0 {
+		fmt.Printf("final size:      %d tuples\n", res.Sizes[len(res.Sizes)-1])
+	}
+}
+
+// runTraced mirrors client.Run while printing each decision.
+func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.Controller, useInj bool) (*client.RunResult, error) {
+	sess, err := c.OpenSession(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close(context.WithoutCancel(ctx))
+
+	res := &client.RunResult{}
+	for !sess.Done() {
+		size := ctl.Size()
+		blk, err := sess.Next(ctx, size)
+		if err != nil {
+			return res, err
+		}
+		if len(blk.Rows) == 0 {
+			break
+		}
+		res.Tuples += len(blk.Rows)
+		res.Blocks++
+		res.Elapsed += blk.Elapsed
+		res.SimulatedMS += blk.InjectedMS
+		res.Sizes = append(res.Sizes, size)
+		y := float64(blk.Elapsed.Milliseconds())
+		if useInj && blk.InjectedMS > 0 {
+			y = blk.InjectedMS
+		}
+		perTuple := y / float64(len(blk.Rows))
+		fmt.Printf("block %3d: size=%6d got=%6d time=%9.2fms per-tuple=%.4fms\n",
+			res.Blocks, size, len(blk.Rows), y, perTuple)
+		ctl.Observe(perTuple)
+	}
+	return res, nil
+}
+
+func buildController(name string, size int, b1, b2 float64, limits core.Limits) (core.Controller, error) {
+	cfg := core.DefaultConfig()
+	cfg.InitialSize = size
+	cfg.B1 = b1
+	cfg.B2 = b2
+	cfg.Limits = limits
+	cfg.Seed = time.Now().UnixNano()
+	switch name {
+	case "static":
+		return core.NewStatic(size), nil
+	case "constant":
+		return core.NewConstant(cfg)
+	case "adaptive":
+		return core.NewAdaptive(cfg)
+	case "hybrid":
+		return core.NewHybrid(cfg)
+	case "hybrid-s":
+		cfg.AllowSwitchBack = true
+		return core.NewHybrid(cfg)
+	case "aimd":
+		return core.NewAIMD(core.AIMDConfig{InitialSize: size, Increase: b1 / 2, Decrease: 0.5, Limits: limits, AvgHorizon: cfg.AvgHorizon})
+	case "mimd":
+		return core.NewMIMD(core.MIMDConfig{InitialSize: size, Gain: 1.5, Limits: limits, AvgHorizon: cfg.AvgHorizon, ScaleWindow: 4})
+	case "model-quadratic":
+		return sysid.NewModelBased(sysid.ModelBasedConfig{Limits: limits, Kind: sysid.ModelQuadratic})
+	case "model-parabolic":
+		return sysid.NewModelBased(sysid.ModelBasedConfig{Limits: limits, Kind: sysid.ModelParabolic})
+	case "self-tuning":
+		return sysid.NewSelfTuning(sysid.SelfTuningConfig{Limits: limits})
+	case "setpoint":
+		return sysid.NewSetpointTracking(sysid.SetpointConfig{Limits: limits, Kind: sysid.ModelParabolic})
+	case "supervisor":
+		hybrid, err := core.NewHybrid(cfg)
+		if err != nil {
+			return nil, err
+		}
+		constant, err := core.NewConstant(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSupervisor([]core.Controller{hybrid, constant}, core.SupervisorConfig{})
+	default:
+		return nil, fmt.Errorf("unknown controller %q", name)
+	}
+}

@@ -1,0 +1,77 @@
+package wsopt_test
+
+import (
+	"fmt"
+
+	"wsopt"
+)
+
+// ExampleFitParabolic fits the paper's Eq. 9 model to noiseless samples
+// and recovers the analytic optimum sqrt(a/b).
+func ExampleFitParabolic() {
+	// y = 2000/x + 0.0002·x + 1: optimum at sqrt(2000/0.0002) ~ 3162.
+	xs := []float64{100, 4000, 8000, 12000, 16000, 20000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2000/x + 0.0002*x + 1
+	}
+	m, err := wsopt.FitParabolic(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	opt, ok := m.Optimum(wsopt.Limits{Min: 100, Max: 20000})
+	fmt.Printf("optimum %.0f tuples (useful fit: %v)\n", opt, ok)
+	// Output: optimum 3162 tuples (useful fit: true)
+}
+
+// ExampleLimits shows the block-size clamping every controller applies.
+func ExampleLimits() {
+	l := wsopt.Limits{Min: 100, Max: 20000}
+	fmt.Println(l.Clamp(50), l.Clamp(5000), l.Clamp(99999))
+	// Output: 100 5000 20000
+}
+
+// ExampleNewHybridController runs the paper's hybrid controller against a
+// deterministic V-shaped cost curve: it converges to the optimum region
+// and stays there.
+func ExampleNewHybridController() {
+	cfg := wsopt.DefaultControllerConfig()
+	cfg.DitherFactor = 0 // deterministic for the example
+	cfg.B1 = 1000
+	ctl, err := wsopt.NewHybridController(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cost := func(size int) float64 { // per-tuple cost, minimum at 6000
+		d := float64(size) - 6000
+		if d < 0 {
+			d = -d
+		}
+		return 1 + d/10000
+	}
+	for i := 0; i < 60; i++ {
+		ctl.Observe(cost(ctl.Size()))
+	}
+	near := ctl.Size() > 4000 && ctl.Size() < 8000
+	fmt.Printf("converged near the optimum: %v\n", near)
+	// Output: converged near the optimum: true
+}
+
+// ExampleNewModelBasedController identifies a profile from six samples
+// and jumps to the analytic optimum (Section IV of the paper).
+func ExampleNewModelBasedController() {
+	limits := wsopt.Limits{Min: 100, Max: 20000}
+	mb, err := wsopt.NewModelBasedController(wsopt.ModelBasedConfig{
+		Limits: limits,
+		Kind:   wsopt.ModelParabolic,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for !mb.Decided() {
+		x := float64(mb.Size())
+		mb.Observe(4000/x + 0.0001*x + 0.5) // optimum sqrt(4e7) ~ 6325
+	}
+	fmt.Printf("decision: %d tuples\n", mb.Decision())
+	// Output: decision: 6325 tuples
+}

@@ -1,0 +1,56 @@
+// Long-lived query with runtime condition switches — the Fig. 8 scenario:
+// the environment flips conf1.1 -> conf1.2 -> conf1.3 -> conf1.1 every
+// hundred adaptivity steps, and a hybrid controller with periodic reset
+// tracks the moving optimum while a plain constant-gain controller
+// oscillates.
+//
+//	go run ./examples/longlived
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsopt"
+	"wsopt/internal/profile"
+	"wsopt/internal/sim"
+)
+
+func main() {
+	const (
+		steps      = 420
+		avgHorizon = 3
+	)
+
+	run := func(label string, mk func() (wsopt.Controller, error)) []int {
+		p, err := profile.Fig8Profile(avgHorizon, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl, err := mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.RunBlocks(p, ctl, steps*avgHorizon, sim.Options{})
+		fmt.Printf("%-28s mean per-tuple cost %.3f ms\n", label, res.TotalMS/float64(res.Tuples))
+		return res.StepSizes(avgHorizon)
+	}
+
+	cfg := wsopt.DefaultControllerConfig()
+	cfg.Limits = wsopt.Limits{Min: 100, Max: 20000}
+
+	constTraj := run("constant gain:", func() (wsopt.Controller, error) {
+		return wsopt.NewConstantController(cfg)
+	})
+	resetCfg := cfg
+	resetCfg.ResetPeriod = 50 // re-enter the transient phase every 50 steps
+	hybridTraj := run("hybrid with periodic reset:", func() (wsopt.Controller, error) {
+		return wsopt.NewHybridController(resetCfg)
+	})
+
+	fmt.Println("\nstep  constant  hybrid(reset/50)   [profile switches at steps 100, 200, 300]")
+	for i := 0; i < len(constTraj) && i < len(hybridTraj); i += 20 {
+		fmt.Printf("%4d  %8d  %16d\n", i+1, constTraj[i], hybridTraj[i])
+	}
+	fmt.Println("\nBoth track the switches; the hybrid's trace is nearly free of oscillations.")
+}

@@ -1,0 +1,72 @@
+// Model-based optimization: identify the response-time profile online
+// from six samples, fit the paper's quadratic (Eq. 8) and parabolic
+// (Eq. 9) models by least squares, estimate the optimum analytically, and
+// then refine it with a hybrid extremum controller (the Fig. 9 scheme).
+//
+//	go run ./examples/modelbased
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsopt"
+)
+
+func main() {
+	spec, err := wsopt.ConfigurationByName("conf2.2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("identifying the %s profile (true optimum ~7.5K tuples)\n\n", spec.Name)
+
+	// 1. Plain model-based control: 6 samples, fit, hold the estimate.
+	for _, kind := range []wsopt.ModelKind{wsopt.ModelQuadratic, wsopt.ModelParabolic} {
+		mb, err := wsopt.NewModelBasedController(wsopt.ModelBasedConfig{
+			Limits: spec.Limits,
+			Kind:   kind,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := wsopt.SimulateTransfer(spec.New(7), mb, spec.Tuples)
+		model := mb.FittedModel()
+		fmt.Printf("%-18s decision=%5d tuples  total=%6.1f s  fit: %v\n",
+			kind.String()+" model:", mb.Decision(), res.TotalMS/1000, model)
+	}
+
+	// 2. Enhanced scheme: the LS estimate seeds a hybrid controller that
+	// keeps refining (and can escape a mediocre fit).
+	mb, err := wsopt.NewModelBasedController(wsopt.ModelBasedConfig{
+		Limits: spec.Limits,
+		Kind:   wsopt.ModelQuadratic,
+		Refine: func(initial int) (wsopt.Controller, error) {
+			cfg := wsopt.DefaultControllerConfig()
+			cfg.Limits = spec.Limits
+			cfg.B1 = spec.B1
+			cfg.InitialSize = initial
+			return wsopt.NewHybridController(cfg)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := wsopt.SimulateTransfer(spec.New(7), mb, spec.Tuples)
+	fmt.Printf("\nmodel + hybrid refinement: total=%6.1f s, final size %d tuples\n",
+		res.TotalMS/1000, res.Sizes[len(res.Sizes)-1])
+
+	// 3. Self-tuning control: recursive least squares with forgetting
+	// keeps re-identifying the drifting profile for long-lived queries.
+	st, err := wsopt.NewSelfTuningController(wsopt.SelfTuningConfig{
+		Limits: spec.Limits,
+		Kind:   wsopt.ModelParabolic,
+		Lambda: 0.97,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = wsopt.SimulateTransfer(spec.New(7), st, spec.Tuples)
+	fmt.Printf("self-tuning (RLS λ=0.97): total=%6.1f s, final decision %d tuples\n",
+		res.TotalMS/1000, st.Decision())
+}

@@ -1,0 +1,45 @@
+// Quickstart: tune the block size of a simulated transfer with the
+// paper's hybrid controller and compare it against naive static choices.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsopt"
+)
+
+func main() {
+	// conf2.2 is the paper's loaded-LAN setup: a 450K-tuple Orders scan
+	// whose optimum block size sits around 7.5K tuples and drifts.
+	spec, err := wsopt.ConfigurationByName("conf2.2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := wsopt.DefaultControllerConfig()
+	cfg.Limits = spec.Limits
+	cfg.B1 = spec.B1
+
+	hybrid, err := wsopt.NewHybridController(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transferring %d tuples over the %s profile\n\n", spec.Tuples, spec.Name)
+
+	res := wsopt.SimulateTransfer(spec.New(1), hybrid, spec.Tuples)
+	fmt.Printf("%-22s %8.1f s in %d blocks (final size %d)\n",
+		hybrid.Name(), res.TotalMS/1000, res.Blocks, res.Sizes[len(res.Sizes)-1])
+
+	for _, size := range []int{1000, 10000, 20000} {
+		static := wsopt.NewStaticController(size)
+		r := wsopt.SimulateTransfer(spec.New(1), static, spec.Tuples)
+		fmt.Printf("%-22s %8.1f s in %d blocks\n", static.Name(), r.TotalMS/1000, r.Blocks)
+	}
+
+	fmt.Println("\nThe hybrid controller needs no tuning and lands near the (moving) optimum;")
+	fmt.Println("any fixed size is wrong somewhere — that is the paper's headline result.")
+}

@@ -1,0 +1,3 @@
+module wsopt
+
+go 1.22

@@ -1,0 +1,280 @@
+// Package client is the consumer side of the block-pull protocol: it opens
+// query sessions against a service.Server and executes Algorithm 1 of the
+// paper — request a block, time it, let the controller pick the next
+// block's size — entirely at the client, with no server cooperation beyond
+// the plain pull interface ("minimally intrusive", Section I).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// Metric selects the feedback the controller observes, mirroring
+// sim.Metric for live runs.
+type Metric int
+
+const (
+	// MetricPerTuple feeds block time divided by block size (default).
+	MetricPerTuple Metric = iota
+	// MetricPerBlock feeds the raw block time.
+	MetricPerBlock
+)
+
+// Client talks to one block-pull service.
+type Client struct {
+	base  *url.URL
+	hc    *http.Client
+	codec wire.Codec
+	retry RetryPolicy
+}
+
+// New builds a client for the service at baseURL using codec to decode
+// blocks (it must match the server's). A nil http.Client uses a default
+// with a 5-minute timeout.
+func New(baseURL string, codec wire.Codec, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q must be absolute", baseURL)
+	}
+	if codec == nil {
+		codec = wire.XML{}
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: u, hc: hc, codec: codec}, nil
+}
+
+// Query names the server-side plan to open.
+type Query struct {
+	// Table is the relation to scan.
+	Table string `json:"table"`
+	// Columns to project; empty selects all.
+	Columns []string `json:"columns,omitempty"`
+	// Where optionally filters rows server-side; SQL-flavoured syntax
+	// parsed by minidb.ParseExpr (e.g. "c_acctbal > 0 AND c_mktsegment = 'BUILDING'").
+	Where string `json:"where,omitempty"`
+	// Distinct drops duplicate result rows server-side.
+	Distinct bool `json:"distinct,omitempty"`
+	// Limit truncates the result when positive.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Session is an open pull cursor. Not safe for concurrent use.
+type Session struct {
+	c       *Client
+	id      string
+	columns []string
+	done    bool
+}
+
+// OpenSession creates a server-side session for the query.
+func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal query: %w", err)
+	}
+	resp, err := c.doManagement(ctx, http.MethodPost, c.endpoint("/sessions"), body, "application/json", http.StatusCreated)
+	if err != nil {
+		return nil, fmt.Errorf("client: open session: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return nil, httpFailure("open session", resp)
+	}
+	var cr struct {
+		Session string   `json:"session"`
+		Columns []string `json:"columns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil, fmt.Errorf("client: decode session response: %w", err)
+	}
+	if cr.Session == "" {
+		return nil, fmt.Errorf("client: server returned empty session id")
+	}
+	return &Session{c: c, id: cr.Session, columns: cr.Columns}, nil
+}
+
+// Columns returns the projected column names of the session's result.
+func (s *Session) Columns() []string { return s.columns }
+
+// Done reports whether the result set has been exhausted.
+func (s *Session) Done() bool { return s.done }
+
+// Block is one pulled block with its client-side timing.
+type Block struct {
+	// Rows are the decoded tuples.
+	Rows []minidb.Row
+	// Schema describes the rows.
+	Schema minidb.Schema
+	// Elapsed is the client-observed wall time of the request (t2-t1 of
+	// Algorithm 1).
+	Elapsed time.Duration
+	// Done is true when this was the final block.
+	Done bool
+	// InjectedMS is the simulated delay the server reports it applied
+	// (before time scaling), for experiment bookkeeping.
+	InjectedMS float64
+}
+
+// Next pulls one block of up to size tuples and times it.
+func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
+	if s.done {
+		return nil, fmt.Errorf("client: session %s already exhausted", s.id)
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("client: block size %d must be positive", size)
+	}
+	u := s.c.endpoint("/sessions/"+s.id+"/next") + "?size=" + strconv.Itoa(size)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: pull block: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpFailure("pull block", resp)
+	}
+	schema, rows, err := s.c.codec.Decode(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: decode block: %w", err)
+	}
+	elapsed := time.Since(t1)
+
+	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed}
+	blk.Done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
+	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
+	if want := resp.Header.Get(service.HeaderBlockTuples); want != "" {
+		if n, err := strconv.Atoi(want); err == nil && n != len(rows) {
+			return nil, fmt.Errorf("client: server announced %d tuples but block decoded %d", n, len(rows))
+		}
+	}
+	s.done = blk.Done
+	return blk, nil
+}
+
+// Close deletes the server-side session. Closing an already-expired
+// session is not an error.
+func (s *Session) Close(ctx context.Context) error {
+	resp, err := s.c.doManagement(ctx, http.MethodDelete, s.c.endpoint("/sessions/"+s.id), nil, "",
+		http.StatusNoContent, http.StatusNotFound)
+	if err != nil {
+		return fmt.Errorf("client: close session: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return httpFailure("close session", resp)
+	}
+	return nil
+}
+
+// SetLoad adjusts the server's simulated load (experiment orchestration).
+func (c *Client) SetLoad(ctx context.Context, jobs, queries int, memory float64) error {
+	body, err := json.Marshal(map[string]any{"Jobs": jobs, "Queries": queries, "Memory": memory})
+	if err != nil {
+		return err
+	}
+	resp, err := c.doManagement(ctx, http.MethodPut, c.endpoint("/load"), body, "application/json", http.StatusNoContent)
+	if err != nil {
+		return fmt.Errorf("client: set load: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return httpFailure("set load", resp)
+	}
+	return nil
+}
+
+// RunResult summarizes one adaptive query execution over the live service.
+type RunResult struct {
+	// Tuples and Blocks count what was transferred.
+	Tuples int
+	Blocks int
+	// Elapsed is the total wall time spent pulling blocks.
+	Elapsed time.Duration
+	// SimulatedMS is the sum of server-injected model delays, the
+	// scale-free response time used when comparing against profiles.
+	SimulatedMS float64
+	// Sizes is the commanded block size per request.
+	Sizes []int
+}
+
+// Run executes Algorithm 1: it pulls the whole result set, feeding each
+// block's timing to the controller. The controller observes wall time by
+// default; when the server injects simulated delays with a small
+// SleepScale, prefer observing the scale-free injected delay by setting
+// useInjected.
+func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric Metric, useInjected bool) (*RunResult, error) {
+	sess, err := c.OpenSession(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// Best-effort cleanup; the session may already be gone.
+		_ = sess.Close(context.WithoutCancel(ctx))
+	}()
+
+	res := &RunResult{}
+	for !sess.Done() {
+		size := ctl.Size()
+		blk, err := sess.Next(ctx, size)
+		if err != nil {
+			return res, err
+		}
+		got := len(blk.Rows)
+		if got == 0 {
+			break
+		}
+		res.Tuples += got
+		res.Blocks++
+		res.Elapsed += blk.Elapsed
+		res.SimulatedMS += blk.InjectedMS
+		res.Sizes = append(res.Sizes, size)
+
+		y := float64(blk.Elapsed) / float64(time.Millisecond)
+		if useInjected && blk.InjectedMS > 0 {
+			y = blk.InjectedMS
+		}
+		if metric == MetricPerTuple {
+			y /= float64(got)
+		}
+		ctl.Observe(y)
+	}
+	return res, nil
+}
+
+func (c *Client) endpoint(p string) string {
+	u := *c.base
+	u.Path, _ = url.JoinPath(u.Path, p)
+	return u.String()
+}
+
+func httpFailure(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("client: %s: server returned %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

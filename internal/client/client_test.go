@@ -1,0 +1,260 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/netsim"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+func testStack(t *testing.T, rows int, codec wire.Codec) (*Client, *service.Server) {
+	t.Helper()
+	cat := minidb.NewCatalog()
+	tbl, err := cat.CreateTable("data", minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("v%d", i))})
+	}
+	if err := tbl.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Catalog:   cat,
+		Codec:     codec,
+		CostModel: netsim.CostModel{LatencyMS: 5, PerTupleMS: 0.01},
+		// SleepScale 0: price blocks without real sleeping.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, codec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("://bad", wire.XML{}, nil); err == nil {
+		t.Error("malformed URL accepted")
+	}
+	if _, err := New("/relative", wire.XML{}, nil); err == nil {
+		t.Error("relative URL accepted")
+	}
+	if _, err := New("http://localhost:1", nil, nil); err != nil {
+		t.Errorf("nil codec should default: %v", err)
+	}
+}
+
+func TestSessionPull(t *testing.T) {
+	c, _ := testStack(t, 55, wire.XML{})
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Columns(); len(got) != 2 || got[0] != "k" {
+		t.Fatalf("columns = %v", got)
+	}
+	total := 0
+	for !sess.Done() {
+		blk, err := sess.Next(ctx, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(blk.Rows)
+		if blk.Elapsed <= 0 {
+			t.Fatal("elapsed not measured")
+		}
+		if blk.InjectedMS <= 0 {
+			t.Fatal("injected delay header not propagated")
+		}
+	}
+	if total != 55 {
+		t.Fatalf("pulled %d rows, want 55", total)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Closing twice is fine (404 tolerated).
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionPullBinary(t *testing.T) {
+	c, _ := testStack(t, 33, wire.Binary{})
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, Query{Table: "data", Columns: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := sess.Next(ctx, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Rows) != 33 || len(blk.Schema) != 1 {
+		t.Fatalf("block shape wrong: %d rows, %d cols", len(blk.Rows), len(blk.Schema))
+	}
+	if !blk.Done {
+		// An exact-multiple block cannot know it was final; the next pull
+		// returns an empty block flagged done.
+		blk2, err := sess.Next(ctx, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk2.Rows) != 0 || !blk2.Done {
+			t.Fatalf("trailing block = %d rows, done=%v; want empty done block", len(blk2.Rows), blk2.Done)
+		}
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	c, _ := testStack(t, 10, wire.XML{})
+	ctx := context.Background()
+	if _, err := c.OpenSession(ctx, Query{Table: "ghost"}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	sess, err := c.OpenSession(ctx, Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Next(ctx, 0); err == nil {
+		t.Error("size 0 should fail client-side")
+	}
+	if _, err := sess.Next(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Done() {
+		t.Fatal("10 rows in one 100-block: session should be done")
+	}
+	if _, err := sess.Next(ctx, 10); err == nil {
+		t.Error("pulling an exhausted session should fail")
+	}
+}
+
+func TestRunAlgorithmOne(t *testing.T) {
+	c, _ := testStack(t, 500, wire.XML{})
+	cfg := core.Config{
+		InitialSize: 50, Limits: core.Limits{Min: 10, Max: 200},
+		B1: 30, B2: 25, AvgHorizon: 1, CriterionWindow: 5, CriterionThreshold: 1,
+	}
+	ctl, err := core.NewConstant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), Query{Table: "data"}, ctl, MetricPerTuple, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 500 {
+		t.Fatalf("transferred %d tuples, want 500", res.Tuples)
+	}
+	if res.Blocks < 3 {
+		t.Fatalf("suspiciously few blocks: %d", res.Blocks)
+	}
+	if len(res.Sizes) != res.Blocks {
+		t.Fatal("per-block sizes not recorded")
+	}
+	if res.SimulatedMS <= 0 {
+		t.Fatal("simulated cost not accumulated")
+	}
+	// The controller must have adapted: sizes are not all equal.
+	allSame := true
+	for _, s := range res.Sizes[1:] {
+		if s != res.Sizes[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("controller never adapted during the live run")
+	}
+}
+
+func TestRunStaticController(t *testing.T) {
+	c, _ := testStack(t, 120, wire.XML{})
+	res, err := c.Run(context.Background(), Query{Table: "data"}, core.NewStatic(50), MetricPerBlock, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 120 || res.Blocks != 3 {
+		t.Fatalf("static run: %d tuples in %d blocks", res.Tuples, res.Blocks)
+	}
+}
+
+func TestSetLoad(t *testing.T) {
+	c, srv := testStack(t, 10, wire.XML{})
+	if err := c.SetLoad(context.Background(), 3, 2, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Load(); got.Jobs != 3 || got.Queries != 2 || got.Memory != 0.25 {
+		t.Fatalf("load = %+v", got)
+	}
+	if err := c.SetLoad(context.Background(), -1, 0, 0); err == nil {
+		t.Error("invalid load should be rejected")
+	}
+}
+
+func TestServerFailureSurfaces(t *testing.T) {
+	// A server that always 500s.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenSession(context.Background(), Query{Table: "data"}); err == nil {
+		t.Fatal("500 should surface as an error")
+	}
+}
+
+func TestTruncatedBlockDetected(t *testing.T) {
+	// A server that announces more tuples than it ships.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sessions" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+			return
+		}
+		w.Header().Set(service.HeaderBlockTuples, "10")
+		w.Header().Set(service.HeaderBlockDone, "false")
+		_ = wire.XML{}.Encode(w, minidb.Schema{{Name: "k", Type: minidb.Int64}},
+			[]minidb.Row{{minidb.NewInt(1)}})
+	}))
+	defer ts.Close()
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Next(context.Background(), 10); err == nil {
+		t.Fatal("tuple-count mismatch should be detected")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c, _ := testStack(t, 10, wire.XML{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.OpenSession(ctx, Query{Table: "data"}); err == nil {
+		t.Fatal("cancelled context should abort the request")
+	}
+}

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"context"
+	"time"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+)
+
+// The paper's introduction notes that block-based transfer lets
+// "applications also benefit from pipelined parallel processing" — the
+// next block can be in flight while the previous one is being processed.
+// RunPipelined provides that overlap: a prefetch goroutine keeps exactly
+// one request outstanding while the caller's handler consumes the
+// previous block. The controller still observes every block's transfer
+// time, so block-size adaptation is unchanged.
+
+// BlockHandler consumes one block's rows. Returning an error aborts the
+// run.
+type BlockHandler func(schema minidb.Schema, rows []minidb.Row) error
+
+// PipelinedResult extends RunResult with the processing-overlap
+// accounting.
+type PipelinedResult struct {
+	RunResult
+	// ProcessTime is the total time spent inside the handler.
+	ProcessTime time.Duration
+	// WallTime is the end-to-end duration of the run. With effective
+	// overlap, WallTime < Elapsed + ProcessTime.
+	WallTime time.Duration
+}
+
+// prefetched carries one pulled block or the error that ended the stream.
+type prefetched struct {
+	blk *Block
+	err error
+}
+
+// RunPipelined executes Algorithm 1 with single-block prefetch: while the
+// handler processes block n, block n+1 is already being pulled. The
+// controller's decision for block n+1 is made from the measurements
+// available when the prefetch is issued (one block of extra decision
+// latency — the price of the overlap).
+func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller, metric Metric, useInjected bool, handle BlockHandler) (*PipelinedResult, error) {
+	sess, err := c.OpenSession(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = sess.Close(context.WithoutCancel(ctx))
+	}()
+
+	start := time.Now()
+	res := &PipelinedResult{}
+
+	// fetch pulls one block at the controller's current size and performs
+	// the bookkeeping + controller feedback.
+	fetch := func() prefetched {
+		size := ctl.Size()
+		blk, err := sess.Next(ctx, size)
+		if err != nil {
+			return prefetched{err: err}
+		}
+		if len(blk.Rows) > 0 {
+			res.Tuples += len(blk.Rows)
+			res.Blocks++
+			res.Elapsed += blk.Elapsed
+			res.SimulatedMS += blk.InjectedMS
+			res.Sizes = append(res.Sizes, size)
+
+			y := float64(blk.Elapsed) / float64(time.Millisecond)
+			if useInjected && blk.InjectedMS > 0 {
+				y = blk.InjectedMS
+			}
+			if metric == MetricPerTuple {
+				y /= float64(len(blk.Rows))
+			}
+			ctl.Observe(y)
+		}
+		return prefetched{blk: blk}
+	}
+
+	cur := fetch()
+	for {
+		if cur.err != nil {
+			res.WallTime = time.Since(start)
+			return res, cur.err
+		}
+		blk := cur.blk
+
+		// Launch the prefetch of the next block (if any) while this one
+		// is being processed. The session is only touched by this one
+		// outstanding goroutine; the loop joins it before the next round.
+		var next chan prefetched
+		if !sess.Done() {
+			next = make(chan prefetched, 1)
+			go func() { next <- fetch() }()
+		}
+
+		if len(blk.Rows) > 0 && handle != nil {
+			t0 := time.Now()
+			err := handle(blk.Schema, blk.Rows)
+			res.ProcessTime += time.Since(t0)
+			if err != nil {
+				if next != nil {
+					<-next // join the in-flight prefetch before returning
+				}
+				res.WallTime = time.Since(start)
+				return res, err
+			}
+		}
+		if next == nil {
+			res.WallTime = time.Since(start)
+			return res, nil
+		}
+		cur = <-next
+	}
+}

@@ -1,0 +1,184 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/service"
+)
+
+// PushSession is an open upload cursor: the client ships blocks of tuples
+// to the service, choosing each block's size. Not safe for concurrent use.
+type PushSession struct {
+	c  *Client
+	id string
+}
+
+// OpenPush creates a server-side ingest session for the named table.
+func (c *Client) OpenPush(ctx context.Context, table string) (*PushSession, error) {
+	body, err := json.Marshal(map[string]string{"table": table})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doManagement(ctx, http.MethodPost, c.endpoint("/ingest"), body, "application/json", http.StatusCreated)
+	if err != nil {
+		return nil, fmt.Errorf("client: open push: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return nil, httpFailure("open push", resp)
+	}
+	var cr struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil, fmt.Errorf("client: decode push response: %w", err)
+	}
+	if cr.Session == "" {
+		return nil, fmt.Errorf("client: server returned empty ingest session id")
+	}
+	return &PushSession{c: c, id: cr.Session}, nil
+}
+
+// PushBlock is the timing record of one uploaded block.
+type PushBlock struct {
+	// Tuples uploaded in this block.
+	Tuples int
+	// Elapsed is the client-observed wall time of the request.
+	Elapsed time.Duration
+	// InjectedMS is the simulated delay the server applied (pre-scaling).
+	InjectedMS float64
+}
+
+// Send uploads one block of rows and times it.
+func (p *PushSession) Send(ctx context.Context, schema minidb.Schema, rows []minidb.Row) (*PushBlock, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("client: cannot push an empty block")
+	}
+	var buf bytes.Buffer
+	if err := p.c.codec.Encode(&buf, schema, rows); err != nil {
+		return nil, fmt.Errorf("client: encode block: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.c.endpoint("/ingest/"+p.id+"/block"), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", p.c.codec.ContentType())
+	t1 := time.Now()
+	resp, err := p.c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: push block: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return nil, httpFailure("push block", resp)
+	}
+	blk := &PushBlock{Tuples: len(rows), Elapsed: time.Since(t1)}
+	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
+	return blk, nil
+}
+
+// Close finishes the upload and returns the server-confirmed tuple count.
+func (p *PushSession) Close(ctx context.Context) (int, error) {
+	resp, err := p.c.doManagement(ctx, http.MethodDelete, p.c.endpoint("/ingest/"+p.id), nil, "", http.StatusOK)
+	if err != nil {
+		return 0, fmt.Errorf("client: close push: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpFailure("close push", resp)
+	}
+	var cr struct {
+		Tuples int `json:"tuples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return 0, fmt.Errorf("client: decode close response: %w", err)
+	}
+	return cr.Tuples, nil
+}
+
+// PushResult summarizes one adaptive upload.
+type PushResult struct {
+	// Tuples and Blocks count what was shipped.
+	Tuples int
+	Blocks int
+	// Elapsed is the total wall time spent uploading.
+	Elapsed time.Duration
+	// SimulatedMS is the sum of server-injected delays.
+	SimulatedMS float64
+	// Sizes is the commanded block size per request.
+	Sizes []int
+}
+
+// Push ships every row of the iterator to the named server table,
+// Algorithm 1 in the upload direction: the controller picks each block's
+// size from the observed per-tuple (or per-block) upload cost.
+func (c *Client) Push(ctx context.Context, table string, src minidb.Iterator, ctl core.Controller, metric Metric, useInjected bool) (*PushResult, error) {
+	sess, err := c.OpenPush(ctx, table)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = sess.Close(context.WithoutCancel(ctx))
+	}()
+
+	schema := src.Schema()
+	res := &PushResult{}
+	for {
+		size := ctl.Size()
+		rows, done, err := nextRows(src, size)
+		if err != nil {
+			return res, err
+		}
+		if len(rows) > 0 {
+			blk, err := sess.Send(ctx, schema, rows)
+			if err != nil {
+				return res, err
+			}
+			res.Tuples += blk.Tuples
+			res.Blocks++
+			res.Elapsed += blk.Elapsed
+			res.SimulatedMS += blk.InjectedMS
+			res.Sizes = append(res.Sizes, size)
+
+			y := float64(blk.Elapsed) / float64(time.Millisecond)
+			if useInjected && blk.InjectedMS > 0 {
+				y = blk.InjectedMS
+			}
+			if metric == MetricPerTuple {
+				y /= float64(blk.Tuples)
+			}
+			ctl.Observe(y)
+		}
+		if done {
+			return res, nil
+		}
+	}
+}
+
+// nextRows pulls up to size rows from the iterator.
+func nextRows(it minidb.Iterator, size int) (rows []minidb.Row, done bool, err error) {
+	if size < 1 {
+		size = 1
+	}
+	rows = make([]minidb.Row, 0, size)
+	for len(rows) < size {
+		r, err := it.Next()
+		if err == io.EOF {
+			return rows, true, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, false, nil
+}

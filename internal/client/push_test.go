@@ -1,0 +1,189 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/netsim"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// pushStack builds a service with an empty sink table and a client, plus
+// a local source table with n rows.
+func pushStack(t *testing.T, n int) (*Client, *service.Server, *minidb.Catalog, minidb.Iterator) {
+	t.Helper()
+	schema := minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	}
+	// Server side: empty sink.
+	serverCat := minidb.NewCatalog()
+	if _, err := serverCat.CreateTable("sink", schema); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Catalog:   serverCat,
+		CostModel: netsim.CostModel{LatencyMS: 5, PerTupleMS: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client side: local source rows.
+	localCat := minidb.NewCatalog()
+	local, err := localCat.CreateTable("src", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]minidb.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("v%d", i))})
+	}
+	if err := local.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	return c, srv, serverCat, local.Scan()
+}
+
+func TestPushRoundTrip(t *testing.T) {
+	c, srv, serverCat, src := pushStack(t, 137)
+	cfg := core.Config{
+		InitialSize: 10, Limits: core.Limits{Min: 5, Max: 60},
+		B1: 15, B2: 25, AvgHorizon: 1, CriterionWindow: 5, CriterionThreshold: 1,
+	}
+	ctl, err := core.NewConstant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Push(context.Background(), "sink", src, ctl, MetricPerTuple, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 137 {
+		t.Fatalf("pushed %d tuples, want 137", res.Tuples)
+	}
+	sink, err := serverCat.Table("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.RowCount() != 137 {
+		t.Fatalf("server received %d rows, want 137", sink.RowCount())
+	}
+	// The controller adapted the upload block size.
+	allSame := true
+	for _, s := range res.Sizes[1:] {
+		if s != res.Sizes[0] {
+			allSame = false
+		}
+	}
+	if allSame && len(res.Sizes) > 2 {
+		t.Fatal("push controller never adapted")
+	}
+	// Stats counted the ingest.
+	st := srv.Stats()
+	if st.IngestsOpened != 1 || st.TuplesIngested != 137 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Data round-tripped intact.
+	it, _ := serverCat.Execute(minidb.Query{Table: "sink"})
+	rows, err := minidb.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].I] {
+			t.Fatalf("duplicate key %d on the server", r[0].I)
+		}
+		seen[r[0].I] = true
+	}
+	if len(seen) != 137 {
+		t.Fatalf("distinct keys = %d", len(seen))
+	}
+}
+
+func TestPushSessionLifecycle(t *testing.T) {
+	c, _, _, _ := pushStack(t, 1)
+	ctx := context.Background()
+	sess, err := c.OpenPush(ctx, "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	}
+	blk, err := sess.Send(ctx, schema, []minidb.Row{{minidb.NewInt(1), minidb.NewString("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Tuples != 1 || blk.InjectedMS <= 0 {
+		t.Fatalf("block = %+v", blk)
+	}
+	n, err := sess.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("server confirmed %d tuples, want 1", n)
+	}
+	// Closing again fails: the session is gone.
+	if _, err := sess.Close(ctx); err == nil {
+		t.Fatal("double close should fail for ingest sessions")
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	c, _, _, _ := pushStack(t, 1)
+	ctx := context.Background()
+	if _, err := c.OpenPush(ctx, "ghost"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	sess, err := c.OpenPush(ctx, "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty block rejected client-side.
+	if _, err := sess.Send(ctx, nil, nil); err == nil {
+		t.Error("empty block should fail")
+	}
+	// Wrong schema rejected server-side (422).
+	wrong := minidb.Schema{{Name: "z", Type: minidb.Float64}}
+	if _, err := sess.Send(ctx, wrong, []minidb.Row{{minidb.NewFloat(1)}}); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestPushWithHybridController(t *testing.T) {
+	c, _, serverCat, src := pushStack(t, 400)
+	cfg := core.Config{
+		InitialSize: 20, Limits: core.Limits{Min: 5, Max: 100},
+		B1: 20, B2: 25, DitherFactor: 2, AvgHorizon: 2,
+		CriterionWindow: 5, CriterionThreshold: 1, Seed: 3,
+	}
+	ctl, err := core.NewHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Push(context.Background(), "sink", src, ctl, MetricPerTuple, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 400 {
+		t.Fatalf("pushed %d, want 400", res.Tuples)
+	}
+	sink, _ := serverCat.Table("sink")
+	if sink.RowCount() != 400 {
+		t.Fatalf("sink has %d rows", sink.RowCount())
+	}
+}

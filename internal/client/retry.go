@@ -1,0 +1,108 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy controls retries of *session-management* requests (opening
+// and closing sessions, adjusting load). Block transfers are deliberately
+// never retried: a pull advances the server-side cursor and an upload
+// appends rows, so a blind retry could skip or duplicate tuples. The
+// controller loop handles a failed block by surfacing the error to the
+// caller, who owns the trade-off.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retry, the
+	// default).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 50ms); each subsequent
+	// attempt doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// SetRetry installs the retry policy for session-management requests.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p.normalized() }
+
+// retryable reports whether a response status is worth another attempt:
+// transient server-side conditions only.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// doManagement performs a session-management request with the configured
+// retry policy. body may be nil; it is re-materialized per attempt.
+// wantStatus is the success status. The caller owns the returned response
+// body on success.
+func (c *Client) doManagement(ctx context.Context, method, url string, body []byte, contentType string, wantStatus ...int) (*http.Response, error) {
+	policy := c.retry.normalized()
+	var lastErr error
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			for _, s := range wantStatus {
+				if resp.StatusCode == s {
+					return resp, nil
+				}
+			}
+			if !retryable(resp.StatusCode) {
+				return resp, nil // let the caller turn it into an error
+			}
+			lastErr = httpFailure(method+" "+url, resp)
+			drain(resp)
+		} else {
+			lastErr = err
+		}
+		if attempt >= policy.MaxAttempts {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > policy.MaxDelay {
+			delay = policy.MaxDelay
+		}
+	}
+}

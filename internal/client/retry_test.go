@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsopt/internal/wire"
+)
+
+// flakyServer fails the first n session creations with the given status,
+// then behaves.
+func flakyServer(t *testing.T, failures int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= failures {
+			http.Error(w, "transient", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	ts, calls := flakyServer(t, 2, http.StatusServiceUnavailable)
+	c, err := New(ts.URL, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if sess == nil || calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3 (2 failures + 1 success)", calls.Load())
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	ts, calls := flakyServer(t, 100, http.StatusBadGateway)
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	if _, err := c.OpenSession(context.Background(), Query{Table: "data"}); err == nil {
+		t.Fatal("persistent failure should surface")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want exactly MaxAttempts", calls.Load())
+	}
+}
+
+func TestNoRetryOnClientErrors(t *testing.T) {
+	// 404 is not transient: one attempt only, surfaced as an error.
+	ts, calls := flakyServer(t, 100, http.StatusNotFound)
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if _, err := c.OpenSession(context.Background(), Query{Table: "data"}); err == nil {
+		t.Fatal("404 should surface as an error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+func TestRetryDefaultIsSingleAttempt(t *testing.T) {
+	ts, calls := flakyServer(t, 100, http.StatusServiceUnavailable)
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	if _, err := c.OpenSession(context.Background(), Query{Table: "data"}); err == nil {
+		t.Fatal("failure should surface without a policy")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 by default", calls.Load())
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	ts, _ := flakyServer(t, 100, http.StatusServiceUnavailable)
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 50, BaseDelay: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.OpenSession(ctx, Query{Table: "data"}); err == nil {
+		t.Fatal("cancelled retry loop should error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("retry loop ignored the context deadline")
+	}
+}
+
+func TestBlockPullsAreNeverRetried(t *testing.T) {
+	var nextCalls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sessions" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+			return
+		}
+		nextCalls.Add(1)
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Next(context.Background(), 10); err == nil {
+		t.Fatal("failed block should surface")
+	}
+	if nextCalls.Load() != 1 {
+		t.Fatalf("block pulls retried %d times; they advance server state and must not be", nextCalls.Load())
+	}
+}

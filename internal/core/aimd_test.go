@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func aimdConfig() AIMDConfig {
+	return AIMDConfig{
+		InitialSize: 1000,
+		Increase:    500,
+		Decrease:    0.5,
+		Limits:      Limits{Min: 100, Max: 20000},
+		AvgHorizon:  1,
+	}
+}
+
+func TestNewAIMDValidation(t *testing.T) {
+	bad := []AIMDConfig{
+		{InitialSize: 0, Increase: 1, Decrease: 0.5, Limits: DefaultLimits},
+		{InitialSize: 100, Increase: 0, Decrease: 0.5, Limits: DefaultLimits},
+		{InitialSize: 100, Increase: 1, Decrease: 0, Limits: DefaultLimits},
+		{InitialSize: 100, Increase: 1, Decrease: 1, Limits: DefaultLimits},
+		{InitialSize: 100, Increase: 1, Decrease: 0.5, Limits: Limits{Min: 10, Max: 5}},
+		{InitialSize: 100, Increase: 1, Decrease: 0.5, Limits: DefaultLimits, DitherFactor: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAIMD(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := NewAIMD(aimdConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestAIMDAdditiveIncrease(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	a.Observe(100) // first step: probe up by Increase
+	if a.Size() != 1500 {
+		t.Fatalf("first step = %d, want 1500", a.Size())
+	}
+	a.Observe(80) // improvement while increasing -> additive increase
+	if a.Size() != 2000 {
+		t.Fatalf("after improvement = %d, want 2000", a.Size())
+	}
+}
+
+func TestAIMDMultiplicativeDecrease(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	a.Observe(100) // 1000 -> 1500
+	a.Observe(150) // degradation while increasing -> halve
+	if a.Size() != 750 {
+		t.Fatalf("after degradation = %d, want 750", a.Size())
+	}
+}
+
+func TestAIMDRespectsLimits(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	// Forever degrading: repeated halving must stop at the lower limit.
+	y := 1.0
+	for i := 0; i < 30; i++ {
+		a.Observe(y)
+		y *= 2
+	}
+	if a.Size() < 100 {
+		t.Fatalf("size %d below the lower limit", a.Size())
+	}
+}
+
+func TestAIMDSawtoothAroundOptimum(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	f := func(x int) float64 { return math.Abs(float64(x)-5000)/1000 + 1 }
+	for i := 0; i < 60; i++ {
+		a.Observe(f(a.Size()))
+	}
+	// AIMD's characteristic asymmetry keeps it below/around the optimum.
+	for i := 0; i < 20; i++ {
+		if a.Size() > 9000 {
+			t.Fatalf("AIMD strayed to %d, far above the optimum", a.Size())
+		}
+		a.Observe(f(a.Size()))
+	}
+	if a.Steps() < 60 {
+		t.Fatalf("steps = %d", a.Steps())
+	}
+}
+
+func TestAIMDReset(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	a.Observe(1)
+	a.Observe(2)
+	a.Reset()
+	if a.Size() != 1000 || a.Steps() != 0 {
+		t.Fatalf("Reset left state: size=%d steps=%d", a.Size(), a.Steps())
+	}
+}
+
+func TestAIMDIgnoresBrokenMeasurements(t *testing.T) {
+	a, _ := NewAIMD(aimdConfig())
+	before := a.Size()
+	a.Observe(math.NaN())
+	a.Observe(math.Inf(1))
+	a.Observe(-3)
+	if a.Size() != before {
+		t.Fatal("broken measurements moved the controller")
+	}
+}
+
+// Property: AIMD never leaves its limits.
+func TestAIMDLimitsProperty(t *testing.T) {
+	f := func(ys []float64) bool {
+		a, err := NewAIMD(aimdConfig())
+		if err != nil {
+			return false
+		}
+		for _, y := range ys {
+			if s := a.Size(); s < 100 || s > 20000 {
+				return false
+			}
+			a.Observe(math.Abs(y))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSign(t *testing.T) {
+	if Sign(2.5) != 1 {
+		t.Error("Sign(2.5) should be 1")
+	}
+	if Sign(-0.1) != -1 {
+		t.Error("Sign(-0.1) should be -1")
+	}
+	// The paper's sign() returns -1 for non-positive arguments.
+	if Sign(0) != -1 {
+		t.Error("Sign(0) should be -1")
+	}
+}
+
+func TestLimitsClamp(t *testing.T) {
+	l := Limits{Min: 100, Max: 20000}
+	cases := []struct{ in, want int }{
+		{50, 100}, {100, 100}, {5000, 5000}, {20000, 20000}, {99999, 20000}, {-3, 100},
+	}
+	for _, c := range cases {
+		if got := l.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	var zero Limits
+	if got := zero.Clamp(-5); got != 1 {
+		t.Errorf("zero limits Clamp(-5) = %d, want 1", got)
+	}
+	if got := zero.Clamp(1 << 30); got != 1<<30 {
+		t.Errorf("zero limits should not cap above, got %d", got)
+	}
+}
+
+func TestLimitsClampF(t *testing.T) {
+	l := Limits{Min: 100, Max: 20000}
+	if got := l.ClampF(1e9); got != 20000 {
+		t.Errorf("ClampF(1e9) = %g, want 20000", got)
+	}
+	if got := l.ClampF(-4); got != 100 {
+		t.Errorf("ClampF(-4) = %g, want 100", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config should validate, got %v", err)
+	}
+	mutations := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"zero initial size", func(c *Config) { c.InitialSize = 0 }},
+		{"negative b1", func(c *Config) { c.B1 = -1 }},
+		{"zero b1", func(c *Config) { c.B1 = 0 }},
+		{"negative b2", func(c *Config) { c.B2 = -5 }},
+		{"negative dither", func(c *Config) { c.DitherFactor = -1 }},
+		{"zero criterion window", func(c *Config) { c.CriterionWindow = 0 }},
+		{"negative threshold", func(c *Config) { c.CriterionThreshold = -1 }},
+		{"negative reset period", func(c *Config) { c.ResetPeriod = -1 }},
+		{"inverted limits", func(c *Config) { c.Limits = Limits{Min: 100, Max: 50} }},
+	}
+	for _, m := range mutations {
+		cfg := DefaultConfig()
+		m.mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestAverager(t *testing.T) {
+	a := newAverager(3)
+	if _, _, full := a.add(10, 1); full {
+		t.Fatal("averager full after 1 of 3 samples")
+	}
+	if _, _, full := a.add(20, 2); full {
+		t.Fatal("averager full after 2 of 3 samples")
+	}
+	mx, my, full := a.add(30, 3)
+	if !full {
+		t.Fatal("averager not full after 3 samples")
+	}
+	if mx != 20 || my != 2 {
+		t.Fatalf("means = (%g, %g), want (20, 2)", mx, my)
+	}
+	// The window restarts after emitting.
+	if _, _, full := a.add(1, 1); full {
+		t.Fatal("averager did not restart its window")
+	}
+	a.reset()
+	if a.count != 0 {
+		t.Fatal("reset did not clear the partial window")
+	}
+}
+
+func TestAveragerHorizonOne(t *testing.T) {
+	a := newAverager(0) // clamps to 1
+	mx, my, full := a.add(5, 7)
+	if !full || mx != 5 || my != 7 {
+		t.Fatalf("horizon-1 averager should pass values through, got (%g,%g,%v)", mx, my, full)
+	}
+}
+
+func TestDither(t *testing.T) {
+	d := newDither(0, 1)
+	for i := 0; i < 10; i++ {
+		if v := d.next(); v != 0 {
+			t.Fatalf("disabled dither emitted %g", v)
+		}
+	}
+	// Same seed, same sequence.
+	d1, d2 := newDither(25, 42), newDither(25, 42)
+	for i := 0; i < 50; i++ {
+		if d1.next() != d2.next() {
+			t.Fatal("dither is not deterministic per seed")
+		}
+	}
+	// Magnitude roughly df (std of df*N(0,1)).
+	d3 := newDither(25, 7)
+	sum, sumSq := 0.0, 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := d3.next()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 1 || math.Abs(std-25) > 2 {
+		t.Fatalf("dither stats mean=%g std=%g, want ~0 and ~25", mean, std)
+	}
+}
+
+func TestRound(t *testing.T) {
+	if round(2.4) != 2 || round(2.6) != 3 {
+		t.Error("round should round half away from zero")
+	}
+	if round(math.NaN()) != 1 || round(math.Inf(1)) != 1 {
+		t.Error("round should map NaN/Inf to 1")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := NewConstant(cfg)
+	a, _ := NewAdaptive(cfg)
+	h, _ := NewHybrid(cfg)
+	cfgS := cfg
+	cfgS.AllowSwitchBack = true
+	hs, _ := NewHybrid(cfgS)
+	cfgR := cfg
+	cfgR.ResetPeriod = 50
+	hr, _ := NewHybrid(cfgR)
+	cfg6 := cfg
+	cfg6.Criterion = CriterionWindowedMean
+	h6, _ := NewHybrid(cfg6)
+
+	names := map[string]string{
+		c.Name():  "constant-gain",
+		a.Name():  "adaptive-gain",
+		h.Name():  "hybrid",
+		hs.Name(): "hybrid-s",
+		hr.Name(): "hybrid-periodic-reset",
+		h6.Name(): "hybrid-eq6",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+	if got := NewStatic(1234).Name(); !strings.Contains(got, "1234") {
+		t.Errorf("static name %q should embed the size", got)
+	}
+}
+
+func TestTransitionCriterionString(t *testing.T) {
+	if CriterionSignBalance.String() != "eq5-sign-balance" {
+		t.Error("unexpected Eq.5 name")
+	}
+	if CriterionWindowedMean.String() != "eq6-windowed-mean" {
+		t.Error("unexpected Eq.6 name")
+	}
+	if !strings.Contains(TransitionCriterion(9).String(), "9") {
+		t.Error("unknown criterion should render its value")
+	}
+}
+
+// Property: no controller ever emits a size outside its limits, whatever
+// the measurements look like.
+func TestControllersRespectLimitsProperty(t *testing.T) {
+	mk := func(seed int64) []Controller {
+		cfg := DefaultConfig()
+		cfg.Limits = Limits{Min: 200, Max: 9000}
+		cfg.InitialSize = 500
+		cfg.Seed = seed
+		c, _ := NewConstant(cfg)
+		a, _ := NewAdaptive(cfg)
+		h, _ := NewHybrid(cfg)
+		m, _ := NewMIMD(MIMDConfig{InitialSize: 500, Gain: 1.5, Limits: cfg.Limits, AvgHorizon: 2, ScaleWindow: 3})
+		return []Controller{c, a, h, m, NewStatic(500)}
+	}
+	f := func(seed int64, measurements []float64) bool {
+		for _, ctl := range mk(seed) {
+			for _, y := range measurements {
+				size := ctl.Size()
+				if _, isStatic := ctl.(*Static); !isStatic {
+					if size < 200 || size > 9000 {
+						return false
+					}
+				}
+				ctl.Observe(math.Abs(y))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: controllers ignore broken measurements (NaN, Inf, negative)
+// without changing their decision or crashing.
+func TestControllersIgnoreBrokenMeasurements(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DitherFactor = 0
+	for _, mkName := range []string{"constant", "adaptive", "hybrid"} {
+		var ctl Controller
+		switch mkName {
+		case "constant":
+			ctl, _ = NewConstant(cfg)
+		case "adaptive":
+			ctl, _ = NewAdaptive(cfg)
+		default:
+			ctl, _ = NewHybrid(cfg)
+		}
+		before := ctl.Size()
+		for _, y := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5} {
+			ctl.Observe(y)
+		}
+		if got := ctl.Size(); got != before {
+			t.Errorf("%s: broken measurements moved size %d -> %d", mkName, before, got)
+		}
+	}
+}

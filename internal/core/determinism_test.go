@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: every controller is a pure function of (configuration, seed,
+// observation sequence) — replaying the same inputs reproduces the same
+// decision sequence exactly. Resumable experiments and the caching in the
+// benchmark harness rely on this.
+func TestControllersAreDeterministicProperty(t *testing.T) {
+	build := func(kind int, seed int64) Controller {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		switch kind % 6 {
+		case 0:
+			c, _ := NewConstant(cfg)
+			return c
+		case 1:
+			c, _ := NewAdaptive(cfg)
+			return c
+		case 2:
+			c, _ := NewHybrid(cfg)
+			return c
+		case 3:
+			c, _ := NewMIMD(MIMDConfig{InitialSize: 1000, Gain: 1.5, Limits: cfg.Limits, AvgHorizon: 3, ScaleWindow: 3})
+			return c
+		case 4:
+			c, _ := NewAIMD(AIMDConfig{InitialSize: 1000, Increase: 500, Decrease: 0.5, Limits: cfg.Limits, AvgHorizon: 3, DitherFactor: 10, Seed: seed})
+			return c
+		default:
+			cfg.ResetPeriod = 9
+			c, _ := NewHybrid(cfg)
+			return c
+		}
+	}
+	f := func(kind int, seed int64, raw []float64) bool {
+		ys := make([]float64, 0, len(raw))
+		for _, y := range raw {
+			if y < 0 {
+				y = -y
+			}
+			ys = append(ys, y)
+		}
+		a, b := build(kind, seed), build(kind, seed)
+		for _, y := range ys {
+			if a.Size() != b.Size() {
+				return false
+			}
+			a.Observe(y)
+			b.Observe(y)
+		}
+		return a.Size() == b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reset returns a controller to a state where a replay of the
+// original observations reproduces the original decisions.
+func TestResetRestoresDeterminismProperty(t *testing.T) {
+	f := func(seed int64, raw []float64) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.DitherFactor = 0 // the dither RNG stream is not rewound by Reset
+		a, _ := NewHybrid(cfg)
+		var first []int
+		for _, y := range raw {
+			if y < 0 {
+				y = -y
+			}
+			a.Observe(y)
+			first = append(first, a.Size())
+		}
+		a.Reset()
+		for i, y := range raw {
+			if y < 0 {
+				y = -y
+			}
+			a.Observe(y)
+			if a.Size() != first[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

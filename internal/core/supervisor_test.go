@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSupervisorValidation(t *testing.T) {
+	c, _ := NewConstant(plainConfig())
+	if _, err := NewSupervisor(nil, SupervisorConfig{}); err == nil {
+		t.Error("empty bank should be rejected")
+	}
+	if _, err := NewSupervisor([]Controller{c, nil}, SupervisorConfig{}); err == nil {
+		t.Error("nil bank entry should be rejected")
+	}
+	if _, err := NewSupervisor([]Controller{c}, SupervisorConfig{DegradeFactor: 0.5}); err == nil {
+		t.Error("degrade factor <= 1 should be rejected")
+	}
+	if _, err := NewSupervisor([]Controller{c}, SupervisorConfig{WarmupWindows: -1}); err == nil {
+		t.Error("negative warmup should be rejected")
+	}
+	if _, err := NewSupervisor([]Controller{c}, SupervisorConfig{}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSupervisorDelegatesToActive(t *testing.T) {
+	c, _ := NewConstant(plainConfig())
+	s, err := NewSupervisor([]Controller{c}, SupervisorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 1000 {
+		t.Fatal("Size should delegate")
+	}
+	s.Observe(100)
+	if s.Size() != 1500 {
+		t.Fatal("Observe should delegate (first step +b1)")
+	}
+	if s.Name() != "supervisor(constant-gain)" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSupervisorFailsOverOnDegradation(t *testing.T) {
+	a, _ := NewConstant(plainConfig())
+	b, _ := NewAdaptive(plainConfig())
+	s, err := NewSupervisor([]Controller{a, b}, SupervisorConfig{Window: 5, DegradeFactor: 1.5, WarmupWindows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup + good phase: cost ~1.
+	for i := 0; i < 15; i++ {
+		s.Observe(1 + 0.01*float64(i%3))
+	}
+	if s.Switches() != 0 {
+		t.Fatal("no failover expected during good performance")
+	}
+	// Sustained degradation: cost jumps 3x.
+	for i := 0; i < 10 && s.Switches() == 0; i++ {
+		s.Observe(3)
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1 after sustained degradation", s.Switches())
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active = %d, want the second controller", s.Active())
+	}
+}
+
+func TestSupervisorWarmupShieldsIncomingController(t *testing.T) {
+	a, _ := NewConstant(plainConfig())
+	b, _ := NewConstant(plainConfig())
+	s, _ := NewSupervisor([]Controller{a, b}, SupervisorConfig{Window: 4, DegradeFactor: 1.3, WarmupWindows: 2})
+	// Establish a good baseline, then degrade to force one switch.
+	for i := 0; i < 12; i++ {
+		s.Observe(1)
+	}
+	for i := 0; i < 20 && s.Switches() == 0; i++ {
+		s.Observe(5)
+	}
+	if s.Switches() != 1 {
+		t.Fatal("precondition: one switch")
+	}
+	// Still degraded, but within the new controller's warmup: no second
+	// switch during the first 2 windows.
+	for i := 0; i < 7; i++ {
+		s.Observe(5)
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d, warmup should shield the incoming controller", s.Switches())
+	}
+}
+
+func TestSupervisorWrapsAroundBank(t *testing.T) {
+	mk := func() Controller {
+		c, _ := NewConstant(plainConfig())
+		return c
+	}
+	s, _ := NewSupervisor([]Controller{mk(), mk()}, SupervisorConfig{Window: 3, DegradeFactor: 1.2, WarmupWindows: 1})
+	degradeOnce := func() {
+		before := s.Switches()
+		// Cheap baseline, then sustained blowup until it switches.
+		for i := 0; i < 6; i++ {
+			s.Observe(1)
+		}
+		for i := 0; i < 30 && s.Switches() == before; i++ {
+			s.Observe(10)
+		}
+	}
+	degradeOnce()
+	degradeOnce()
+	if s.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2", s.Switches())
+	}
+	if s.Active() != 0 {
+		t.Fatalf("active = %d, want wrap-around to 0", s.Active())
+	}
+}
+
+func TestSupervisorIgnoresBrokenMeasurements(t *testing.T) {
+	a, _ := NewConstant(plainConfig())
+	s, _ := NewSupervisor([]Controller{a}, SupervisorConfig{Window: 2, DegradeFactor: 1.5})
+	s.Observe(math.NaN())
+	s.Observe(math.Inf(1))
+	if s.Switches() != 0 {
+		t.Fatal("broken measurements must not drive switching")
+	}
+}
+
+func TestSupervisorReset(t *testing.T) {
+	a, _ := NewConstant(plainConfig())
+	b, _ := NewConstant(plainConfig())
+	s, _ := NewSupervisor([]Controller{a, b}, SupervisorConfig{Window: 3, DegradeFactor: 1.2, WarmupWindows: 1})
+	for i := 0; i < 6; i++ {
+		s.Observe(1)
+	}
+	for i := 0; i < 30 && s.Switches() == 0; i++ {
+		s.Observe(10)
+	}
+	if s.Switches() == 0 {
+		t.Fatal("precondition: a switch happened")
+	}
+	s.Reset()
+	if s.Active() != 0 || s.Switches() != 0 {
+		t.Fatal("Reset left supervisor state")
+	}
+	if s.Size() != 1000 {
+		t.Fatal("bank controllers not reset")
+	}
+}

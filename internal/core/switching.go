@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+)
+
+// phase labels the hybrid controller's operating regime.
+type phase int
+
+const (
+	phaseTransient phase = iota // constant-gain stepping toward the optimum
+	phaseSteady                 // adaptive-gain fine tuning around it
+)
+
+func (p phase) String() string {
+	if p == phaseSteady {
+		return "steady"
+	}
+	return "transient"
+}
+
+// gainMode selects the gain law of a switching extremum controller.
+type gainMode int
+
+const (
+	gainConstant gainMode = iota // g = b1 (Eq. 1 with constant gain)
+	gainAdaptive                 // g = |b2·(Δy/y)·Δx| (Eq. 3)
+	gainHybrid                   // Eq. 4: constant in transient, adaptive in steady state
+)
+
+// extremum is the shared implementation of the switching extremum
+// controllers (Eqs. 1–5 of the paper). The concrete constructors select the
+// gain mode.
+type extremum struct {
+	cfg  Config
+	mode gainMode
+
+	avg  *averager
+	dith *dither
+
+	cur      float64 // current commanded block size (continuous state)
+	havePrev bool
+	prevX    float64 // previous averaged block size x̄_{k-1}
+	prevY    float64 // previous averaged response time ȳ_{k-1}
+
+	// Phase machinery (hybrid only).
+	ph            phase
+	justSwitched  bool      // first adaptivity step after entering steady state
+	signHist      []float64 // last CriterionWindow values of sign(Δy·Δx)
+	xbarHist      []float64 // recent averaged block sizes, for Eq. 6
+	stepCount     int       // adaptivity steps taken
+	phaseSwitches int       // number of transient<->steady transitions
+}
+
+func newExtremum(cfg Config, mode gainMode) (*extremum, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &extremum{
+		cfg:  cfg,
+		mode: mode,
+		avg:  newAverager(cfg.AvgHorizon),
+		dith: newDither(cfg.DitherFactor, cfg.Seed),
+		cur:  float64(cfg.Limits.Clamp(cfg.InitialSize)),
+		ph:   phaseTransient,
+	}
+	return e, nil
+}
+
+// Size implements Controller.
+func (e *extremum) Size() int { return round(e.cur) }
+
+// Observe implements Controller: it feeds one per-block measurement into
+// the averaging pre-filter and, when the horizon fills, takes one
+// adaptivity step.
+func (e *extremum) Observe(responseTime float64) {
+	if math.IsNaN(responseTime) || math.IsInf(responseTime, 0) || responseTime < 0 {
+		// A broken measurement (failed request, clock skew) is dropped
+		// rather than poisoning the averaged state.
+		return
+	}
+	mx, my, full := e.avg.add(e.cur, responseTime)
+	if !full {
+		return
+	}
+	e.step(mx, my)
+}
+
+// step performs one adaptivity step on averaged measurements.
+func (e *extremum) step(mx, my float64) {
+	e.stepCount++
+	if !e.havePrev {
+		// The formulas take effect from the second adaptivity step; in the
+		// first, the controller increases the block by b1 (Section III-A).
+		e.prevX, e.prevY = mx, my
+		e.havePrev = true
+		e.setSize(e.cur + e.cfg.B1 + e.dith.next())
+		return
+	}
+
+	dy := my - e.prevY
+	dx := mx - e.prevX
+	sg := Sign(dy * dx)
+
+	e.prevX, e.prevY = mx, my
+	e.pushSign(sg)
+	e.pushXbar(mx)
+	if e.mode == gainHybrid && e.updatePhase() {
+		// A phase transition just parked the controller at the center of
+		// the saw-tooth; keep that decision for the next block.
+		return
+	}
+	g := e.gain(dy, dx, my)
+	e.setSize(e.cur - g*sg + e.dith.next())
+}
+
+// gain returns the step magnitude for the current mode/phase.
+func (e *extremum) gain(dy, dx, y float64) float64 {
+	adaptive := func() float64 {
+		if y <= 0 {
+			return 0
+		}
+		return math.Abs(e.cfg.B2 * dy / y * dx)
+	}
+	switch e.mode {
+	case gainConstant:
+		return e.cfg.B1
+	case gainAdaptive:
+		return adaptive()
+	default: // gainHybrid — Eq. 4
+		if e.ph == phaseSteady {
+			if e.justSwitched {
+				// Hand-off step: the last Δx still has the transient's
+				// magnitude b1, which combined with measurement noise
+				// would fire one large, randomly directed adaptive step.
+				// Hold position instead; the dither restarts probing at
+				// its own small scale.
+				e.justSwitched = false
+				return 0
+			}
+			// The steady-state refinement must never out-step the
+			// transient policy it replaced.
+			if g := adaptive(); g < e.cfg.B1 {
+				return g
+			}
+			return e.cfg.B1
+		}
+		return e.cfg.B1
+	}
+}
+
+func (e *extremum) setSize(x float64) {
+	e.cur = e.cfg.Limits.ClampF(x)
+}
+
+func (e *extremum) pushSign(sg float64) {
+	e.signHist = append(e.signHist, sg)
+	if n := e.cfg.CriterionWindow; len(e.signHist) > n {
+		e.signHist = e.signHist[len(e.signHist)-n:]
+	}
+}
+
+func (e *extremum) pushXbar(x float64) {
+	e.xbarHist = append(e.xbarHist, x)
+	if n := 2 * e.cfg.CriterionWindow; len(e.xbarHist) > n {
+		e.xbarHist = e.xbarHist[len(e.xbarHist)-n:]
+	}
+}
+
+// updatePhase applies the phase-transition logic of the hybrid controller:
+// the transition criterion (Eq. 5 or Eq. 6), the optional switch-back of
+// the "hybrid-s" flavor, and the optional periodic reset for long-lived
+// queries (Fig. 8). It reports whether the transition parked the
+// controller at a new block size that should stand for the next step.
+func (e *extremum) updatePhase() bool {
+	if e.cfg.ResetPeriod > 0 && e.stepCount%e.cfg.ResetPeriod == 0 {
+		if e.ph == phaseSteady {
+			e.phaseSwitches++
+		}
+		e.ph = phaseTransient
+		e.justSwitched = false
+		e.signHist = e.signHist[:0]
+		e.xbarHist = e.xbarHist[:0]
+		return false
+	}
+	switch e.ph {
+	case phaseTransient:
+		if e.steadyStateDetected() {
+			e.ph = phaseSteady
+			e.justSwitched = true
+			e.phaseSwitches++
+			// The saw-tooth of the constant-gain phase straddles the
+			// stability point; its center — the mean recent decision — is
+			// the best estimate of the optimum, while the current value
+			// is by construction an extreme of the oscillation. Park at
+			// the center.
+			if n := e.cfg.CriterionWindow; len(e.xbarHist) >= n {
+				e.setSize(mean(e.xbarHist[len(e.xbarHist)-n:]))
+				return true
+			}
+		}
+	case phaseSteady:
+		if e.cfg.AllowSwitchBack && e.driftDetected() {
+			e.ph = phaseTransient
+			e.justSwitched = false
+			e.phaseSwitches++
+			e.signHist = e.signHist[:0]
+		}
+	}
+	return false
+}
+
+// steadyStateDetected evaluates the configured transition criterion.
+func (e *extremum) steadyStateDetected() bool {
+	n := e.cfg.CriterionWindow
+	switch e.cfg.Criterion {
+	case CriterionWindowedMean:
+		// Eq. 6: the mean block size over two consecutive disjoint windows
+		// of length n' is (almost) unchanged.
+		if len(e.xbarHist) < 2*n {
+			return false
+		}
+		h := e.xbarHist[len(e.xbarHist)-2*n:]
+		recent := mean(h[n:])
+		older := mean(h[:n])
+		return math.Abs(recent-older) <= e.eq6Threshold()
+	default:
+		// Eq. 5: the signs of Δy·Δx over the last n' steps are balanced —
+		// the constant-gain controller oscillates around the optimum in a
+		// saw-tooth manner, flipping direction (almost) every step.
+		if len(e.signHist) < n {
+			return false
+		}
+		return math.Abs(sum(e.signHist)) <= float64(e.cfg.CriterionThreshold)
+	}
+}
+
+// driftDetected reports a consistent drift of the sign statistic: all n'
+// recent steps move the same way, which the hybrid-s flavor takes as the
+// optimum having moved (re-entering the transient phase).
+func (e *extremum) driftDetected() bool {
+	n := e.cfg.CriterionWindow
+	if len(e.signHist) < n {
+		return false
+	}
+	return math.Abs(sum(e.signHist)) >= float64(n)
+}
+
+func (e *extremum) eq6Threshold() float64 {
+	if e.cfg.Eq6Threshold > 0 {
+		return e.cfg.Eq6Threshold
+	}
+	den := float64(e.cfg.CriterionWindow - 1)
+	if den <= 0 {
+		den = 1
+	}
+	return e.cfg.B1 / den
+}
+
+// Reset implements Resetter: it clears all adaptation state while keeping
+// the configuration, returning the controller to its initial block size.
+func (e *extremum) Reset() {
+	e.avg.reset()
+	e.cur = float64(e.cfg.Limits.Clamp(e.cfg.InitialSize))
+	e.havePrev = false
+	e.prevX, e.prevY = 0, 0
+	e.ph = phaseTransient
+	e.justSwitched = false
+	e.signHist = e.signHist[:0]
+	e.xbarHist = e.xbarHist[:0]
+	e.stepCount = 0
+	e.phaseSwitches = 0
+}
+
+// Steps returns the number of adaptivity steps taken so far.
+func (e *extremum) Steps() int { return e.stepCount }
+
+// InSteadyState reports whether a hybrid controller currently applies the
+// adaptive gain. It is always false for the other modes.
+func (e *extremum) InSteadyState() bool {
+	return e.mode == gainHybrid && e.ph == phaseSteady
+}
+
+// PhaseSwitches returns how many transient<->steady transitions occurred.
+func (e *extremum) PhaseSwitches() int { return e.phaseSwitches }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Constant is the constant-gain switching extremum controller: the step is
+// always b1 tuples (plus dither); only its direction adapts (Eq. 1 with
+// g = b1). It converges from far away but oscillates around the optimum.
+type Constant struct{ extremum }
+
+// NewConstant builds a constant-gain controller.
+func NewConstant(cfg Config) (*Constant, error) {
+	e, err := newExtremum(cfg, gainConstant)
+	if err != nil {
+		return nil, err
+	}
+	return &Constant{extremum: *e}, nil
+}
+
+// Name implements Controller.
+func (c *Constant) Name() string { return "constant-gain" }
+
+// Adaptive is the adaptive-gain switching extremum controller: the step is
+// proportional to the product of the relative performance change and the
+// block-size change (Eq. 3). Accurate near the optimum, fragile far away.
+type Adaptive struct{ extremum }
+
+// NewAdaptive builds an adaptive-gain controller.
+func NewAdaptive(cfg Config) (*Adaptive, error) {
+	e, err := newExtremum(cfg, gainAdaptive)
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{extremum: *e}, nil
+}
+
+// Name implements Controller.
+func (a *Adaptive) Name() string { return "adaptive-gain" }
+
+// Hybrid is the paper's novel controller (Eq. 4): constant gain during the
+// transient phase, adaptive gain once the phase-transition criterion
+// declares steady state. Optional flavors: switch-back ("hybrid-s") and
+// periodic reset for long-lived queries.
+type Hybrid struct{ extremum }
+
+// NewHybrid builds a hybrid controller.
+func NewHybrid(cfg Config) (*Hybrid, error) {
+	e, err := newExtremum(cfg, gainHybrid)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{extremum: *e}, nil
+}
+
+// Name implements Controller.
+func (h *Hybrid) Name() string {
+	switch {
+	case h.cfg.ResetPeriod > 0:
+		return "hybrid-periodic-reset"
+	case h.cfg.AllowSwitchBack:
+		return "hybrid-s"
+	case h.cfg.Criterion == CriterionWindowedMean:
+		return "hybrid-eq6"
+	default:
+		return "hybrid"
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TraceEntry records one observation/decision pair of a traced controller.
+type TraceEntry struct {
+	// Block is the 1-based index of the observation.
+	Block int
+	// Size is the block size that was in force when the measurement
+	// arrived.
+	Size int
+	// Measurement is the value passed to Observe.
+	Measurement float64
+	// NextSize is the controller's decision after the observation.
+	NextSize int
+	// SteadyState is true when a hybrid controller was in its
+	// steady-state phase after the observation (false for other types).
+	SteadyState bool
+}
+
+// Tracer wraps a controller and records every observation and decision —
+// the observability hook behind `wsquery -trace` and post-mortem tuning.
+type Tracer struct {
+	inner   Controller
+	entries []TraceEntry
+	cap     int
+	seen    int // total observations, independent of trimming
+}
+
+// NewTracer wraps inner. maxEntries bounds memory for long-lived queries
+// (0 means unbounded); beyond it the oldest entries are dropped.
+func NewTracer(inner Controller, maxEntries int) *Tracer {
+	return &Tracer{inner: inner, cap: maxEntries}
+}
+
+// Size implements Controller.
+func (t *Tracer) Size() int { return t.inner.Size() }
+
+// Observe implements Controller.
+func (t *Tracer) Observe(y float64) {
+	size := t.inner.Size()
+	t.inner.Observe(y)
+	t.seen++
+	e := TraceEntry{
+		Block:       t.seen,
+		Size:        size,
+		Measurement: y,
+		NextSize:    t.inner.Size(),
+	}
+	type steady interface{ InSteadyState() bool }
+	if s, ok := t.inner.(steady); ok {
+		e.SteadyState = s.InSteadyState()
+	}
+	t.entries = append(t.entries, e)
+	if t.cap > 0 && len(t.entries) > t.cap {
+		t.entries = t.entries[len(t.entries)-t.cap:]
+	}
+}
+
+// Name implements Controller.
+func (t *Tracer) Name() string { return t.inner.Name() + "+trace" }
+
+// Unwrap returns the wrapped controller.
+func (t *Tracer) Unwrap() Controller { return t.inner }
+
+// Entries returns the recorded trace (shared slice; do not mutate).
+func (t *Tracer) Entries() []TraceEntry { return t.entries }
+
+// Reset implements Resetter: it clears the trace and resets the inner
+// controller when it supports resetting.
+func (t *Tracer) Reset() {
+	t.entries = nil
+	t.seen = 0
+	if r, ok := t.inner.(Resetter); ok {
+		r.Reset()
+	}
+}
+
+// WriteCSV dumps the trace as CSV with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"block", "size", "measurement", "next_size", "steady_state"}); err != nil {
+		return err
+	}
+	for _, e := range t.entries {
+		rec := []string{
+			strconv.Itoa(e.Block),
+			strconv.Itoa(e.Size),
+			strconv.FormatFloat(e.Measurement, 'g', -1, 64),
+			strconv.Itoa(e.NextSize),
+			strconv.FormatBool(e.SteadyState),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String summarizes the trace.
+func (t *Tracer) String() string {
+	if len(t.entries) == 0 {
+		return fmt.Sprintf("trace of %s: empty", t.inner.Name())
+	}
+	last := t.entries[len(t.entries)-1]
+	return fmt.Sprintf("trace of %s: %d blocks, last size %d", t.inner.Name(), len(t.entries), last.NextSize)
+}

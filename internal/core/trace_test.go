@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsDecisions(t *testing.T) {
+	inner, err := NewConstant(plainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inner, 0)
+	if tr.Size() != 1000 {
+		t.Fatal("Size should pass through")
+	}
+	tr.Observe(100)
+	tr.Observe(80)
+	entries := tr.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	if entries[0].Size != 1000 || entries[0].NextSize != 1500 {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Size != 1500 || entries[1].NextSize != 2000 {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+	if entries[1].Measurement != 80 {
+		t.Fatalf("measurement = %g", entries[1].Measurement)
+	}
+	if !strings.HasSuffix(tr.Name(), "+trace") {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	if tr.Unwrap() != Controller(inner) {
+		t.Fatal("Unwrap should return the inner controller")
+	}
+}
+
+func TestTracerCapsEntries(t *testing.T) {
+	inner, _ := NewConstant(plainConfig())
+	tr := NewTracer(inner, 5)
+	for i := 0; i < 20; i++ {
+		tr.Observe(float64(100 - i))
+	}
+	if len(tr.Entries()) != 5 {
+		t.Fatalf("entries = %d, want cap 5", len(tr.Entries()))
+	}
+	// Oldest dropped: the remaining blocks are the last five.
+	if got := tr.Entries()[0].Block; got != 16 {
+		t.Fatalf("first retained block = %d, want 16", got)
+	}
+}
+
+func TestTracerSteadyStateFlag(t *testing.T) {
+	inner, _ := NewHybrid(plainConfig())
+	tr := NewTracer(inner, 0)
+	f := vProfile(3000)
+	for i := 0; i < 40; i++ {
+		tr.Observe(f(tr.Size()))
+	}
+	sawSteady := false
+	for _, e := range tr.Entries() {
+		if e.SteadyState {
+			sawSteady = true
+		}
+	}
+	if !sawSteady {
+		t.Fatal("hybrid steady state never surfaced in the trace")
+	}
+}
+
+func TestTracerCSV(t *testing.T) {
+	inner, _ := NewConstant(plainConfig())
+	tr := NewTracer(inner, 0)
+	tr.Observe(100)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "block,size,measurement,next_size,steady_state\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,1000,100,1500,false") {
+		t.Fatalf("csv row wrong: %q", out)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	inner, _ := NewConstant(plainConfig())
+	tr := NewTracer(inner, 0)
+	tr.Observe(100)
+	tr.Reset()
+	if len(tr.Entries()) != 0 {
+		t.Fatal("trace not cleared")
+	}
+	if tr.Size() != 1000 {
+		t.Fatal("inner controller not reset")
+	}
+	if got := tr.String(); !strings.Contains(got, "empty") {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"wsopt/internal/core"
+	"wsopt/internal/profile"
+	"wsopt/internal/sim"
+	"wsopt/internal/stats"
+	"wsopt/internal/sysid"
+)
+
+func init() {
+	register("ablation-averaging", "effect of the averaging horizon n on the hybrid controller", ablationAveraging)
+	register("ablation-dither", "effect of the dither factor df on the hybrid controller", ablationDither)
+	register("ablation-criterion", "effect of the steady-state window n' and threshold s", ablationCriterion)
+	register("ablation-reset", "effect of the periodic reset period on long-lived switching queries", ablationReset)
+	register("ablation-samples", "effect of the identification sample count on model-based control", ablationSamples)
+	register("ablation-mimd", "MIMD multiplicative baseline vs the additive controllers", ablationMIMD)
+	register("ablation-metric", "per-tuple vs raw per-block feedback: why the controller must observe per-tuple cost", ablationMetric)
+}
+
+// ablationMetric demonstrates the footgun the paper's Section III-A
+// defuses by defining y as "response time or, equivalently, the per tuple
+// cost": raw per-block time is monotonically increasing in the block
+// size, so a controller minimizing it drives the size to the lower limit
+// and pays the full per-request overhead on every tiny block.
+func ablationMetric(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := ablationSpec()
+	best := groundTruth(spec, opts)
+
+	run := func(metric sim.Metric) (norm float64, finalSize float64) {
+		var totals, finals []float64
+		for r := 0; r < opts.Reps; r++ {
+			seed := opts.Seed + int64(r)*7919
+			ctl := mustHybrid(baseConfig(spec, seed))
+			res := sim.RunTuples(spec.New(seed), ctl, spec.Tuples, sim.Options{Metric: metric})
+			totals = append(totals, res.TotalMS)
+			finals = append(finals, float64(res.Sizes[len(res.Sizes)-1]))
+		}
+		return stats.Mean(totals) / best.MeanMS, stats.Mean(finals)
+	}
+	perTuple, ptSize := run(sim.MetricPerTuple)
+	perBlock, pbSize := run(sim.MetricPerBlock)
+
+	rep := Report{
+		ID:      "ablation-metric",
+		Title:   fmt.Sprintf("hybrid on %s under the two feedback metrics", spec.Name),
+		Columns: []string{"metric", "normalized resp. time", "mean final size"},
+		Rows: [][]string{
+			{"per-tuple (paper)", f3(perTuple), f1(ptSize)},
+			{"per-block (naive)", f3(perBlock), f1(pbSize)},
+		},
+	}
+	rep.Notes = append(rep.Notes,
+		"raw block time grows with the block, so minimizing it collapses the size toward the lower limit")
+	return rep
+}
+
+// ablationSpec is the workload used for the controller ablations: conf2.2,
+// the configuration with an interior optimum and many local minima, where
+// parameter choices matter most.
+func ablationSpec() profile.Spec { return profile.Conf22() }
+
+func ablationAveraging(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := ablationSpec()
+	best := groundTruth(spec, opts)
+	rep := Report{
+		ID:      "ablation-averaging",
+		Title:   fmt.Sprintf("hybrid on %s while varying the averaging horizon n", spec.Name),
+		Columns: []string{"n", "normalized resp. time"},
+	}
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		n := n
+		total := meanTotal(spec, func(seed int64) core.Controller {
+			cfg := baseConfig(spec, seed)
+			cfg.AvgHorizon = n
+			return mustHybrid(cfg)
+		}, opts)
+		rep.Rows = append(rep.Rows, []string{strconv.Itoa(n), f3(total / best.MeanMS)})
+	}
+	rep.Notes = append(rep.Notes, "small n reacts fast but chases noise; large n smooths but responds slowly (paper default n=3)")
+	return rep
+}
+
+func ablationDither(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := ablationSpec()
+	best := groundTruth(spec, opts)
+	rep := Report{
+		ID:      "ablation-dither",
+		Title:   fmt.Sprintf("hybrid on %s while varying the dither factor df", spec.Name),
+		Columns: []string{"df", "normalized resp. time"},
+	}
+	for _, df := range []float64{0, 10, 25, 100, 400} {
+		df := df
+		total := meanTotal(spec, func(seed int64) core.Controller {
+			cfg := baseConfig(spec, seed)
+			cfg.DitherFactor = df
+			return mustHybrid(cfg)
+		}, opts)
+		rep.Rows = append(rep.Rows, []string{strconv.Itoa(int(df)), f3(total / best.MeanMS)})
+	}
+	rep.Notes = append(rep.Notes, "dither keeps probing a drifting optimum; too much becomes steady-state wobble (paper default df=25)")
+	return rep
+}
+
+func ablationCriterion(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := ablationSpec()
+	best := groundTruth(spec, opts)
+	rep := Report{
+		ID:      "ablation-criterion",
+		Title:   fmt.Sprintf("hybrid on %s while varying the steady-state detector (n', s)", spec.Name),
+		Columns: []string{"n'", "s", "normalized resp. time"},
+	}
+	for _, c := range []struct{ n, s int }{{3, 1}, {5, 1}, {5, 3}, {7, 1}, {9, 3}} {
+		c := c
+		total := meanTotal(spec, func(seed int64) core.Controller {
+			cfg := baseConfig(spec, seed)
+			cfg.CriterionWindow = c.n
+			cfg.CriterionThreshold = c.s
+			return mustHybrid(cfg)
+		}, opts)
+		rep.Rows = append(rep.Rows, []string{strconv.Itoa(c.n), strconv.Itoa(c.s), f3(total / best.MeanMS)})
+	}
+	rep.Notes = append(rep.Notes, "a loose detector (small n', large s) switches to adaptive gain before the optimum region is reached (paper default n'=5, s=1)")
+	return rep
+}
+
+func ablationReset(opts Options) Report {
+	opts = opts.withDefaults()
+	steps := opts.steps(420)
+	n := core.DefaultConfig().AvgHorizon
+	rep := Report{
+		ID:      "ablation-reset",
+		Title:   "mean per-tuple cost on the Fig. 8 switching workload while varying the hybrid reset period",
+		Columns: []string{"reset period", "mean per-tuple ms"},
+	}
+	for _, period := range []int{0, 25, 50, 100, 200} {
+		period := period
+		totalMS, tuples := 0.0, 0
+		for r := 0; r < opts.Reps; r++ {
+			seed := opts.Seed + int64(r)*7919
+			p, err := profile.Fig8Profile(n, seed)
+			if err != nil {
+				panic(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Limits = core.Limits{Min: 100, Max: 20000}
+			cfg.ResetPeriod = period
+			cfg.Seed = seed
+			ctl := mustHybrid(cfg)
+			res := runBlocks(p, ctl, steps*n)
+			totalMS += res.TotalMS
+			tuples += res.Tuples
+		}
+		rep.Rows = append(rep.Rows, []string{strconv.Itoa(period), f3(totalMS / float64(tuples))})
+	}
+	rep.Notes = append(rep.Notes, "0 = never reset: the steady-state hybrid cannot follow profile switches; very short periods forfeit the steady-state refinement (paper uses 50)")
+	return rep
+}
+
+func ablationSamples(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := profile.Conf21()
+	best := groundTruth(spec, opts)
+	rep := Report{
+		ID:      "ablation-samples",
+		Title:   fmt.Sprintf("parabolic model-based control on %s while varying the identification sample count", spec.Name),
+		Columns: []string{"samples", "normalized resp. time", "failed fits"},
+	}
+	for _, k := range []int{4, 6, 10, 16} {
+		k := k
+		var totals float64
+		var used, failed int
+		for r := 0; r < opts.Reps; r++ {
+			seed := opts.Seed + int64(r)*7919
+			mb, err := sysid.NewModelBased(sysid.ModelBasedConfig{Limits: spec.Limits, Kind: sysid.ModelParabolic, Samples: k})
+			if err != nil {
+				panic(err)
+			}
+			res := runTuples(spec.New(seed), mb, spec.Tuples)
+			if !mb.UsefulModel() {
+				failed++
+				continue
+			}
+			totals += res.TotalMS
+			used++
+		}
+		norm := "-"
+		if used > 0 {
+			norm = f3(totals / float64(used) / best.MeanMS)
+		}
+		rep.Rows = append(rep.Rows, []string{strconv.Itoa(k), norm, strconv.Itoa(failed)})
+	}
+	rep.Notes = append(rep.Notes, "more samples stabilize the fit but spend more of the query off-optimum (paper uses 6)")
+	return rep
+}
+
+func ablationMIMD(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := ablationSpec()
+	best := groundTruth(spec, opts)
+	rep := Report{
+		ID:      "ablation-mimd",
+		Title:   fmt.Sprintf("MIMD multiplicative controller vs additive controllers on %s", spec.Name),
+		Columns: []string{"controller", "normalized resp. time"},
+	}
+	add := func(name string, mk func(seed int64) core.Controller) {
+		total := meanTotal(spec, mk, opts)
+		rep.Rows = append(rep.Rows, []string{name, f3(total / best.MeanMS)})
+	}
+	add("constant gain", func(seed int64) core.Controller { return mustConstant(baseConfig(spec, seed)) })
+	add("hybrid", func(seed int64) core.Controller { return mustHybrid(baseConfig(spec, seed)) })
+	for _, g := range []float64{1.25, 1.5, 2.0} {
+		g := g
+		add(fmt.Sprintf("MIMD g=%.2f", g), func(seed int64) core.Controller {
+			m, err := core.NewMIMD(core.MIMDConfig{InitialSize: 1000, Gain: g, Limits: spec.Limits, AvgHorizon: 3, ScaleWindow: 4})
+			if err != nil {
+				panic(err)
+			}
+			return m
+		})
+	}
+	rep.Notes = append(rep.Notes, "the paper found MIMD behaves like the adaptive-gain scheme in the problematic cases, 'which is unacceptable'")
+	return rep
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strconv"
+
+	"wsopt/internal/plot"
+)
+
+// Chart renders the report's numeric columns as an ASCII line chart (the
+// first column is the x-axis and is dropped). Reports without at least
+// two numeric rows per series render as "(no data)". Trajectory figures
+// (fig4–fig9) and profile sweeps (fig1–fig3) chart naturally; tables do
+// not.
+func (r Report) Chart(width, height int) string {
+	if len(r.Columns) < 2 {
+		return "(no data)\n"
+	}
+	series := make([]plot.Series, 0, len(r.Columns)-1)
+	for c := 1; c < len(r.Columns); c++ {
+		var ys []float64
+		numeric := true
+		for _, row := range r.Rows {
+			cell := row[c]
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if !numeric || len(ys) < 2 {
+			continue
+		}
+		series = append(series, plot.Series{Name: r.Columns[c], Ys: ys})
+	}
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	return plot.Chart(series, width, height)
+}
+
+// Chartable reports whether the report has at least one numeric series
+// worth charting.
+func (r Report) Chartable() bool {
+	return r.Chart(16, 4) != "(no data)\n"
+}

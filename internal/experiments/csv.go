@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV renders the report's table as CSV (notes become trailing
+// comment lines, prefixed with '#').
+func (r Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveAll runs every registered experiment and writes one file per report
+// into dir ("<id>.csv" or "<id>.txt" depending on format). It returns the
+// written paths.
+func SaveAll(dir, format string, opts Options) ([]string, error) {
+	if format != "csv" && format != "txt" {
+		return nil, fmt.Errorf("experiments: unknown format %q (want csv or txt)", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, id := range IDs() {
+		rep, err := Run(id, opts)
+		if err != nil {
+			return paths, err
+		}
+		path := filepath.Join(dir, id+"."+format)
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if format == "csv" {
+			err = rep.WriteCSV(f)
+		} else {
+			_, err = io.WriteString(f, rep.String())
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, fmt.Errorf("experiments: write %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// MarkdownTable renders the report as a GitHub-flavoured markdown table,
+// convenient for pasting measured numbers into EXPERIMENTS.md.
+func (r Report) MarkdownTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s** — %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Columns)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wsopt/internal/core"
+	"wsopt/internal/profile"
+	"wsopt/internal/sysid"
+)
+
+func init() {
+	register("extension-selftuning",
+		"future-work controllers (RLS self-tuning, setpoint tracking, model+hybrid) vs the paper's hybrid", extensionSelfTuning)
+}
+
+// extensionSelfTuning evaluates the paper's future-work directions —
+// self-tuning extremum control via recursive least squares, setpoint
+// tracking, and the model-seeded hybrid — against the published hybrid
+// controller on the drifting conf2.2 workload.
+func extensionSelfTuning(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := profile.Conf22()
+	best := groundTruth(spec, opts)
+
+	type entry struct {
+		name string
+		mk   func(seed int64) core.Controller
+	}
+	entries := []entry{
+		{"hybrid (paper)", func(seed int64) core.Controller {
+			return mustHybrid(baseConfig(spec, seed))
+		}},
+		{"model + hybrid (Fig. 9)", func(seed int64) core.Controller {
+			mb, err := sysid.NewModelBased(sysid.ModelBasedConfig{
+				Limits: spec.Limits,
+				Kind:   sysid.ModelParabolic,
+				Refine: func(initial int) (core.Controller, error) {
+					cfg := baseConfig(spec, seed+1)
+					cfg.InitialSize = initial
+					return core.NewHybrid(cfg)
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return mb
+		}},
+		{"model + re-identify", func(seed int64) core.Controller {
+			mb, err := sysid.NewModelBased(sysid.ModelBasedConfig{
+				Limits:              spec.Limits,
+				Kind:                sysid.ModelParabolic,
+				ReidentifyThreshold: 0.5,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return mb
+		}},
+		{"self-tuning RLS", func(seed int64) core.Controller {
+			st, err := sysid.NewSelfTuning(sysid.SelfTuningConfig{
+				Limits: spec.Limits,
+				Kind:   sysid.ModelParabolic,
+				Lambda: 0.97,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return st
+		}},
+		{"setpoint tracking", func(seed int64) core.Controller {
+			st, err := sysid.NewSetpointTracking(sysid.SetpointConfig{
+				Limits: spec.Limits,
+				Kind:   sysid.ModelParabolic,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return st
+		}},
+	}
+
+	rep := Report{
+		ID:      "extension-selftuning",
+		Title:   fmt.Sprintf("future-work controllers on the drifting %s workload", spec.Name),
+		Columns: []string{"controller", "normalized resp. time"},
+	}
+	for _, e := range entries {
+		total := meanTotal(spec, e.mk, opts)
+		rep.Rows = append(rep.Rows, []string{e.name, f3(total / best.MeanMS)})
+	}
+	rep.Notes = append(rep.Notes,
+		"the paper: 'initial results of simulations with self-tuning controllers, which merge the hybrid scheme with model-based solutions, are promising'")
+	return rep
+}

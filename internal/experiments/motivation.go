@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"wsopt/internal/core"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+	"wsopt/internal/sim"
+)
+
+func init() {
+	register("fig1", "response time vs block size under 1+{0,1,2,5,10} concurrent web-server jobs (Fig. 1)", fig1)
+	register("fig2a", "response time vs block size, 1 vs 2 concurrent queries, WAN (Fig. 2a)", fig2a)
+	register("fig2b", "response time vs block size, 1/2/3 concurrent queries with memory load, LAN (Fig. 2b)", fig2b)
+}
+
+// motivationSweep sweeps fixed block sizes for a family of cost models and
+// renders one total-response-time series per family member.
+func motivationSweep(id, title string, labels []string, models []netsim.CostModel, tuples int, limits core.Limits, opts Options) Report {
+	opts = opts.withDefaults()
+	sizes := sim.SizeGrid(limits.Min, limits.Max, (limits.Max-limits.Min)/(opts.SweepPoints-1))
+
+	rep := Report{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"block"}, labels...),
+	}
+	series := make([][]sim.SweepPoint, len(models))
+	for mi, m := range models {
+		model := m // capture
+		series[mi] = sim.FixedSweep(func(seed int64) profile.Profile {
+			return profile.New(labels[mi], model, tuples, seed)
+		}, tuples, sizes, opts.Reps, opts.Seed+int64(mi))
+	}
+	for si, size := range sizes {
+		row := []string{strconv.Itoa(size)}
+		for mi := range models {
+			row = append(row, f1(series[mi][si].MeanMS/1000))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for mi, m := range models {
+		opt, _ := m.OptimalFixedSize(tuples, limits, 50)
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: optimum fixed size = %d tuples", labels[mi], opt))
+	}
+	rep.Notes = append(rep.Notes, "totals in seconds; rows are mean over replicated runs")
+	return rep
+}
+
+// fig1 reproduces the motivating observation that concurrent web-server
+// jobs bend the profile and move the optimum left (10K -> 9K -> 8K tuples
+// for 1, 2 and 5 concurrent jobs).
+func fig1(opts Options) Report {
+	jobs := []int{0, 1, 2, 5, 10}
+	labels := make([]string, len(jobs))
+	models := make([]netsim.CostModel, len(jobs))
+	for i, j := range jobs {
+		labels[i] = fmt.Sprintf("1+%d jobs", j)
+		models[i] = profile.Fig1Model(j)
+	}
+	return motivationSweep("fig1",
+		"response time vs block size under concurrent web-server jobs",
+		labels, models, profile.CustomerTuples, core.Limits{Min: 100, Max: 10000}, opts)
+}
+
+// fig2a reproduces the WAN concurrent-queries degradation.
+func fig2a(opts Options) Report {
+	queries := []int{1, 2}
+	labels := make([]string, len(queries))
+	models := make([]netsim.CostModel, len(queries))
+	for i, q := range queries {
+		labels[i] = fmt.Sprintf("%d queries", q)
+		models[i] = profile.Fig2aModel(q)
+	}
+	return motivationSweep("fig2a",
+		"response time vs block size under concurrent queries (WAN)",
+		labels, models, profile.CustomerTuples, core.Limits{Min: 100, Max: 10000}, opts)
+}
+
+// fig2b reproduces the LAN memory-loaded case where a block size chosen
+// for two concurrent queries costs an order of magnitude over the optimum
+// once a third query arrives.
+func fig2b(opts Options) Report {
+	queries := []int{1, 2, 3}
+	labels := make([]string, len(queries))
+	models := make([]netsim.CostModel, len(queries))
+	for i, q := range queries {
+		labels[i] = fmt.Sprintf("%d queries", q)
+		models[i] = profile.Fig2bModel(q)
+	}
+	rep := motivationSweep("fig2b",
+		"response time vs block size under concurrent queries with memory load (LAN)",
+		labels, models, profile.CustomerTuples, core.Limits{Min: 100, Max: 10000}, opts)
+
+	// The paper's punchline: take the 2-query optimum, price it under
+	// 3-query load.
+	m2, m3 := profile.Fig2bModel(2), profile.Fig2bModel(3)
+	lim := core.Limits{Min: 100, Max: 10000}
+	opt2, _ := m2.OptimalFixedSize(profile.CustomerTuples, lim, 50)
+	opt3, t3 := m3.OptimalFixedSize(profile.CustomerTuples, lim, 50)
+	at2 := m3.ExpectedTotalMS(profile.CustomerTuples, opt2)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"2-query optimum (%d tuples) under 3-query load costs %.1fx the 3-query optimum (%d tuples)",
+		opt2, at2/t3, opt3))
+	return rep
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"wsopt/internal/core"
+	"wsopt/internal/profile"
+	"wsopt/internal/sim"
+)
+
+func init() {
+	register("fig3", "WAN fixed-size profiles conf1.1/1.2/1.3, mean and std (Fig. 3)", fig3)
+	register("fig4a", "controller trajectories on conf1.1 (Fig. 4a)", trajectoryFig("fig4a", profile.Conf11, 45))
+	register("fig4b", "controller trajectories on conf1.2 (Fig. 4b)", trajectoryFig("fig4b", profile.Conf12, 30))
+	register("fig4c", "controller trajectories on conf1.3 (Fig. 4c)", trajectoryFig("fig4c", profile.Conf13, 25))
+	register("fig5", "impact of b1 on constant-gain convergence, conf1.1 (Fig. 5)", fig5)
+	register("table1", "normalized response times of static and adaptive techniques, WAN (Table I)", table1)
+}
+
+// fig3 sweeps fixed sizes on the three WAN configurations and reports
+// mean and standard deviation, reproducing Fig. 3's error-bar curves.
+func fig3(opts Options) Report {
+	opts = opts.withDefaults()
+	specs := []profile.Spec{profile.Conf11(), profile.Conf12(), profile.Conf13()}
+	sizes := sweepSizes(specs[0], opts.SweepPoints)
+
+	rep := Report{
+		ID:    "fig3",
+		Title: "WAN fixed-size profiles (mean total seconds, std)",
+		Columns: []string{"block",
+			"conf1.1 mean", "conf1.1 std",
+			"conf1.2 mean", "conf1.2 std",
+			"conf1.3 mean", "conf1.3 std"},
+	}
+	sweeps := make([][]sim.SweepPoint, len(specs))
+	for i, spec := range specs {
+		s := spec
+		sweeps[i] = sim.FixedSweep(func(seed int64) profile.Profile { return s.New(seed) },
+			s.Tuples, sizes, opts.Reps, opts.Seed+int64(i))
+	}
+	for si, size := range sizes {
+		row := []string{strconv.Itoa(size)}
+		for i := range specs {
+			row = append(row, f1(sweeps[i][si].MeanMS/1000), f1(sweeps[i][si].StdMS/1000))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for i, spec := range specs {
+		best := sim.BestPoint(sweeps[i])
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: measured optimum fixed size = %d tuples (%.1f s)",
+			spec.Name, best.Size, best.MeanMS/1000))
+	}
+	return rep
+}
+
+// trajectoryFig builds a Fig. 4-style experiment: mean block-size
+// decisions of the constant, adaptive and hybrid controllers.
+func trajectoryFig(id string, specFn func() profile.Spec, defSteps int) Runner {
+	return func(opts Options) Report {
+		opts = opts.withDefaults()
+		spec := specFn()
+		steps := opts.steps(defSteps)
+
+		mk := func(kind string) func(seed int64) core.Controller {
+			return func(seed int64) core.Controller {
+				cfg := baseConfig(spec, seed)
+				switch kind {
+				case "constant":
+					return mustConstant(cfg)
+				case "adaptive":
+					return mustAdaptive(cfg)
+				default:
+					return mustHybrid(cfg)
+				}
+			}
+		}
+		series := [][]float64{
+			trajectory(spec, mk("constant"), steps, opts),
+			trajectory(spec, mk("adaptive"), steps, opts),
+			trajectory(spec, mk("hybrid"), steps, opts),
+		}
+		cols, rows := seriesTable("step", []string{"constant gain", "adaptive gain", "hybrid"}, series, 1)
+		return Report{
+			ID:      id,
+			Title:   fmt.Sprintf("average block-size decisions on %s (x0=1000, b1=%g)", spec.Name, spec.B1),
+			Columns: cols,
+			Rows:    rows,
+			Notes: []string{
+				"hybrid should track the best of the other two with fewer oscillations",
+			},
+		}
+	}
+}
+
+// fig5 shows how the constant gain b1 trades convergence speed against
+// steady-state oscillation on conf1.1.
+func fig5(opts Options) Report {
+	opts = opts.withDefaults()
+	spec := profile.Conf11()
+	steps := opts.steps(30)
+	gains := []float64{800, 1200, 2000}
+
+	series := make([][]float64, len(gains))
+	names := make([]string, len(gains))
+	for i, b1 := range gains {
+		g := b1
+		names[i] = fmt.Sprintf("b1=%d", int(b1))
+		series[i] = trajectory(spec, func(seed int64) core.Controller {
+			cfg := baseConfig(spec, seed)
+			cfg.B1 = g
+			return mustConstant(cfg)
+		}, steps, opts)
+	}
+	cols, rows := seriesTable("step", names, series, 1)
+	return Report{
+		ID:      "fig5",
+		Title:   "impact of b1 on constant-gain convergence speed (conf1.1)",
+		Columns: cols,
+		Rows:    rows,
+		Notes:   []string{"larger b1 converges faster from a distant start but oscillates more"},
+	}
+}
+
+// table1 reproduces Table I: response times normalized to the post-mortem
+// optimum fixed size, for a static 1000-tuple size and the four adaptive
+// techniques, on the three WAN configurations.
+func table1(opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{
+		ID:      "table1",
+		Title:   "normalized response times (1.0 = post-mortem optimum fixed size)",
+		Columns: []string{"config", "1000 tuples", "constant", "adaptive", "hybrid", "hybrid-s"},
+	}
+	for _, spec := range []profile.Spec{profile.Conf11(), profile.Conf12(), profile.Conf13()} {
+		spec := spec
+		best := groundTruth(spec, opts)
+
+		static1000 := meanTotal(spec, func(int64) core.Controller { return core.NewStatic(1000) }, opts)
+		constant := meanTotal(spec, func(seed int64) core.Controller { return mustConstant(baseConfig(spec, seed)) }, opts)
+		adaptive := meanTotal(spec, func(seed int64) core.Controller { return mustAdaptive(baseConfig(spec, seed)) }, opts)
+		hybrid := meanTotal(spec, func(seed int64) core.Controller { return mustHybrid(baseConfig(spec, seed)) }, opts)
+		hybridS := meanTotal(spec, func(seed int64) core.Controller {
+			cfg := baseConfig(spec, seed)
+			cfg.AllowSwitchBack = true
+			return mustHybrid(cfg)
+		}, opts)
+
+		rep.Rows = append(rep.Rows, []string{
+			spec.Name,
+			f2(static1000 / best.MeanMS),
+			f2(constant / best.MeanMS),
+			f2(adaptive / best.MeanMS),
+			f2(hybrid / best.MeanMS),
+			f2(hybridS / best.MeanMS),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: 1000-tuple static 1.39/2.05/1.69; hybrid consistently lowest (0.98/0.94/0.85)",
+		"values below 1.0 are possible because the optimum drifts during execution")
+	return rep
+}

@@ -1,0 +1,197 @@
+// Package linalg implements the small amount of dense linear algebra the
+// system-identification code needs: matrix products, transposes and a
+// Gaussian-elimination solver with partial pivoting. Matrices are tiny
+// (3x3 normal equations for the paper's quadratic/parabolic models, or
+// n x 3 design matrices with n around 6), so clarity beats asymptotics.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned by Solve when the system matrix is singular or
+// numerically too close to singular to produce a meaningful solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix with the given shape. It panics on
+// non-positive dimensions, which always indicates a programming error.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// non-zero length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b. It panics if the inner dimensions
+// disagree, which indicates a programming error in the caller.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*v.
+func MulVec(a *Matrix, v []float64) []float64 {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: cannot multiply %dx%d by vector of length %d", a.Rows, a.Cols, len(v)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < a.Cols; j++ {
+			sum += a.At(i, j) * v[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// Solve solves the square linear system a*x = b using Gaussian elimination
+// with partial pivoting. a and b are not modified. It returns ErrSingular
+// when a pivot falls below a small absolute tolerance.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: system matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match %d rows", len(b), a.Rows)
+	}
+	n := a.Rows
+	// Work on copies: augmented system [m | rhs].
+	m := a.Clone()
+	rhs := append([]float64(nil), b...)
+
+	const tol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivoting: find the row with the largest magnitude in this column.
+		pivot := col
+		maxAbs := abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := abs(m.At(r, col)); a > maxAbs {
+				maxAbs, pivot = a, r
+			}
+		}
+		if maxAbs < tol {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+		}
+		pv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m.At(i, j) * x[j]
+		}
+		x[i] = sum / m.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system design*coef ~ obs in the
+// least-squares sense via the normal equations
+// (designᵀ·design)·coef = designᵀ·obs. The design matrix must have at
+// least as many rows as columns. It returns ErrSingular for
+// rank-deficient designs (e.g. duplicated sample points).
+func LeastSquares(design *Matrix, obs []float64) ([]float64, error) {
+	if design.Rows < design.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined least squares: %d rows < %d cols", design.Rows, design.Cols)
+	}
+	if design.Rows != len(obs) {
+		return nil, fmt.Errorf("linalg: observation length %d does not match %d rows", len(obs), design.Rows)
+	}
+	dt := design.T()
+	ata := Mul(dt, design)
+	atb := MulVec(dt, obs)
+	return Solve(ata, atb)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

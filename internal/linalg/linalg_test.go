@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x3 matrix")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(1, 1) != 4 || m.At(2, 0) != 5 {
+		t.Fatalf("unexpected contents: %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 3x2", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v, want %v", c.Data, want)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := MulVec(a, []float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("Solve = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal: succeeds only with row pivoting.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("Solve = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for non-square system")
+	}
+	sq, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := Solve(sq, []float64{1}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 1}, {1, 2}})
+	b := []float64{9, 8}
+	orig := append([]float64(nil), a.Data...)
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if a.Data[i] != orig[i] {
+			t.Fatal("Solve mutated the system matrix")
+		}
+	}
+	if b[0] != 9 || b[1] != 8 {
+		t.Fatal("Solve mutated the right-hand side")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// Overdetermined but consistent: design*coef == obs exactly.
+	design, _ := FromRows([][]float64{
+		{1, 1}, {2, 1}, {3, 1}, {4, 1},
+	})
+	obs := []float64{3, 5, 7, 9} // y = 2x + 1
+	coef, err := LeastSquares(design, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-2) > 1e-9 || math.Abs(coef[1]-1) > 1e-9 {
+		t.Fatalf("coef = %v, want [2 1]", coef)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	design, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(design, []float64{1}); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+}
+
+// Property: for random well-conditioned systems, Solve recovers x such
+// that a*x ~ b.
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back := MulVec(a, x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				t.Fatalf("trial %d: residual %g at %d", trial, back[i]-b[i], i)
+			}
+		}
+	}
+}
+
+// Property: least squares on noiseless polynomial data recovers the exact
+// coefficients (the backbone of the paper's system identification).
+func TestLeastSquaresRecoversPolynomials(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a0, b0, c0 := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		n := 3 + rng.Intn(8)
+		design := NewMatrix(n, 3)
+		obs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := float64(i+1) * (1 + rng.Float64())
+			design.Set(i, 0, x*x)
+			design.Set(i, 1, x)
+			design.Set(i, 2, 1)
+			obs[i] = a0*x*x + b0*x + c0
+		}
+		coef, err := LeastSquares(design, obs)
+		if err != nil {
+			// Random abscissas can coincide; skip rank-deficient draws.
+			continue
+		}
+		for i, want := range []float64{a0, b0, c0} {
+			if math.Abs(coef[i]-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: coef[%d] = %g, want %g", trial, i, coef[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package minidb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota // COUNT(*) — Column may be empty
+	Sum                  // SUM over Int64/Float64
+	Avg                  // AVG over Int64/Float64, always Float64
+	MinOf                // MIN over any comparable column
+	MaxOf                // MAX over any comparable column
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case MinOf:
+		return "MIN"
+	case MaxOf:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AGG(%d)", int(f))
+	}
+}
+
+// Aggregate names one output of a grouped aggregation.
+type Aggregate struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Column is the input column (ignored for Count).
+	Column string
+	// As optionally names the output column; a default like "sum_price"
+	// is derived when empty.
+	As string
+}
+
+func (a Aggregate) outputName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Func == Count {
+		return "count"
+	}
+	return strings.ToLower(a.Func.String()) + "_" + a.Column
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sum     float64
+	min     Value
+	max     Value
+	haveExt bool
+}
+
+// groupIter is a blocking hash aggregation.
+type groupIter struct {
+	in      Iterator
+	groupBy []string
+	aggs    []Aggregate
+	schema  Schema
+
+	primed bool
+	err    error
+	out    []Row
+	pos    int
+}
+
+// GroupBy wraps in with a hash aggregation: one output row per distinct
+// combination of the groupBy columns (which may be empty for a global
+// aggregate), carrying the group columns followed by the aggregates.
+func GroupBy(in Iterator, groupBy []string, aggs []Aggregate) (Iterator, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("minidb: aggregation needs at least one aggregate")
+	}
+	inSchema := in.Schema()
+	var outSchema Schema
+	for _, g := range groupBy {
+		i := inSchema.ColumnIndex(g)
+		if i < 0 {
+			return nil, fmt.Errorf("minidb: group column %q not in schema %s", g, inSchema)
+		}
+		outSchema = append(outSchema, inSchema[i])
+	}
+	for _, a := range aggs {
+		var t Type
+		switch a.Func {
+		case Count:
+			t = Int64
+		case Avg:
+			t = Float64
+		default:
+			i := inSchema.ColumnIndex(a.Column)
+			if i < 0 {
+				return nil, fmt.Errorf("minidb: aggregate column %q not in schema %s", a.Column, inSchema)
+			}
+			switch a.Func {
+			case Sum:
+				if k := inSchema[i].Type; k != Int64 && k != Float64 {
+					return nil, fmt.Errorf("minidb: SUM over non-numeric column %q (%v)", a.Column, k)
+				}
+				t = inSchema[i].Type
+			default: // MinOf, MaxOf keep the input type
+				t = inSchema[i].Type
+			}
+		}
+		outSchema = append(outSchema, Column{Name: a.outputName(), Type: t})
+	}
+	// Detect duplicate output names early.
+	seen := map[string]bool{}
+	for _, c := range outSchema {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("minidb: duplicate output column %q in aggregation", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &groupIter{in: in, groupBy: groupBy, aggs: aggs, schema: outSchema}, nil
+}
+
+// prime drains the input into the hash table and materializes the output.
+func (it *groupIter) prime() {
+	it.primed = true
+	inSchema := it.in.Schema()
+	gIdx := make([]int, len(it.groupBy))
+	for i, g := range it.groupBy {
+		gIdx[i] = inSchema.ColumnIndex(g)
+	}
+	aIdx := make([]int, len(it.aggs))
+	for i, a := range it.aggs {
+		if a.Func == Count {
+			aIdx[i] = -1
+			continue
+		}
+		aIdx[i] = inSchema.ColumnIndex(a.Column)
+	}
+
+	type group struct {
+		key    Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic output: first-seen order sorted later
+
+	for {
+		r, err := it.in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			it.err = err
+			return
+		}
+		var kb strings.Builder
+		for _, gi := range gIdx {
+			kb.WriteString(r[gi].String())
+			kb.WriteByte(0)
+			if r[gi].Null {
+				kb.WriteByte(1) // distinguish NULL from empty string
+			}
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		g := groups[key]
+		if g == nil {
+			keyRow := make(Row, len(gIdx))
+			for i, gi := range gIdx {
+				keyRow[i] = r[gi]
+			}
+			g = &group{key: keyRow, states: make([]aggState, len(it.aggs))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range it.aggs {
+			st := &g.states[i]
+			if a.Func == Count {
+				st.count++
+				continue
+			}
+			v := r[aIdx[i]]
+			if v.Null {
+				continue // SQL semantics: aggregates skip NULLs
+			}
+			st.count++
+			switch a.Func {
+			case Sum, Avg:
+				if v.Kind == Int64 {
+					st.sum += float64(v.I)
+				} else {
+					st.sum += v.F
+				}
+			case MinOf, MaxOf:
+				if !st.haveExt {
+					st.min, st.max, st.haveExt = v, v, true
+					continue
+				}
+				if c, err := Compare(v, st.min); err == nil && c < 0 {
+					st.min = v
+				}
+				if c, err := Compare(v, st.max); err == nil && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	inTypes := make([]Type, len(it.aggs))
+	for i, a := range it.aggs {
+		if aIdx[i] >= 0 {
+			inTypes[i] = inSchema[aIdx[i]].Type
+		}
+		_ = a
+	}
+	for _, key := range order {
+		g := groups[key]
+		row := append(Row{}, g.key...)
+		for i, a := range it.aggs {
+			st := g.states[i]
+			switch a.Func {
+			case Count:
+				row = append(row, NewInt(st.count))
+			case Sum:
+				if st.count == 0 {
+					row = append(row, Null(it.schema[len(g.key)+i].Type))
+				} else if inTypes[i] == Int64 {
+					row = append(row, NewInt(int64(st.sum)))
+				} else {
+					row = append(row, NewFloat(st.sum))
+				}
+			case Avg:
+				if st.count == 0 {
+					row = append(row, Null(Float64))
+				} else {
+					row = append(row, NewFloat(st.sum/float64(st.count)))
+				}
+			case MinOf:
+				if !st.haveExt {
+					row = append(row, Null(it.schema[len(g.key)+i].Type))
+				} else {
+					row = append(row, st.min)
+				}
+			case MaxOf:
+				if !st.haveExt {
+					row = append(row, Null(it.schema[len(g.key)+i].Type))
+				} else {
+					row = append(row, st.max)
+				}
+			}
+		}
+		it.out = append(it.out, row)
+	}
+}
+
+// Next implements Iterator.
+func (it *groupIter) Next() (Row, error) {
+	if !it.primed {
+		it.prime()
+	}
+	if it.err != nil {
+		return nil, it.err
+	}
+	if it.pos >= len(it.out) {
+		return nil, io.EOF
+	}
+	r := it.out[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// Schema implements Iterator.
+func (it *groupIter) Schema() Schema { return it.schema }

@@ -1,0 +1,162 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String implements fmt.Stringer.
+func (o ArithOp) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return fmt.Sprintf("arith(%d)", int(o))
+	}
+}
+
+// Arith applies an arithmetic operator to two numeric sub-expressions.
+// Mixed Int64/Float64 operands promote to Float64; integer division by
+// zero is an error, any operand NULL yields NULL.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(r Row, s Schema) (Value, error) {
+	lv, err := a.L.Eval(r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := a.R.Eval(r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	if err := numeric(lv); err != nil {
+		return Value{}, fmt.Errorf("minidb: %s: %w", a, err)
+	}
+	if err := numeric(rv); err != nil {
+		return Value{}, fmt.Errorf("minidb: %s: %w", a, err)
+	}
+	if lv.Null || rv.Null {
+		if lv.Kind == Float64 || rv.Kind == Float64 {
+			return Null(Float64), nil
+		}
+		return Null(Int64), nil
+	}
+	if lv.Kind == Int64 && rv.Kind == Int64 {
+		switch a.Op {
+		case Add:
+			return NewInt(lv.I + rv.I), nil
+		case Sub:
+			return NewInt(lv.I - rv.I), nil
+		case Mul:
+			return NewInt(lv.I * rv.I), nil
+		case Div:
+			if rv.I == 0 {
+				return Value{}, fmt.Errorf("minidb: %s: integer division by zero", a)
+			}
+			return NewInt(lv.I / rv.I), nil
+		}
+	}
+	lf, rf := toFloat(lv), toFloat(rv)
+	switch a.Op {
+	case Add:
+		return NewFloat(lf + rf), nil
+	case Sub:
+		return NewFloat(lf - rf), nil
+	case Mul:
+		return NewFloat(lf * rf), nil
+	case Div:
+		if rf == 0 {
+			return Value{}, fmt.Errorf("minidb: %s: division by zero", a)
+		}
+		return NewFloat(lf / rf), nil
+	}
+	return Value{}, fmt.Errorf("minidb: unknown arithmetic operator %v", a.Op)
+}
+
+// String implements Expr.
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+func numeric(v Value) error {
+	if v.Kind != Int64 && v.Kind != Float64 {
+		return fmt.Errorf("operand of type %v is not numeric", v.Kind)
+	}
+	return nil
+}
+
+func toFloat(v Value) float64 {
+	if v.Kind == Int64 {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Like matches a string expression against a SQL LIKE pattern with '%'
+// (any run) and '_' (any single byte) wildcards. NULL operands yield
+// false.
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+// Eval implements Expr; the result is an Int64 0/1 boolean.
+func (l Like) Eval(r Row, s Schema) (Value, error) {
+	v, err := l.E.Eval(r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Null {
+		return NewInt(0), nil
+	}
+	if v.Kind != String {
+		return Value{}, fmt.Errorf("minidb: LIKE over non-string %v", v.Kind)
+	}
+	return boolVal(likeMatch(v.S, l.Pattern)), nil
+}
+
+// String implements Expr.
+func (l Like) String() string { return fmt.Sprintf("(%s LIKE %q)", l.E, l.Pattern) }
+
+// likeMatch implements the two-wildcard LIKE semantics with linear
+// backtracking on '%' (the standard greedy two-pointer technique).
+func likeMatch(s, pattern string) bool {
+	var si, pi int
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	return strings.Count(pattern[pi:], "%") == len(pattern)-pi
+}

@@ -1,0 +1,170 @@
+package minidb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalOn(t *testing.T, e Expr) Value {
+	t.Helper()
+	s := Schema{
+		{Name: "i", Type: Int64},
+		{Name: "f", Type: Float64},
+		{Name: "s", Type: String},
+		{Name: "n", Type: Int64},
+	}
+	r := Row{NewInt(10), NewFloat(2.5), NewString("hello world"), Null(Int64)}
+	v, err := e.Eval(r, s)
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return v
+}
+
+func TestArithInt(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		want int64
+	}{
+		{Add, 13}, {Sub, 7}, {Mul, 30}, {Div, 3},
+	}
+	for _, c := range cases {
+		v := evalOn(t, Arith{Op: c.op, L: Col{Name: "i"}, R: IntLit(3)})
+		if v.Kind != Int64 || v.I != c.want {
+			t.Errorf("10 %s 3 = %v, want %d", c.op, v, c.want)
+		}
+	}
+}
+
+func TestArithFloatPromotion(t *testing.T) {
+	v := evalOn(t, Arith{Op: Mul, L: Col{Name: "i"}, R: Col{Name: "f"}})
+	if v.Kind != Float64 || v.F != 25 {
+		t.Fatalf("10 * 2.5 = %v, want Float64 25", v)
+	}
+	v = evalOn(t, Arith{Op: Div, L: Col{Name: "f"}, R: FloatLit(0.5)})
+	if v.F != 5 {
+		t.Fatalf("2.5 / 0.5 = %v", v)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	v := evalOn(t, Arith{Op: Add, L: Col{Name: "n"}, R: IntLit(1)})
+	if !v.Null {
+		t.Fatal("NULL + 1 should be NULL")
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	s := Schema{{Name: "s", Type: String}}
+	r := Row{NewString("x")}
+	if _, err := (Arith{Op: Add, L: Col{Name: "s"}, R: IntLit(1)}).Eval(r, s); err == nil {
+		t.Error("string arithmetic should error")
+	}
+	si := Schema{{Name: "i", Type: Int64}}
+	ri := Row{NewInt(1)}
+	if _, err := (Arith{Op: Div, L: Col{Name: "i"}, R: IntLit(0)}).Eval(ri, si); err == nil {
+		t.Error("integer division by zero should error")
+	}
+	sf := Schema{{Name: "f", Type: Float64}}
+	rf := Row{NewFloat(1)}
+	if _, err := (Arith{Op: Div, L: Col{Name: "f"}, R: FloatLit(0)}).Eval(rf, sf); err == nil {
+		t.Error("float division by zero should error")
+	}
+}
+
+func TestArithInFilter(t *testing.T) {
+	cat, _ := loadTestTable(t, 100)
+	// WHERE id*2 >= 150  -> ids 75..99.
+	it, err := cat.Execute(Query{
+		Table: "t",
+		Where: Cmp{Op: Ge, L: Arith{Op: Mul, L: Col{Name: "id"}, R: IntLit(2)}, R: IntLit(150)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 25 {
+		t.Fatalf("filter kept %d rows, want 25", len(rows))
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"hello world", true},
+		{"hello%", true},
+		{"%world", true},
+		{"%lo wo%", true},
+		{"h_llo world", true},
+		{"hello", false},
+		{"%planet", false},
+		{"", false},
+		{"%", true},
+		{"___________", true}, // exactly 11 characters
+		{"____", false},
+	}
+	for _, c := range cases {
+		v := evalOn(t, Like{E: Col{Name: "s"}, Pattern: c.pattern})
+		if (v.I == 1) != c.want {
+			t.Errorf("LIKE %q = %v, want %v", c.pattern, v.I == 1, c.want)
+		}
+	}
+}
+
+func TestLikeNullAndTypeErrors(t *testing.T) {
+	v := evalOn(t, Like{E: Col{Name: "n"}, Pattern: "%"})
+	_ = v // NULL int with LIKE -> below checks
+	s := Schema{{Name: "i", Type: Int64}}
+	r := Row{NewInt(1)}
+	if _, err := (Like{E: Col{Name: "i"}, Pattern: "%"}).Eval(r, s); err == nil {
+		t.Error("LIKE over non-string should error")
+	}
+	sn := Schema{{Name: "s", Type: String}}
+	rn := Row{Null(String)}
+	got, err := (Like{E: Col{Name: "s"}, Pattern: "%"}).Eval(rn, sn)
+	if err != nil || got.I != 0 {
+		t.Error("LIKE over NULL should be false")
+	}
+}
+
+func TestLikeInQuery(t *testing.T) {
+	cat := NewCatalog()
+	tbl, _ := cat.CreateTable("w", Schema{{Name: "s", Type: String}})
+	words := []string{"alpha", "beta", "alphabet", "gamma", "alps"}
+	for _, w := range words {
+		if err := tbl.Insert(Row{NewString(w)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := cat.Execute(Query{Table: "w", Where: Like{E: Col{Name: "s"}, Pattern: "alp%"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := Collect(it)
+	if len(rows) != 3 {
+		t.Fatalf("LIKE 'alp%%' matched %d rows, want 3", len(rows))
+	}
+}
+
+// Property: likeMatch with a bare '%' matches everything; with the exact
+// string (no wildcards) it matches only itself.
+func TestLikeProperties(t *testing.T) {
+	f := func(s string) bool {
+		if !likeMatch(s, "%") {
+			return false
+		}
+		if strings.ContainsAny(s, "%_") {
+			return true // exactness claim only holds without wildcards
+		}
+		return likeMatch(s, s) && (s == "" || !likeMatch(s, s+"x"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package minidb
+
+import "strings"
+
+// distinctIter drops duplicate rows (full-row equality, NULL-aware),
+// streaming: each row's key is checked against a hash set as it passes.
+type distinctIter struct {
+	in   Iterator
+	seen map[string]bool
+}
+
+// Distinct wraps in, emitting each distinct row once, in first-occurrence
+// order. Equality is over the full row; NULL equals NULL for this
+// purpose (as in SQL's SELECT DISTINCT).
+func Distinct(in Iterator) Iterator {
+	return &distinctIter{in: in, seen: make(map[string]bool)}
+}
+
+// Next implements Iterator.
+func (it *distinctIter) Next() (Row, error) {
+	for {
+		r, err := it.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		key := rowKey(r)
+		if it.seen[key] {
+			continue
+		}
+		it.seen[key] = true
+		return r, nil
+	}
+}
+
+// Schema implements Iterator.
+func (it *distinctIter) Schema() Schema { return it.in.Schema() }
+
+// rowKey builds a collision-safe string key for a row: each cell carries
+// a NULL marker and a fixed-width length prefix before its content, so
+// the concatenation parses unambiguously from the front — ("ab","c") and
+// ("a","bc") and ("a",NULL) all differ.
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		if v.Null {
+			b.WriteByte(1)
+			continue
+		}
+		s := v.String()
+		b.WriteByte(2)
+		n := len(s)
+		b.WriteByte(byte(n))
+		b.WriteByte(byte(n >> 8))
+		b.WriteByte(byte(n >> 16))
+		b.WriteByte(byte(n >> 24))
+		b.WriteString(s)
+	}
+	return b.String()
+}

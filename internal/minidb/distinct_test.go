@@ -1,0 +1,93 @@
+package minidb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDistinct(t *testing.T) {
+	schema := Schema{{Name: "a", Type: String}, {Name: "b", Type: Int64}}
+	rows := []Row{
+		{NewString("x"), NewInt(1)},
+		{NewString("x"), NewInt(1)}, // duplicate
+		{NewString("x"), NewInt(2)},
+		{NewString("y"), NewInt(1)},
+		{NewString("x"), NewInt(1)}, // duplicate again
+	}
+	it := Distinct(scanOf(t, rows, schema))
+	out, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("distinct kept %d rows, want 3", len(out))
+	}
+	// First-occurrence order preserved.
+	if out[0][1].I != 1 || out[1][1].I != 2 || out[2][0].S != "y" {
+		t.Fatalf("order wrong: %v", out)
+	}
+}
+
+func TestDistinctNullVsEmpty(t *testing.T) {
+	schema := Schema{{Name: "a", Type: String}}
+	rows := []Row{
+		{Null(String)},
+		{NewString("")},
+		{Null(String)},
+		{NewString("")},
+	}
+	out, err := Collect(Distinct(scanOf(t, rows, schema)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("NULL and empty string must be distinct: got %d rows", len(out))
+	}
+}
+
+func TestRowKeyBoundaryAmbiguity(t *testing.T) {
+	// The classic concatenation trap: ("ab","c") vs ("a","bc").
+	a := Row{NewString("ab"), NewString("c")}
+	b := Row{NewString("a"), NewString("bc")}
+	if rowKey(a) == rowKey(b) {
+		t.Fatal("rowKey is ambiguous across cell boundaries")
+	}
+	// Arity differs.
+	c := Row{NewString("abc")}
+	if rowKey(a) == rowKey(c) {
+		t.Fatal("rowKey conflates different arities")
+	}
+}
+
+// Property: distinct output has no duplicates and covers every input row.
+func TestDistinctProperty(t *testing.T) {
+	schema := Schema{{Name: "v", Type: Int64}}
+	f := func(vals []int8) bool {
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{NewInt(int64(v))}
+		}
+		tbl, _ := NewTable("p", schema)
+		_ = tbl.BulkLoad(rows)
+		out, err := Collect(Distinct(tbl.Scan()))
+		if err != nil {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, r := range out {
+			if seen[r[0].I] {
+				return false // duplicate survived
+			}
+			seen[r[0].I] = true
+		}
+		for _, v := range vals {
+			if !seen[int64(v)] {
+				return false // value lost
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package minidb
+
+import (
+	"fmt"
+)
+
+// Expr is a scalar expression evaluated against a row under a schema.
+type Expr interface {
+	// Eval computes the expression's value for the row.
+	Eval(r Row, s Schema) (Value, error)
+	// String renders the expression for plans and error messages.
+	String() string
+}
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+// Eval implements Expr.
+func (c Col) Eval(r Row, s Schema) (Value, error) {
+	i := s.ColumnIndex(c.Name)
+	if i < 0 {
+		return Value{}, fmt.Errorf("minidb: unknown column %q", c.Name)
+	}
+	if i >= len(r) {
+		return Value{}, fmt.Errorf("minidb: row too short for column %q", c.Name)
+	}
+	return r[i], nil
+}
+
+// String implements Expr.
+func (c Col) String() string { return c.Name }
+
+// Lit is a literal value.
+type Lit struct{ Value Value }
+
+// IntLit builds an Int64 literal.
+func IntLit(v int64) Lit { return Lit{Value: NewInt(v)} }
+
+// FloatLit builds a Float64 literal.
+func FloatLit(v float64) Lit { return Lit{Value: NewFloat(v)} }
+
+// StringLit builds a String literal.
+func StringLit(v string) Lit { return Lit{Value: NewString(v)} }
+
+// Eval implements Expr.
+func (l Lit) Eval(Row, Schema) (Value, error) { return l.Value, nil }
+
+// String implements Expr.
+func (l Lit) String() string {
+	if l.Value.Kind == String && !l.Value.Null {
+		return fmt.Sprintf("%q", l.Value.S)
+	}
+	return l.Value.String()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("cmp(%d)", int(o))
+	}
+}
+
+// Cmp compares two sub-expressions. Comparisons involving NULL evaluate
+// to false (SQL-ish three-valued logic collapsed to boolean).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr; the result is an Int64 0/1 boolean.
+func (c Cmp) Eval(r Row, s Schema) (Value, error) {
+	lv, err := c.L.Eval(r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := c.R.Eval(r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	if lv.Null || rv.Null {
+		return NewInt(0), nil
+	}
+	// Numeric promotion: comparing an Int64 with a Float64 compares both
+	// as floats, as in SQL.
+	if lv.Kind == Int64 && rv.Kind == Float64 {
+		lv = NewFloat(float64(lv.I))
+	} else if lv.Kind == Float64 && rv.Kind == Int64 {
+		rv = NewFloat(float64(rv.I))
+	}
+	ord, err := Compare(lv, rv)
+	if err != nil {
+		return Value{}, fmt.Errorf("minidb: %s: %w", c, err)
+	}
+	var ok bool
+	switch c.Op {
+	case Eq:
+		ok = ord == 0
+	case Ne:
+		ok = ord != 0
+	case Lt:
+		ok = ord < 0
+	case Le:
+		ok = ord <= 0
+	case Gt:
+		ok = ord > 0
+	case Ge:
+		ok = ord >= 0
+	}
+	if ok {
+		return NewInt(1), nil
+	}
+	return NewInt(0), nil
+}
+
+// String implements Expr.
+func (c Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// And is logical conjunction over Int64 booleans.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a And) Eval(r Row, s Schema) (Value, error) {
+	lv, err := evalBool(a.L, r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	if !lv {
+		return NewInt(0), nil
+	}
+	rv, err := evalBool(a.R, r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(rv), nil
+}
+
+// String implements Expr.
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is logical disjunction over Int64 booleans.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(r Row, s Schema) (Value, error) {
+	lv, err := evalBool(o.L, r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	if lv {
+		return NewInt(1), nil
+	}
+	rv, err := evalBool(o.R, r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(rv), nil
+}
+
+// String implements Expr.
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is logical negation over an Int64 boolean.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(r Row, s Schema) (Value, error) {
+	v, err := evalBool(n.E, r, s)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(!v), nil
+}
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+func evalBool(e Expr, r Row, s Schema) (bool, error) {
+	v, err := e.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	if v.Null {
+		return false, nil
+	}
+	switch v.Kind {
+	case Int64:
+		return v.I != 0, nil
+	default:
+		return false, fmt.Errorf("minidb: expression %s is not boolean (got %v)", e, v.Kind)
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return NewInt(1)
+	}
+	return NewInt(0)
+}

@@ -1,0 +1,126 @@
+package minidb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// joinIter is a classic build/probe hash equi-join: the left (build) input
+// is materialized into a hash table keyed on the join column, then the
+// right (probe) input streams through it.
+type joinIter struct {
+	left, right   Iterator
+	leftCol       string
+	rightCol      string
+	schema        Schema
+	leftIdx       int
+	rightIdx      int
+	built         bool
+	err           error
+	table         map[string][]Row
+	pendingLeft   []Row // matches for the current probe row
+	pendingRight  Row
+	pendingOffset int
+}
+
+// HashJoin joins left and right on equality of leftCol = rightCol. The
+// output schema is the left schema followed by the right schema; colliding
+// column names on the right are prefixed with "right_". Rows with NULL
+// join keys never match, as in SQL.
+func HashJoin(left, right Iterator, leftCol, rightCol string) (Iterator, error) {
+	li := left.Schema().ColumnIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("minidb: join column %q not in left schema %s", leftCol, left.Schema())
+	}
+	ri := right.Schema().ColumnIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("minidb: join column %q not in right schema %s", rightCol, right.Schema())
+	}
+	if lt, rt := left.Schema()[li].Type, right.Schema()[ri].Type; lt != rt {
+		return nil, fmt.Errorf("minidb: join key types differ: %v vs %v", lt, rt)
+	}
+	schema := append(Schema{}, left.Schema()...)
+	names := map[string]bool{}
+	for _, c := range schema {
+		names[strings.ToLower(c.Name)] = true
+	}
+	for _, c := range right.Schema() {
+		name := c.Name
+		if names[strings.ToLower(name)] {
+			name = "right_" + name
+		}
+		names[strings.ToLower(name)] = true
+		schema = append(schema, Column{Name: name, Type: c.Type})
+	}
+	return &joinIter{
+		left: left, right: right,
+		leftCol: leftCol, rightCol: rightCol,
+		leftIdx: li, rightIdx: ri,
+		schema: schema,
+	}, nil
+}
+
+func joinKey(v Value) (string, bool) {
+	if v.Null {
+		return "", false
+	}
+	return v.String(), true
+}
+
+// build materializes the left input into the hash table.
+func (it *joinIter) build() {
+	it.built = true
+	it.table = make(map[string][]Row)
+	for {
+		r, err := it.left.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			it.err = err
+			return
+		}
+		if k, ok := joinKey(r[it.leftIdx]); ok {
+			it.table[k] = append(it.table[k], r)
+		}
+	}
+}
+
+// Next implements Iterator.
+func (it *joinIter) Next() (Row, error) {
+	if !it.built {
+		it.build()
+	}
+	if it.err != nil {
+		return nil, it.err
+	}
+	for {
+		if it.pendingOffset < len(it.pendingLeft) {
+			l := it.pendingLeft[it.pendingOffset]
+			it.pendingOffset++
+			out := make(Row, 0, len(it.schema))
+			out = append(out, l...)
+			out = append(out, it.pendingRight...)
+			return out, nil
+		}
+		r, err := it.right.Next()
+		if err != nil {
+			return nil, err // io.EOF included
+		}
+		k, ok := joinKey(r[it.rightIdx])
+		if !ok {
+			continue
+		}
+		matches := it.table[k]
+		if len(matches) == 0 {
+			continue
+		}
+		it.pendingLeft = matches
+		it.pendingRight = r
+		it.pendingOffset = 0
+	}
+}
+
+// Schema implements Iterator.
+func (it *joinIter) Schema() Schema { return it.schema }

@@ -1,0 +1,341 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseExpr parses a SQL-flavoured boolean expression into an Expr tree,
+// for CLI filters and ad-hoc queries:
+//
+//	id >= 20 AND (name LIKE 'a%' OR balance * 2 < 100.5)
+//
+// Grammar (case-insensitive keywords):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr { OR andExpr }
+//	andExpr := notExpr { AND notExpr }
+//	notExpr := [NOT] predicate
+//	pred    := additive [ (= | != | <> | < | <= | > | >=) additive
+//	                     | LIKE string ]
+//	additive:= multipl { (+ | -) multipl }
+//	multipl := unary { (* | /) unary }
+//	unary   := [-] primary
+//	primary := identifier | number | string | ( expr )
+//
+// Identifiers become column references; numbers with a '.' or exponent
+// become Float64 literals, others Int64; strings use single quotes with
+// ” as the escape.
+func ParseExpr(input string) (Expr, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("minidb: unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota // the zero value: what peek/next return at the end
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // = != <> < <= > >= + - * /
+	tokLParen // (
+	tokRParen // )
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+// tokenize splits the input into tokens.
+func tokenize(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '\'':
+			// Single-quoted string, '' escapes a quote.
+			var b strings.Builder
+			i++
+			closed := false
+			for i < len(s) {
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("minidb: unterminated string literal")
+			}
+			toks = append(toks, token{tokString, b.String()})
+		case strings.ContainsRune("=<>!+-*/", rune(c)):
+			op := string(c)
+			if i+1 < len(s) {
+				two := s[i : i+2]
+				if two == "<=" || two == ">=" || two == "!=" || two == "<>" {
+					op = two
+				}
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("minidb: stray '!' (use != or NOT)")
+			}
+			toks = append(toks, token{tokOp, op})
+			i += len(op)
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' ||
+				s[j] == 'e' || s[j] == 'E' ||
+				((s[j] == '+' || s[j] == '-') && j > i && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("minidb: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// keyword reports whether the next token is the given (case-insensitive)
+// identifier keyword and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": Eq, "!=": Ne, "<>": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("LIKE") {
+		t := p.next()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("minidb: LIKE needs a string pattern, got %q", t.text)
+		}
+		return Like{E: left, Pattern: t.text}, nil
+	}
+	if t := p.peek(); t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := Add
+		if t.text == "-" {
+			op = Sub
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := Mul
+		if t.text == "/" {
+			op = Div
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: Sub, L: IntLit(0), R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		// Bare TRUE/FALSE keywords read naturally in filters.
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			return IntLit(1), nil
+		case "FALSE":
+			return IntLit(0), nil
+		}
+		return Col{Name: t.text}, nil
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minidb: bad number %q: %w", t.text, err)
+			}
+			return FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minidb: bad number %q: %w", t.text, err)
+		}
+		return IntLit(i), nil
+	case tokString:
+		return StringLit(t.text), nil
+	case tokLParen:
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.next(); t.kind != tokRParen {
+			return nil, fmt.Errorf("minidb: missing closing parenthesis")
+		}
+		return e, nil
+	case tokEOF:
+		return nil, fmt.Errorf("minidb: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("minidb: unexpected token %q", t.text)
+	}
+}

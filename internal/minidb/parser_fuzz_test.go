@@ -1,0 +1,42 @@
+package minidb
+
+import "testing"
+
+// FuzzParseExpr hardens the expression parser: any input must either
+// error cleanly or produce an evaluable expression — never panic.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"id >= 20 AND (name LIKE 'a%' OR balance * 2 < 100.5)",
+		"NOT a = 'x''y'",
+		"((((((a))))))",
+		"-1.5e10 < b",
+		"a AND b OR c AND NOT d",
+		"'",
+		"()",
+		"1 + + 2",
+		"a LIKE",
+	} {
+		f.Add(seed)
+	}
+	schema := Schema{
+		{Name: "a", Type: Int64},
+		{Name: "b", Type: Float64},
+		{Name: "name", Type: String},
+	}
+	row := Row{NewInt(1), NewFloat(2.5), NewString("x")}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseExpr(input)
+		if err != nil {
+			return
+		}
+		if e == nil {
+			t.Fatal("nil expression without error")
+		}
+		// Evaluation may fail (unknown columns, type errors) but must not
+		// panic.
+		_, _ = e.Eval(row, schema)
+		if e.String() == "" {
+			t.Fatal("parsed expression renders empty")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package minidb
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalParsed parses and evaluates an expression against a fixed row.
+func evalParsed(t *testing.T, input string) Value {
+	t.Helper()
+	e, err := ParseExpr(input)
+	if err != nil {
+		t.Fatalf("parse %q: %v", input, err)
+	}
+	s := Schema{
+		{Name: "id", Type: Int64},
+		{Name: "balance", Type: Float64},
+		{Name: "name", Type: String},
+	}
+	r := Row{NewInt(42), NewFloat(10.5), NewString("alice")}
+	v, err := e.Eval(r, s)
+	if err != nil {
+		t.Fatalf("eval %q: %v", input, err)
+	}
+	return v
+}
+
+func wantBool(t *testing.T, input string, want bool) {
+	t.Helper()
+	v := evalParsed(t, input)
+	if (v.I == 1) != want {
+		t.Errorf("%q = %v, want %v", input, v.I == 1, want)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	wantBool(t, "id = 42", true)
+	wantBool(t, "id != 42", false)
+	wantBool(t, "id <> 41", true)
+	wantBool(t, "id < 43", true)
+	wantBool(t, "id <= 42", true)
+	wantBool(t, "id > 42", false)
+	wantBool(t, "id >= 43", false)
+	wantBool(t, "name = 'alice'", true)
+	wantBool(t, "name = 'bob'", false)
+	wantBool(t, "balance > 10", true)
+}
+
+func TestParseLogic(t *testing.T) {
+	wantBool(t, "id = 42 AND balance > 10", true)
+	wantBool(t, "id = 1 OR name = 'alice'", true)
+	wantBool(t, "NOT id = 1", true)
+	wantBool(t, "NOT (id = 42)", false)
+	wantBool(t, "id = 1 OR id = 2 OR id = 42", true)
+	wantBool(t, "id = 42 AND (balance < 5 OR name LIKE 'ali%')", true)
+	// AND binds tighter than OR.
+	wantBool(t, "id = 1 AND id = 2 OR id = 42", true)
+	wantBool(t, "true", true)
+	wantBool(t, "FALSE", false)
+}
+
+func TestParseArithmetic(t *testing.T) {
+	wantBool(t, "id * 2 = 84", true)
+	wantBool(t, "id + 8 = 50", true)
+	wantBool(t, "id - 2 = 40", true)
+	wantBool(t, "id / 2 = 21", true)
+	wantBool(t, "balance * 2 = 21.0", true)
+	// Precedence: * before +.
+	wantBool(t, "id + 2 * 3 = 48", true)
+	wantBool(t, "(id + 2) * 3 = 132", true)
+	// Unary minus.
+	wantBool(t, "-id = -42", true)
+}
+
+func TestParseLike(t *testing.T) {
+	wantBool(t, "name LIKE 'a%'", true)
+	wantBool(t, "name LIKE '%ice'", true)
+	wantBool(t, "name like '_lice'", true) // case-insensitive keyword
+	wantBool(t, "name LIKE 'bob%'", false)
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e, err := ParseExpr("name = 'o''brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Schema{{Name: "name", Type: String}}
+	v, err := e.Eval(Row{NewString("o'brien")}, s)
+	if err != nil || v.I != 1 {
+		t.Fatalf("escaped quote mismatch: %v %v", v, err)
+	}
+}
+
+func TestParseFloatForms(t *testing.T) {
+	wantBool(t, "balance = 10.5", true)
+	wantBool(t, "balance < 1.2e2", true)
+	wantBool(t, "balance > 1.05e1 - 1", true)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"id = ",
+		"= 42",
+		"id == 42",
+		"(id = 42",
+		"id = 42)",
+		"name LIKE 42",
+		"name LIKE id",
+		"id ! 42",
+		"id = 'unterminated",
+		"id @ 42",
+		"id = 99999999999999999999999999",
+	}
+	for _, in := range bad {
+		if _, err := ParseExpr(in); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", in)
+		}
+	}
+}
+
+func TestParsedExprInQuery(t *testing.T) {
+	cat, _ := loadTestTable(t, 100)
+	where, err := ParseExpr("id >= 20 AND id < 60 AND NOT id = 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cat.Execute(Query{Table: "t", Where: where})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 39 {
+		t.Fatalf("filtered rows = %d, want 39", len(rows))
+	}
+}
+
+func TestParseRendersBack(t *testing.T) {
+	e, err := ParseExpr("id >= 20 AND name LIKE 'a%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{">=", "AND", "LIKE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered %q lacks %q", s, want)
+		}
+	}
+}
+
+func TestParseUnknownColumnFailsAtEval(t *testing.T) {
+	e, err := ParseExpr("ghost = 1")
+	if err != nil {
+		t.Fatal(err) // parsing is schema-free; evaluation resolves names
+	}
+	s := Schema{{Name: "id", Type: Int64}}
+	if _, err := e.Eval(Row{NewInt(1)}, s); err == nil {
+		t.Fatal("unknown column should fail at evaluation")
+	}
+}

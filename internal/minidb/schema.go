@@ -1,0 +1,87 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column, or -1.
+// Column names are case-insensitive.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns the sub-schema for the named columns, with their
+// positions in the parent schema. An unknown column is an error. An empty
+// list selects every column ("SELECT *").
+func (s Schema) Project(names []string) (Schema, []int, error) {
+	if len(names) == 0 {
+		idx := make([]int, len(s))
+		for i := range idx {
+			idx[i] = i
+		}
+		return s, idx, nil
+	}
+	sub := make(Schema, 0, len(names))
+	idx := make([]int, 0, len(names))
+	for _, n := range names {
+		i := s.ColumnIndex(n)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("minidb: unknown column %q", n)
+		}
+		sub = append(sub, s[i])
+		idx = append(idx, i)
+	}
+	return sub, idx, nil
+}
+
+// Validate checks that a row conforms to the schema: same arity and
+// matching value kinds (NULLs always conform).
+func (s Schema) Validate(r Row) error {
+	if len(r) != len(s) {
+		return fmt.Errorf("minidb: row has %d values, schema has %d columns", len(r), len(s))
+	}
+	for i, v := range r {
+		if !v.Null && v.Kind != s[i].Type {
+			return fmt.Errorf("minidb: column %q expects %v, got %v", s[i].Name, s[i].Type, v.Kind)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %v", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

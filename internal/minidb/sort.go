@@ -1,0 +1,94 @@
+package minidb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortKey orders rows by one column.
+type SortKey struct {
+	// Column is the column name to order by.
+	Column string
+	// Desc reverses the order.
+	Desc bool
+}
+
+// sortIter materializes its input, sorts it, and replays it — the
+// classical blocking sort operator.
+type sortIter struct {
+	in     Iterator
+	keys   []SortKey
+	rows   []Row
+	pos    int
+	primed bool
+	err    error
+}
+
+// Sort wraps in with an ORDER BY over the given keys. At least one key is
+// required and every key column must exist in the input schema.
+func Sort(in Iterator, keys []SortKey) (Iterator, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("minidb: sort needs at least one key")
+	}
+	schema := in.Schema()
+	for _, k := range keys {
+		if schema.ColumnIndex(k.Column) < 0 {
+			return nil, fmt.Errorf("minidb: sort key %q not in schema %s", k.Column, schema)
+		}
+	}
+	return &sortIter{in: in, keys: keys}, nil
+}
+
+// prime drains the input and sorts the materialized rows.
+func (it *sortIter) prime() {
+	it.primed = true
+	rows, err := Collect(it.in)
+	if err != nil {
+		it.err = err
+		return
+	}
+	schema := it.in.Schema()
+	idx := make([]int, len(it.keys))
+	for i, k := range it.keys {
+		idx[i] = schema.ColumnIndex(k.Column)
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, k := range it.keys {
+			c, err := Compare(rows[a][idx[i]], rows[b][idx[i]])
+			if err != nil {
+				// Schema-validated rows cannot mismatch kinds; treat as
+				// equal defensively.
+				continue
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	it.rows = rows
+}
+
+// Next implements Iterator.
+func (it *sortIter) Next() (Row, error) {
+	if !it.primed {
+		it.prime()
+	}
+	if it.err != nil {
+		return nil, it.err
+	}
+	if it.pos >= len(it.rows) {
+		return nil, io.EOF
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// Schema implements Iterator.
+func (it *sortIter) Schema() Schema { return it.in.Schema() }

@@ -1,0 +1,279 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wsopt/internal/core"
+)
+
+func baseModel() CostModel {
+	return CostModel{
+		LatencyMS:  100,
+		PerTupleMS: 0.1,
+		KneeTuples: 5000,
+		PenaltyMS:  1e-4,
+	}
+}
+
+func TestExpectedBlockMS(t *testing.T) {
+	m := baseModel()
+	if got := m.ExpectedBlockMS(0); got != 0 {
+		t.Errorf("zero-size block cost = %g, want 0", got)
+	}
+	if got := m.ExpectedBlockMS(1000); got != 100+100 {
+		t.Errorf("below-knee cost = %g, want 200", got)
+	}
+	// Above the knee the quadratic penalty kicks in.
+	want := 100 + 0.1*6000 + 1e-4*1000*1000
+	if got := m.ExpectedBlockMS(6000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("above-knee cost = %g, want %g", got, want)
+	}
+}
+
+func TestExpectedPerTupleMS(t *testing.T) {
+	m := baseModel()
+	if got := m.ExpectedPerTupleMS(0); !math.IsInf(got, 1) {
+		t.Errorf("per-tuple at 0 = %g, want +Inf", got)
+	}
+	if got := m.ExpectedPerTupleMS(1000); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("per-tuple = %g, want 0.2", got)
+	}
+}
+
+func TestPerTupleCostIsConvexish(t *testing.T) {
+	// The per-tuple cost must decrease while latency amortizes and
+	// increase once the penalty dominates: a single interior minimum.
+	m := baseModel()
+	min, minX := math.Inf(1), 0
+	prevWasBelow := false
+	for x := 100; x <= 20000; x += 100 {
+		y := m.ExpectedPerTupleMS(x)
+		if y < min {
+			min, minX = y, x
+		}
+		_ = prevWasBelow
+	}
+	if minX <= 100 || minX >= 20000 {
+		t.Fatalf("interior minimum expected, got %d", minX)
+	}
+	// Left of the minimum must be decreasing, right must be increasing
+	// (sampled loosely).
+	if m.ExpectedPerTupleMS(200) <= m.ExpectedPerTupleMS(minX) {
+		t.Fatal("left branch should be above the minimum")
+	}
+	if m.ExpectedPerTupleMS(20000) <= m.ExpectedPerTupleMS(minX) {
+		t.Fatal("right branch should be above the minimum")
+	}
+}
+
+func TestExpectedTotalMS(t *testing.T) {
+	m := CostModel{LatencyMS: 10, PerTupleMS: 1}
+	// 25 tuples at block 10: blocks of 10, 10, 5.
+	want := (10 + 10.0) + (10 + 10.0) + (10 + 5.0)
+	if got := m.ExpectedTotalMS(25, 10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("total = %g, want %g", got, want)
+	}
+	if got := m.ExpectedTotalMS(0, 10); got != 0 {
+		t.Errorf("zero tuples total = %g", got)
+	}
+	if got := m.ExpectedTotalMS(10, 0); got != 0 {
+		t.Errorf("zero size total = %g", got)
+	}
+}
+
+func TestOptimalFixedSize(t *testing.T) {
+	m := baseModel()
+	limits := core.Limits{Min: 100, Max: 20000}
+	opt, total := m.OptimalFixedSize(150000, limits, 50)
+	// Analytic: minimize A/x+B+pen(x)/x; optimum x* = sqrt(A/β + knee²)
+	// = sqrt(1e6 + 2.5e7) ≈ 5099.
+	if math.Abs(float64(opt)-5099) > 120 {
+		t.Fatalf("optimum = %d, want ~5099", opt)
+	}
+	if total <= 0 {
+		t.Fatal("optimal total must be positive")
+	}
+	// The reported total matches a direct evaluation.
+	if got := m.ExpectedTotalMS(150000, opt); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("reported total %g != evaluated %g", total, got)
+	}
+}
+
+func TestBlockMSNoiseIsSeededAndBounded(t *testing.T) {
+	m := baseModel()
+	m.LatencyJitter = 0.2
+	m.TupleJitter = 0.02
+	m.SpikeProb = 0.05
+	m.SpikeMS = 50
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a := m.BlockMS(1000, r1)
+		b := m.BlockMS(1000, r2)
+		if a != b {
+			t.Fatal("noise not reproducible per seed")
+		}
+		if a < 0 {
+			t.Fatal("negative block cost")
+		}
+	}
+}
+
+func TestBlockMSNoiseAveragesToExpected(t *testing.T) {
+	m := baseModel()
+	m.LatencyJitter = 0.3
+	m.TupleJitter = 0.02
+	rng := rand.New(rand.NewSource(6))
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += m.BlockMS(2000, rng)
+	}
+	mean := sum / n
+	want := m.ExpectedBlockMS(2000)
+	if math.Abs(mean-want) > 0.01*want {
+		t.Fatalf("noisy mean %g deviates from expected %g", mean, want)
+	}
+}
+
+func TestSpikesRaiseTheMean(t *testing.T) {
+	m := baseModel()
+	spiky := m
+	spiky.SpikeProb = 0.2
+	spiky.SpikeMS = 500
+	rng := rand.New(rand.NewSource(7))
+	base, withSpikes := 0.0, 0.0
+	rngB := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		base += m.BlockMS(1000, rngB)
+		withSpikes += spiky.BlockMS(1000, rng)
+	}
+	if withSpikes <= base {
+		t.Fatal("spikes should raise aggregate cost")
+	}
+}
+
+func TestApplyLoadMonotonicity(t *testing.T) {
+	m := baseModel()
+	light := m.Apply(Load{Jobs: 1})
+	heavy := m.Apply(Load{Jobs: 10, Queries: 3, Memory: 0.8})
+	if light.LatencyMS <= m.LatencyMS {
+		t.Fatal("load must raise latency")
+	}
+	if heavy.LatencyMS <= light.LatencyMS {
+		t.Fatal("more load must raise latency further")
+	}
+	if heavy.KneeTuples >= light.KneeTuples {
+		t.Fatal("more load must pull the knee left")
+	}
+	if heavy.PenaltyMS <= light.PenaltyMS {
+		t.Fatal("more load must deepen the penalty")
+	}
+}
+
+func TestApplyLoadShiftsOptimumLeft(t *testing.T) {
+	m := baseModel()
+	limits := core.Limits{Min: 100, Max: 20000}
+	opt0, _ := m.OptimalFixedSize(150000, limits, 50)
+	opt5, _ := m.Apply(Load{Jobs: 5}).OptimalFixedSize(150000, limits, 50)
+	opt10, _ := m.Apply(Load{Jobs: 10, Queries: 2}).OptimalFixedSize(150000, limits, 50)
+	if !(opt10 < opt5 && opt5 < opt0) {
+		t.Fatalf("optimum should shift left with load: %d, %d, %d", opt0, opt5, opt10)
+	}
+}
+
+func TestApplyCreatesKneeUnderLoad(t *testing.T) {
+	m := CostModel{LatencyMS: 100, PerTupleMS: 0.1} // no knee
+	loaded := m.Apply(Load{Queries: 3})
+	if loaded.KneeTuples <= 0 {
+		t.Fatal("load on an unbounded server should create a knee")
+	}
+	if unloaded := m.Apply(Load{}); unloaded.KneeTuples != 0 {
+		t.Fatal("no load should not create a knee")
+	}
+}
+
+func TestApplyClampsMemory(t *testing.T) {
+	m := baseModel()
+	a := m.Apply(Load{Memory: 5}) // clamped to 1
+	b := m.Apply(Load{Memory: 1})
+	if a.KneeTuples != b.KneeTuples {
+		t.Fatal("memory pressure should clamp to [0,1]")
+	}
+	c := m.Apply(Load{Memory: -3}) // clamped to 0
+	d := m.Apply(Load{})
+	if c.KneeTuples != d.KneeTuples {
+		t.Fatal("negative memory pressure should clamp to 0")
+	}
+}
+
+func TestRippleCreatesLocalMinima(t *testing.T) {
+	m := baseModel()
+	m.RippleFrac = 0.05
+	m.RipplePeriod = 1000
+	// Count the direction changes of the per-tuple curve: with ripple
+	// there must be several local minima, without none beyond the global.
+	countFlips := func(m CostModel) int {
+		flips := 0
+		prev := m.ExpectedPerTupleMS(100)
+		dir := 0
+		for x := 200; x <= 20000; x += 50 {
+			cur := m.ExpectedPerTupleMS(x)
+			d := 0
+			if cur > prev {
+				d = 1
+			} else if cur < prev {
+				d = -1
+			}
+			if d != 0 && dir != 0 && d != dir {
+				flips++
+			}
+			if d != 0 {
+				dir = d
+			}
+			prev = cur
+		}
+		return flips
+	}
+	smooth := baseModel()
+	if got := countFlips(smooth); got > 1 {
+		t.Fatalf("smooth profile has %d direction flips, want <= 1", got)
+	}
+	if got := countFlips(m); got < 4 {
+		t.Fatalf("rippled profile has %d direction flips, want several", got)
+	}
+}
+
+// Property: block cost is monotone in size for the noise-free model.
+func TestExpectedBlockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := CostModel{
+			LatencyMS:  rng.Float64() * 1000,
+			PerTupleMS: 0.01 + rng.Float64(),
+			KneeTuples: float64(rng.Intn(10000)),
+			PenaltyMS:  rng.Float64() * 1e-3,
+		}
+		prev := 0.0
+		for x := 1; x < 20000; x += 97 {
+			cur := m.ExpectedBlockMS(x)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := baseModel().String(); s == "" {
+		t.Fatal("String() should render")
+	}
+}

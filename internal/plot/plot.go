@@ -1,0 +1,148 @@
+// Package plot renders numeric series as ASCII line charts — the
+// terminal-native way to look at the paper's trajectory figures without
+// leaving the shell:
+//
+//	20000 ┤                  xxxxxxxxxxxxxxx
+//	      │             xxxxx      oooo
+//	      │        oooxx      ooooo
+//	 1000 ┼ ooooxxx  oo
+//	      └──────────────────────────────────
+//	        o constant   x adaptive
+//
+// Series are resampled onto the chart's width; the y-axis spans the data
+// range with a small margin. Pure text, no dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Ys are the sample values, evenly spaced along the x-axis.
+	Ys []float64
+}
+
+// seriesGlyphs mark the lines, in order; more series than glyphs cycle.
+var seriesGlyphs = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Chart renders the series into a width x height character grid (plus
+// axes and a legend). Width and height are the plot area in characters;
+// minimums of 16x4 are enforced. NaN and infinite samples are skipped.
+func Chart(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Global y range over all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		if len(s.Ys) > maxLen {
+			maxLen = len(s.Ys)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1 // flat line: give it one row of space
+	}
+	// A small margin so extreme points do not sit on the frame.
+	span := hi - lo
+	lo -= span * 0.02
+	hi += span * 0.02
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		n := len(s.Ys)
+		if n == 0 {
+			continue
+		}
+		for col := 0; col < width; col++ {
+			// Nearest-sample resampling onto the column.
+			idx := 0
+			if width > 1 {
+				idx = int(math.Round(float64(col) / float64(width-1) * float64(n-1)))
+			}
+			y := s.Ys[idx]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	// Compose: y labels on the top and bottom rows, frame, legend.
+	topLabel := compact(hi)
+	botLabel := compact(lo)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s ┤ %s\n", labelW, topLabel, string(grid[r]))
+		case height - 1:
+			fmt.Fprintf(&b, "%*s ┼ %s\n", labelW, botLabel, string(grid[r]))
+		default:
+			fmt.Fprintf(&b, "%*s │ %s\n", labelW, "", string(grid[r]))
+		}
+	}
+	fmt.Fprintf(&b, "%*s └─%s\n", labelW, "", strings.Repeat("─", width))
+	// Legend.
+	fmt.Fprintf(&b, "%*s   ", labelW, "")
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// compact renders an axis value tersely (12000 -> "12.0k").
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "up", Ys: []float64{0, 1, 2, 3, 4, 5}},
+		{Name: "down", Ys: []float64{5, 4, 3, 2, 1, 0}},
+	}
+	out := Chart(s, 30, 8)
+	if !strings.Contains(out, "o up") || !strings.Contains(out, "x down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height rows + frame + legend.
+	if len(lines) != 8+2 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Top row carries the max label, bottom data row the min label.
+	if !strings.Contains(lines[0], "5.1") && !strings.Contains(lines[0], "5.0") {
+		t.Errorf("top label missing: %q", lines[0])
+	}
+	// The increasing series ends high: an 'o' should appear in the top
+	// row's right half.
+	top := lines[0]
+	if !strings.Contains(top[len(top)/2:], "o") {
+		t.Errorf("rising series not in the top-right:\n%s", out)
+	}
+	// The frame exists.
+	if !strings.Contains(out, "└─") {
+		t.Error("frame missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart(nil, 20, 5); out != "(no data)\n" {
+		t.Fatalf("empty chart = %q", out)
+	}
+	if out := Chart([]Series{{Name: "x", Ys: nil}}, 20, 5); out != "(no data)\n" {
+		t.Fatalf("empty series chart = %q", out)
+	}
+	if out := Chart([]Series{{Name: "x", Ys: []float64{math.NaN()}}}, 20, 5); out != "(no data)\n" {
+		t.Fatalf("all-NaN chart = %q", out)
+	}
+}
+
+func TestChartFlatLine(t *testing.T) {
+	out := Chart([]Series{{Name: "flat", Ys: []float64{7, 7, 7, 7}}}, 20, 5)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("flat line not drawn:\n%s", out)
+	}
+}
+
+func TestChartSkipsNaN(t *testing.T) {
+	out := Chart([]Series{{Name: "gappy", Ys: []float64{1, math.NaN(), 3, math.Inf(1), 5}}}, 20, 5)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite values leaked:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	out := Chart([]Series{{Name: "s", Ys: []float64{1, 2}}}, 1, 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4+2 {
+		t.Fatalf("minimum dimensions not enforced:\n%s", out)
+	}
+}
+
+func TestCompactLabels(t *testing.T) {
+	cases := map[float64]string{
+		12000:   "12.0k",
+		3500000: "3.5M",
+		42:      "42",
+		1.234:   "1.23",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Errorf("compact(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChartManySeriesCycleGlyphs(t *testing.T) {
+	var s []Series
+	for i := 0; i < 10; i++ {
+		s = append(s, Series{Name: string(rune('a' + i)), Ys: []float64{float64(i), float64(i + 1)}})
+	}
+	out := Chart(s, 20, 6)
+	// Glyphs cycle after 8 series; the chart must still render a legend
+	// for all of them.
+	for i := 0; i < 10; i++ {
+		if !strings.Contains(out, string(rune('a'+i))) {
+			t.Fatalf("legend lacks series %c:\n%s", 'a'+i, out)
+		}
+	}
+}

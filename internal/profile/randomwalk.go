@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wsopt/internal/netsim"
+)
+
+// RandomWalk modulates a base cost model with mean-reverting
+// (Ornstein–Uhlenbeck-style) random walks on the latency and the knee —
+// an aperiodic alternative to the sinusoidal Drift for robustness
+// studies: the optimum wanders unpredictably instead of cycling.
+type RandomWalk struct {
+	name   string
+	base   netsim.CostModel
+	spec   WalkSpec
+	tuples int
+	rng    *rand.Rand
+
+	latFactor  float64 // multiplicative deviation around 1
+	kneeFactor float64
+	elapsedMS  float64
+}
+
+// WalkSpec parameterizes the random walk.
+type WalkSpec struct {
+	// LatencySigma and KneeSigma are the per-step standard deviations of
+	// the log-deviation (e.g. 0.05).
+	LatencySigma float64
+	KneeSigma    float64
+	// Reversion pulls the deviation back toward 1 each step, in (0, 1];
+	// e.g. 0.1 removes 10% of the deviation per step.
+	Reversion float64
+	// MaxFactor bounds the multiplicative deviation (default 2: factors
+	// stay within [1/2, 2]).
+	MaxFactor float64
+	// StepMS is the simulated time between walk steps (default 5000 ms).
+	StepMS float64
+}
+
+// NewRandomWalk builds the profile.
+func NewRandomWalk(name string, base netsim.CostModel, spec WalkSpec, tuples int, seed int64) (*RandomWalk, error) {
+	if spec.LatencySigma < 0 || spec.KneeSigma < 0 {
+		return nil, fmt.Errorf("profile: negative walk sigma")
+	}
+	if spec.LatencySigma == 0 && spec.KneeSigma == 0 {
+		return nil, fmt.Errorf("profile: random walk %q needs a non-zero sigma", name)
+	}
+	if spec.Reversion <= 0 || spec.Reversion > 1 {
+		return nil, fmt.Errorf("profile: reversion %g must be in (0, 1]", spec.Reversion)
+	}
+	if spec.MaxFactor == 0 {
+		spec.MaxFactor = 2
+	}
+	if spec.MaxFactor <= 1 {
+		return nil, fmt.Errorf("profile: max factor %g must exceed 1", spec.MaxFactor)
+	}
+	if spec.StepMS <= 0 {
+		spec.StepMS = 5000
+	}
+	return &RandomWalk{
+		name: name, base: base, spec: spec, tuples: tuples,
+		rng:        rand.New(rand.NewSource(seed)),
+		latFactor:  1,
+		kneeFactor: 1,
+	}, nil
+}
+
+// advance evolves the walk by the elapsed simulated time.
+func (w *RandomWalk) advance(ms float64) {
+	steps := int(ms / w.spec.StepMS)
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		w.latFactor = w.evolve(w.latFactor, w.spec.LatencySigma)
+		w.kneeFactor = w.evolve(w.kneeFactor, w.spec.KneeSigma)
+	}
+}
+
+func (w *RandomWalk) evolve(factor, sigma float64) float64 {
+	if sigma == 0 {
+		return factor
+	}
+	logDev := math.Log(factor)
+	logDev = logDev*(1-w.spec.Reversion) + sigma*w.rng.NormFloat64()
+	max := math.Log(w.spec.MaxFactor)
+	if logDev > max {
+		logDev = max
+	}
+	if logDev < -max {
+		logDev = -max
+	}
+	return math.Exp(logDev)
+}
+
+// Model implements Profile.
+func (w *RandomWalk) Model() netsim.CostModel {
+	m := w.base
+	m.LatencyMS *= w.latFactor
+	if m.KneeTuples > 0 {
+		m.KneeTuples *= w.kneeFactor
+	}
+	return m
+}
+
+// BlockMS implements Profile.
+func (w *RandomWalk) BlockMS(x int) float64 {
+	ms := w.Model().BlockMS(x, w.rng)
+	w.elapsedMS += ms
+	w.advance(ms)
+	return ms
+}
+
+// Tuples implements Profile.
+func (w *RandomWalk) Tuples() int { return w.tuples }
+
+// Name implements Profile.
+func (w *RandomWalk) Name() string { return w.name }
+
+// Factors exposes the current deviations, for tests.
+func (w *RandomWalk) Factors() (latency, knee float64) { return w.latFactor, w.kneeFactor }

@@ -1,0 +1,101 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"wsopt/internal/netsim"
+)
+
+func walkBase() netsim.CostModel {
+	return netsim.CostModel{LatencyMS: 100, PerTupleMS: 0.1, KneeTuples: 5000, PenaltyMS: 1e-4}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	bad := []WalkSpec{
+		{},                                  // no sigma
+		{LatencySigma: -1, Reversion: 0.1},  // negative sigma
+		{LatencySigma: 0.1, Reversion: 0},   // no reversion
+		{LatencySigma: 0.1, Reversion: 1.5}, // reversion > 1
+		{LatencySigma: 0.1, Reversion: 0.1, MaxFactor: 0.5}, // factor <= 1
+	}
+	for i, spec := range bad {
+		if _, err := NewRandomWalk("w", walkBase(), spec, 10, 1); err == nil {
+			t.Errorf("spec %d should be rejected", i)
+		}
+	}
+	if _, err := NewRandomWalk("w", walkBase(), WalkSpec{LatencySigma: 0.05, KneeSigma: 0.05, Reversion: 0.1}, 10, 1); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestRandomWalkWanders(t *testing.T) {
+	w, err := NewRandomWalk("w", walkBase(), WalkSpec{
+		LatencySigma: 0.1, KneeSigma: 0.1, Reversion: 0.05, StepMS: 100,
+	}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 500; i++ {
+		w.BlockMS(1000)
+		lat, knee := w.Factors()
+		if lat < minLat {
+			minLat = lat
+		}
+		if lat > maxLat {
+			maxLat = lat
+		}
+		if lat < 0.5-1e-9 || lat > 2+1e-9 || knee < 0.5-1e-9 || knee > 2+1e-9 {
+			t.Fatalf("factors escaped the bound: lat=%g knee=%g", lat, knee)
+		}
+	}
+	if maxLat-minLat < 0.1 {
+		t.Fatalf("walk barely moved: range [%g, %g]", minLat, maxLat)
+	}
+}
+
+func TestRandomWalkMeanReverts(t *testing.T) {
+	// With strong reversion the deviations stay close to 1 on average.
+	w, _ := NewRandomWalk("w", walkBase(), WalkSpec{
+		LatencySigma: 0.05, Reversion: 0.5, StepMS: 100,
+	}, 10, 2)
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		w.BlockMS(1000)
+		lat, _ := w.Factors()
+		sum += math.Log(lat)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Fatalf("log-deviation mean %g, want ~0 under strong reversion", mean)
+	}
+}
+
+func TestRandomWalkDeterministicPerSeed(t *testing.T) {
+	mk := func() *RandomWalk {
+		w, _ := NewRandomWalk("w", walkBase(), WalkSpec{LatencySigma: 0.1, Reversion: 0.1}, 10, 7)
+		return w
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.BlockMS(500) != b.BlockMS(500) {
+			t.Fatal("same seed should reproduce the walk")
+		}
+	}
+}
+
+func TestRandomWalkModelReflectsFactors(t *testing.T) {
+	w, _ := NewRandomWalk("w", walkBase(), WalkSpec{LatencySigma: 0.2, KneeSigma: 0.2, Reversion: 0.05}, 10, 3)
+	for i := 0; i < 50; i++ {
+		w.BlockMS(1000)
+	}
+	lat, knee := w.Factors()
+	m := w.Model()
+	if math.Abs(m.LatencyMS-100*lat) > 1e-9 {
+		t.Fatalf("latency %g does not reflect factor %g", m.LatencyMS, lat)
+	}
+	if math.Abs(m.KneeTuples-5000*knee) > 1e-9 {
+		t.Fatalf("knee %g does not reflect factor %g", m.KneeTuples, knee)
+	}
+}

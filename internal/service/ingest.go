@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wsopt/internal/minidb"
+)
+
+// The paper's motivation covers both directions: pulling results from a
+// WS-wrapped database and "submitting calls to a WS to perform data
+// processing", which ships data *to* the service block by block. This
+// file adds the upload half of the protocol:
+//
+//	POST   /ingest                  {"table": "..."}   -> {"session": id}
+//	POST   /ingest/{id}/block       encoded block      -> 204 (+delay headers)
+//	DELETE /ingest/{id}                                -> {"tuples": n}
+//
+// The block size of each upload is chosen by the client's controller,
+// exactly as for downloads; the same cost model prices each block.
+
+// ingestSession is one open upload cursor.
+type ingestSession struct {
+	mu       sync.Mutex
+	id       string
+	table    *minidb.Table
+	tuples   int
+	lastUsed time.Time
+}
+
+// registerIngestRoutes wires the upload endpoints into the mux.
+func (s *Server) registerIngestRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /ingest", s.handleIngestCreate)
+	mux.HandleFunc("POST /ingest/{id}/block", s.handleIngestBlock)
+	mux.HandleFunc("DELETE /ingest/{id}", s.handleIngestClose)
+}
+
+type ingestCreateRequest struct {
+	Table string `json:"table"`
+}
+
+func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
+	var req ingestCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Table == "" {
+		httpError(w, http.StatusBadRequest, "missing table")
+		return
+	}
+	tbl, err := s.cfg.Catalog.Table(req.Table)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("i%08x", s.nextID)
+	s.ingests[id] = &ingestSession{id: id, table: tbl, lastUsed: time.Now()}
+	s.stats.IngestsOpened++
+	s.mu.Unlock()
+	s.logf("ingest %s opened: table=%s", id, req.Table)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"session": id,
+		"columns": tbl.Schema().Names(),
+	}); err != nil {
+		s.logf("ingest %s: encode response: %v", id, err)
+	}
+}
+
+func (s *Server) lookupIngest(id string) *ingestSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingests[id]
+}
+
+func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupIngest(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "no such ingest session")
+		return
+	}
+	schema, rows, err := s.codec.Decode(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode block: %v", err)
+		return
+	}
+	if len(rows) == 0 {
+		httpError(w, http.StatusBadRequest, "empty block")
+		return
+	}
+	if len(rows) > s.cfg.MaxBlockSize {
+		httpError(w, http.StatusBadRequest, "block of %d tuples exceeds maximum %d", len(rows), s.cfg.MaxBlockSize)
+		return
+	}
+	// The wire schema must match the target table (names and types, in
+	// order): the upload path performs full validation before loading.
+	want := sess.table.Schema()
+	if len(schema) != len(want) {
+		httpError(w, http.StatusUnprocessableEntity, "block has %d columns, table %q has %d", len(schema), sess.table.Name(), len(want))
+		return
+	}
+	for i := range want {
+		if schema[i] != want[i] {
+			httpError(w, http.StatusUnprocessableEntity, "column %d is %v, table %q expects %v", i, schema[i], sess.table.Name(), want[i])
+			return
+		}
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUsed = time.Now()
+	if err := sess.table.BulkLoad(rows); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	sess.tuples += len(rows)
+	s.mu.Lock()
+	s.stats.BlocksIngested++
+	s.stats.TuplesIngested += int64(len(rows))
+	s.mu.Unlock()
+
+	delayMS := s.priceBlock(len(rows))
+	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
+		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
+	}
+	w.Header().Set(HeaderBlockTuples, strconv.Itoa(len(rows)))
+	w.Header().Set(HeaderInjectedDelayMS, strconv.FormatFloat(delayMS, 'f', 3, 64))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIngestClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.ingests[id]
+	delete(s.ingests, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such ingest session")
+		return
+	}
+	s.logf("ingest %s closed after %d tuples", id, sess.tuples)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]int{"tuples": sess.tuples}); err != nil {
+		s.logf("ingest %s: encode close response: %v", id, err)
+	}
+}

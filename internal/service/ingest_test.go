@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsopt/internal/minidb"
+	"wsopt/internal/wire"
+)
+
+func openIngest(t *testing.T, ts *httptest.Server, body string) (id string, status int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", resp.StatusCode
+	}
+	var cr struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr.Session, resp.StatusCode
+}
+
+func encodeItems(t *testing.T, rows []minidb.Row) *bytes.Buffer {
+	t.Helper()
+	schema := minidb.Schema{
+		{Name: "id", Type: minidb.Int64},
+		{Name: "label", Type: minidb.String},
+	}
+	var buf bytes.Buffer
+	if err := (wire.XML{}).Encode(&buf, schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestIngestLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0)})
+	id, status := openIngest(t, ts, `{"table":"items"}`)
+	if status != http.StatusCreated || id == "" {
+		t.Fatalf("create = %d", status)
+	}
+
+	rows := []minidb.Row{
+		{minidb.NewInt(1), minidb.NewString("a")},
+		{minidb.NewInt(2), minidb.NewString("b")},
+	}
+	resp, err := http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", encodeItems(t, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("block = %s", resp.Status)
+	}
+	if got := resp.Header.Get(HeaderBlockTuples); got != "2" {
+		t.Fatalf("tuple header = %q", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/ingest/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr struct {
+		Tuples int `json:"tuples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Tuples != 2 {
+		t.Fatalf("close reported %d tuples", cr.Tuples)
+	}
+	tbl, _ := srv.cfg.Catalog.Table("items")
+	if tbl.RowCount() != 2 {
+		t.Fatalf("table has %d rows", tbl.RowCount())
+	}
+	st := srv.Stats()
+	if st.IngestsOpened != 1 || st.BlocksIngested != 1 || st.TuplesIngested != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestCreateErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0)})
+	if _, status := openIngest(t, ts, `{"table":"ghost"}`); status != http.StatusNotFound {
+		t.Errorf("unknown table = %d", status)
+	}
+	if _, status := openIngest(t, ts, `{}`); status != http.StatusBadRequest {
+		t.Errorf("missing table = %d", status)
+	}
+	if _, status := openIngest(t, ts, `{oops`); status != http.StatusBadRequest {
+		t.Errorf("bad json = %d", status)
+	}
+}
+
+func TestIngestBlockErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0), MaxBlockSize: 3})
+	id, _ := openIngest(t, ts, `{"table":"items"}`)
+
+	// Unknown session.
+	resp, _ := http.Post(ts.URL+"/ingest/nope/block", "application/xml", encodeItems(t, nil))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session = %s", resp.Status)
+	}
+	// Garbage payload.
+	resp, _ = http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", strings.NewReader("junk"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage = %s", resp.Status)
+	}
+	// Empty block.
+	resp, _ = http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", encodeItems(t, nil))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty block = %s", resp.Status)
+	}
+	// Oversized block.
+	big := []minidb.Row{
+		{minidb.NewInt(1), minidb.NewString("a")},
+		{minidb.NewInt(2), minidb.NewString("b")},
+		{minidb.NewInt(3), minidb.NewString("c")},
+		{minidb.NewInt(4), minidb.NewString("d")},
+	}
+	resp, _ = http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", encodeItems(t, big))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized block = %s", resp.Status)
+	}
+	// Schema mismatch (wrong arity).
+	var buf bytes.Buffer
+	_ = (wire.XML{}).Encode(&buf, minidb.Schema{{Name: "x", Type: minidb.Int64}},
+		[]minidb.Row{{minidb.NewInt(1)}})
+	resp, _ = http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", &buf)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("schema mismatch = %s", resp.Status)
+	}
+	// Schema mismatch (right arity, wrong type).
+	var buf2 bytes.Buffer
+	_ = (wire.XML{}).Encode(&buf2, minidb.Schema{
+		{Name: "id", Type: minidb.Float64},
+		{Name: "label", Type: minidb.String},
+	}, []minidb.Row{{minidb.NewFloat(1), minidb.NewString("a")}})
+	resp, _ = http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", &buf2)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("type mismatch = %s", resp.Status)
+	}
+	// Closing an unknown ingest.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/ingest/nope", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("close unknown = %s", resp.Status)
+	}
+}
+
+func TestIngestExpires(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0), SessionTTL: time.Millisecond})
+	openIngest(t, ts, `{"table":"items"}`)
+	if n := srv.ExpireIdle(time.Now().Add(time.Second)); n != 1 {
+		t.Fatalf("expired %d ingest sessions, want 1", n)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 10)})
+	openSession(t, ts, `{"table":"items"}`)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionsOpened != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestedRowsAreQueryable(t *testing.T) {
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0)})
+	id, _ := openIngest(t, ts, `{"table":"items"}`)
+	rows := []minidb.Row{{minidb.NewInt(42), minidb.NewString("pushed")}}
+	resp, err := http.Post(ts.URL+"/ingest/"+id+"/block", "application/xml", encodeItems(t, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Pull the pushed row back through a download session.
+	sid, _ := openSession(t, ts, `{"table":"items"}`)
+	resp, err = http.Post(ts.URL+"/sessions/"+sid+"/next?size=10", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, got, err := (wire.XML{}).Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].I != 42 || got[0][1].S != "pushed" {
+		t.Fatalf("round-trip rows = %v", got)
+	}
+}

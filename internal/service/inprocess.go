@@ -1,0 +1,33 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+)
+
+// inProcessTransport serves requests directly through the server's
+// handler, without opening a socket: the full HTTP semantics (routing,
+// headers, status codes, body streaming) at function-call cost.
+type inProcessTransport struct {
+	handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// InProcessClient returns an *http.Client whose requests are served
+// directly by this server, with no network in between. Use it to embed
+// the service and the adaptive client in one process — e.g. a local
+// cache tier that still speaks the block protocol — or in tests:
+//
+//	srv, _ := service.New(cfg)
+//	c, _ := client.New("http://in-process", codec, service.InProcessClient(srv))
+func InProcessClient(s *Server) *http.Client {
+	return &http.Client{Transport: inProcessTransport{handler: s.Handler()}}
+}

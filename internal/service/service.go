@@ -1,0 +1,370 @@
+// Package service implements the web service that wraps the embedded
+// database — the reproduction of the paper's OGSA-DAI data service on
+// Apache Tomcat. Clients create a query session and then pull the result
+// set block by block, choosing each block's size, exactly as in
+// Algorithm 1 of the paper:
+//
+//	POST   /sessions                 {"table": "...", "columns": [...]}
+//	POST   /sessions/{id}/next?size=N   -> one encoded block
+//	DELETE /sessions/{id}
+//	GET    /healthz
+//	GET    /load       PUT /load     {"jobs":J, "queries":Q, "memory":M}
+//
+// The service can inject per-block delays drawn from a netsim cost model
+// scaled by the configured load, so a single laptop reproduces the WAN and
+// loaded-server conditions of the paper's testbed at a configurable time
+// scale.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wsopt/internal/minidb"
+	"wsopt/internal/netsim"
+	"wsopt/internal/wire"
+)
+
+// Block-transfer response headers.
+const (
+	// HeaderBlockTuples reports how many tuples the block carries.
+	HeaderBlockTuples = "X-Block-Tuples"
+	// HeaderBlockDone is "true" on the final block of a result set.
+	HeaderBlockDone = "X-Block-Done"
+	// HeaderInjectedDelayMS reports the simulated (model) latency that
+	// was injected for this block, in milliseconds, before scaling.
+	HeaderInjectedDelayMS = "X-Injected-Delay-Ms"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Catalog serves the queries. Required.
+	Catalog *minidb.Catalog
+	// Codec encodes blocks (default: wire.XML).
+	Codec wire.Codec
+	// CostModel, when non-zero, prices each block; the priced delay times
+	// SleepScale is slept before responding. A zero model injects
+	// nothing — the service still has its genuine compute/serialize cost.
+	CostModel netsim.CostModel
+	// SleepScale converts simulated milliseconds into real ones
+	// (e.g. 0.001 replays a WAN profile a thousand times faster).
+	SleepScale float64
+	// SessionTTL expires idle sessions (default 5 minutes).
+	SessionTTL time.Duration
+	// MaxBlockSize rejects absurd size requests (default 1,000,000).
+	MaxBlockSize int
+	// Logger receives request-level diagnostics; nil disables logging.
+	Logger *log.Logger
+	// Seed seeds the delay-noise RNG.
+	Seed int64
+}
+
+// Server is the block-pull web service.
+type Server struct {
+	cfg   Config
+	codec wire.Codec
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	load     netsim.Load
+	sessions map[string]*session
+	ingests  map[string]*ingestSession
+	nextID   uint64
+
+	stats Stats
+}
+
+// New builds a Server; the catalog is required.
+func New(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("service: config needs a catalog")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.XML{}
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 5 * time.Minute
+	}
+	if cfg.MaxBlockSize <= 0 {
+		cfg.MaxBlockSize = 1_000_000
+	}
+	s := &Server{
+		cfg:      cfg,
+		codec:    cfg.Codec,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		sessions: make(map[string]*session),
+		ingests:  make(map[string]*ingestSession),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("POST /sessions/{id}/next", s.handleNext)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /load", s.handleGetLoad)
+	mux.HandleFunc("PUT /load", s.handlePutLoad)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	s.registerIngestRoutes(mux)
+	s.mux = mux
+	return s, nil
+}
+
+// Stats aggregates service-level counters, exposed at GET /stats.
+type Stats struct {
+	// SessionsOpened counts download sessions ever created.
+	SessionsOpened int64 `json:"sessions_opened"`
+	// BlocksServed counts blocks shipped to clients.
+	BlocksServed int64 `json:"blocks_served"`
+	// TuplesServed counts tuples shipped to clients.
+	TuplesServed int64 `json:"tuples_served"`
+	// IngestsOpened counts upload sessions ever created.
+	IngestsOpened int64 `json:"ingests_opened"`
+	// BlocksIngested counts blocks received from clients.
+	BlocksIngested int64 `json:"blocks_ingested"`
+	// TuplesIngested counts tuples received from clients.
+	TuplesIngested int64 `json:"tuples_ingested"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		s.logf("encode stats: %v", err)
+	}
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetLoad updates the simulated load shaping future blocks.
+func (s *Server) SetLoad(l netsim.Load) {
+	s.mu.Lock()
+	s.load = l
+	s.mu.Unlock()
+}
+
+// Load returns the current simulated load.
+func (s *Server) Load() netsim.Load {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load
+}
+
+// SessionCount reports live sessions, for tests and monitoring.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// ExpireIdle drops sessions idle longer than the TTL and returns how many
+// were dropped. Call it periodically (cmd/wsblockd runs a janitor).
+func (s *Server) ExpireIdle(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, sess := range s.sessions {
+		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	for id, ing := range s.ingests {
+		if now.Sub(ing.lastUsed) > s.cfg.SessionTTL {
+			delete(s.ingests, id)
+			n++
+		}
+	}
+	return n
+}
+
+// session is one open block-pull cursor.
+type session struct {
+	mu       sync.Mutex
+	id       string
+	iter     minidb.Iterator
+	done     bool
+	lastUsed time.Time
+}
+
+// createRequest is the body of POST /sessions.
+type createRequest struct {
+	Table    string   `json:"table"`
+	Columns  []string `json:"columns,omitempty"`
+	Where    string   `json:"where,omitempty"`
+	Distinct bool     `json:"distinct,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
+// createResponse is the body of a successful session creation.
+type createResponse struct {
+	Session string   `json:"session"`
+	Columns []string `json:"columns"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Table == "" {
+		httpError(w, http.StatusBadRequest, "missing table")
+		return
+	}
+	q := minidb.Query{Table: req.Table, Columns: req.Columns, Distinct: req.Distinct, Limit: req.Limit}
+	if req.Where != "" {
+		where, err := minidb.ParseExpr(req.Where)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad where clause: %v", err)
+			return
+		}
+		q.Where = where
+	}
+	it, err := s.cfg.Catalog.Execute(q)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%08x", s.nextID)
+	s.sessions[id] = &session{id: id, iter: it, lastUsed: time.Now()}
+	s.stats.SessionsOpened++
+	s.mu.Unlock()
+	s.logf("session %s opened: table=%s cols=%v", id, req.Table, req.Columns)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	if err := json.NewEncoder(w).Encode(createResponse{Session: id, Columns: it.Schema().Names()}); err != nil {
+		s.logf("session %s: encode response: %v", id, err)
+	}
+}
+
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	size, err := strconv.Atoi(r.URL.Query().Get("size"))
+	if err != nil || size < 1 {
+		httpError(w, http.StatusBadRequest, "size must be a positive integer")
+		return
+	}
+	if size > s.cfg.MaxBlockSize {
+		httpError(w, http.StatusBadRequest, "size %d exceeds maximum %d", size, s.cfg.MaxBlockSize)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUsed = time.Now()
+	if sess.done {
+		httpError(w, http.StatusGone, "result set exhausted")
+		return
+	}
+	rows, done, err := minidb.NextBlock(sess.iter, size)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.done = done
+	s.mu.Lock()
+	s.stats.BlocksServed++
+	s.stats.TuplesServed += int64(len(rows))
+	s.mu.Unlock()
+
+	delayMS := s.priceBlock(len(rows))
+	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
+		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
+	}
+
+	w.Header().Set("Content-Type", s.codec.ContentType())
+	w.Header().Set(HeaderBlockTuples, strconv.Itoa(len(rows)))
+	w.Header().Set(HeaderBlockDone, strconv.FormatBool(done))
+	w.Header().Set(HeaderInjectedDelayMS, strconv.FormatFloat(delayMS, 'f', 3, 64))
+	if err := s.codec.Encode(w, sess.iter.Schema(), rows); err != nil {
+		s.logf("session %s: encode block: %v", sess.id, err)
+	}
+}
+
+// priceBlock draws the simulated delay for a block under the current load.
+func (s *Server) priceBlock(size int) float64 {
+	m := s.cfg.CostModel
+	if m.LatencyMS == 0 && m.PerTupleMS == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.Apply(s.load).BlockMS(size, s.rng)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.logf("session %s closed", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleGetLoad(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Load()); err != nil {
+		s.logf("encode load: %v", err)
+	}
+}
+
+func (s *Server) handlePutLoad(w http.ResponseWriter, r *http.Request) {
+	var l netsim.Load
+	if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+		httpError(w, http.StatusBadRequest, "bad load body: %v", err)
+		return
+	}
+	if l.Jobs < 0 || l.Queries < 0 || l.Memory < 0 || l.Memory > 1 {
+		httpError(w, http.StatusBadRequest, "load out of range")
+		return
+	}
+	s.SetLoad(l)
+	s.logf("load set to jobs=%d queries=%d memory=%.2f", l.Jobs, l.Queries, l.Memory)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

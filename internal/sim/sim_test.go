@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wsopt/internal/core"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+)
+
+func flatModel() netsim.CostModel {
+	return netsim.CostModel{LatencyMS: 100, PerTupleMS: 1}
+}
+
+func mkProfile(seed int64) profile.Profile {
+	return profile.New("flat", flatModel(), 10000, seed)
+}
+
+func TestRunTuplesExactBudget(t *testing.T) {
+	res := RunTuples(mkProfile(1), core.NewStatic(1000), 10000, Options{})
+	if res.Tuples != 10000 {
+		t.Fatalf("transferred %d tuples, want 10000", res.Tuples)
+	}
+	if res.Blocks != 10 {
+		t.Fatalf("issued %d blocks, want 10", res.Blocks)
+	}
+	if len(res.Sizes) != 10 || len(res.BlockMS) != 10 {
+		t.Fatal("per-block traces missing")
+	}
+	if res.TotalMS <= 0 {
+		t.Fatal("non-positive total")
+	}
+	if res.Controller != "static-1000" || res.Profile != "flat" {
+		t.Fatalf("labels wrong: %s / %s", res.Controller, res.Profile)
+	}
+}
+
+func TestRunTuplesTruncatesFinalBlock(t *testing.T) {
+	res := RunTuples(mkProfile(1), core.NewStatic(3000), 10000, Options{})
+	if res.Tuples != 10000 {
+		t.Fatalf("transferred %d, want exactly 10000", res.Tuples)
+	}
+	if res.Blocks != 4 {
+		t.Fatalf("blocks = %d, want 4 (3000x3 + 1000)", res.Blocks)
+	}
+}
+
+func TestRunTuplesTotalMatchesExpectation(t *testing.T) {
+	// With zero noise the total must equal the analytic expectation.
+	p := profile.New("flat", flatModel(), 10000, 1)
+	res := RunTuples(p, core.NewStatic(1000), 10000, Options{})
+	want := flatModel().ExpectedTotalMS(10000, 1000)
+	if math.Abs(res.TotalMS-want) > 1e-9 {
+		t.Fatalf("total = %g, want %g", res.TotalMS, want)
+	}
+}
+
+func TestRunTuplesMaxBlocksSafetyNet(t *testing.T) {
+	res := RunTuples(mkProfile(1), core.NewStatic(1), 1_000_000, Options{MaxBlocks: 50})
+	if res.Blocks != 50 {
+		t.Fatalf("safety net did not trigger: %d blocks", res.Blocks)
+	}
+}
+
+func TestRunBlocksFixedCount(t *testing.T) {
+	res := RunBlocks(mkProfile(1), core.NewStatic(500), 37, Options{})
+	if res.Blocks != 37 {
+		t.Fatalf("blocks = %d, want 37", res.Blocks)
+	}
+	if res.Tuples != 37*500 {
+		t.Fatalf("tuples = %d, want %d", res.Tuples, 37*500)
+	}
+}
+
+func TestMetricPerTupleVsPerBlock(t *testing.T) {
+	// A recording controller verifies what it observes.
+	rec := &recorder{size: 1000}
+	RunBlocks(profile.New("flat", flatModel(), 0, 1), rec, 5, Options{Metric: MetricPerTuple})
+	for _, y := range rec.observed {
+		// per-tuple of flat model at 1000: (100 + 1000)/1000 = 1.1
+		if math.Abs(y-1.1) > 1e-9 {
+			t.Fatalf("per-tuple metric = %g, want 1.1", y)
+		}
+	}
+	rec2 := &recorder{size: 1000}
+	RunBlocks(profile.New("flat", flatModel(), 0, 1), rec2, 5, Options{Metric: MetricPerBlock})
+	for _, y := range rec2.observed {
+		if math.Abs(y-1100) > 1e-9 {
+			t.Fatalf("per-block metric = %g, want 1100", y)
+		}
+	}
+}
+
+type recorder struct {
+	size     int
+	observed []float64
+}
+
+func (r *recorder) Size() int         { return r.size }
+func (r *recorder) Observe(y float64) { r.observed = append(r.observed, y) }
+func (r *recorder) Name() string      { return "recorder" }
+
+func TestStepSizes(t *testing.T) {
+	res := Result{Sizes: []int{10, 10, 10, 20, 20, 20, 30}}
+	got := res.StepSizes(3)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("StepSizes = %v", got)
+	}
+	if got := res.StepSizes(0); len(got) != 7 {
+		t.Fatalf("horizon 0 should default to per-block, got %d", len(got))
+	}
+}
+
+func TestReplicateTuples(t *testing.T) {
+	agg := ReplicateTuples(5, 1, func(seed int64) (profile.Profile, core.Controller) {
+		m := flatModel()
+		m.LatencyJitter = 0.2
+		return profile.New("noisy", m, 5000, seed), core.NewStatic(500)
+	}, 5000, 1, Options{})
+	if agg.Runs != 5 || len(agg.Totals) != 5 {
+		t.Fatalf("runs = %d", agg.Runs)
+	}
+	if agg.MeanTotalMS <= 0 || agg.StdTotalMS < 0 {
+		t.Fatal("aggregate stats wrong")
+	}
+	// Different seeds should produce different totals under noise.
+	allSame := true
+	for _, v := range agg.Totals[1:] {
+		if v != agg.Totals[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("replicas did not vary; seeds are not independent")
+	}
+}
+
+func TestReplicateBlocksTrajectory(t *testing.T) {
+	cfg := core.Config{
+		InitialSize: 1000, Limits: core.Limits{Min: 100, Max: 20000},
+		B1: 500, B2: 25, AvgHorizon: 2, CriterionWindow: 5, CriterionThreshold: 1,
+	}
+	agg := ReplicateBlocks(3, 1, func(seed int64) (profile.Profile, core.Controller) {
+		c := cfg
+		c.Seed = seed
+		ctl, err := core.NewConstant(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mkProfile(seed), ctl
+	}, 20, 2, Options{})
+	if len(agg.MeanStepSizes) != 10 {
+		t.Fatalf("trajectory length = %d, want 10 steps", len(agg.MeanStepSizes))
+	}
+	if agg.MeanStepSizes[0] != 1000 {
+		t.Fatalf("first step mean = %g, want the initial size", agg.MeanStepSizes[0])
+	}
+	// Step 2 is the first adaptivity step: +b1 for every replica.
+	if agg.MeanStepSizes[1] != 1500 {
+		t.Fatalf("second step mean = %g, want 1500", agg.MeanStepSizes[1])
+	}
+}
+
+func TestFixedSweepAndBestPoint(t *testing.T) {
+	m := netsim.CostModel{LatencyMS: 100, PerTupleMS: 0.1, KneeTuples: 2000, PenaltyMS: 1e-3}
+	points := FixedSweep(func(seed int64) profile.Profile {
+		return profile.New("x", m, 50000, seed)
+	}, 50000, []int{100, 500, 1000, 2000, 4000}, 3, 1)
+	if len(points) != 5 {
+		t.Fatalf("sweep has %d points", len(points))
+	}
+	best := BestPoint(points)
+	if best.Size != 2000 {
+		t.Fatalf("best fixed size = %d, want 2000 (the knee)", best.Size)
+	}
+	for _, p := range points {
+		if p.MeanMS < best.MeanMS {
+			t.Fatal("BestPoint did not find the minimum")
+		}
+	}
+}
+
+func TestSizeGrid(t *testing.T) {
+	g := SizeGrid(100, 1000, 300)
+	want := []int{100, 400, 700, 1000}
+	if len(g) != len(want) {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("grid = %v, want %v", g, want)
+		}
+	}
+	// The upper bound is always included.
+	g2 := SizeGrid(100, 950, 300)
+	if g2[len(g2)-1] != 950 {
+		t.Fatalf("grid should end at hi: %v", g2)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 33
+		ctl, _ := core.NewHybrid(cfg)
+		spec := profile.Conf22()
+		return RunTuples(spec.New(33), ctl, 100000, Options{})
+	}
+	a, b := run(), run()
+	if a.TotalMS != b.TotalMS || a.Blocks != b.Blocks {
+		t.Fatal("same seeds must reproduce the run exactly")
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("trajectories diverge at block %d", i)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package sysid
+
+import (
+	"math"
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func TestSamplePlan(t *testing.T) {
+	plan, err := SamplePlan(core.Limits{Min: 100, Max: 20000}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 6 {
+		t.Fatalf("plan length = %d, want 6", len(plan))
+	}
+	if plan[0] != 100 || plan[len(plan)-1] != 20000 {
+		t.Fatalf("plan endpoints = %d..%d, want 100..20000", plan[0], plan[len(plan)-1])
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i] <= plan[i-1] {
+			t.Fatalf("plan not strictly increasing: %v", plan)
+		}
+	}
+	// Spacing roughly even.
+	step := float64(20000-100) / 5
+	for i, p := range plan {
+		want := 100 + step*float64(i)
+		if math.Abs(float64(p)-want) > 1.0 {
+			t.Fatalf("plan[%d] = %d, want ~%g", i, p, want)
+		}
+	}
+}
+
+func TestSamplePlanErrors(t *testing.T) {
+	if _, err := SamplePlan(core.Limits{Min: 100, Max: 20000}, 1); err == nil {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := SamplePlan(core.Limits{Min: 100, Max: 100}, 6); err == nil {
+		t.Fatal("empty range should error")
+	}
+	if _, err := SamplePlan(core.Limits{Min: 0, Max: 0}, 4); err == nil {
+		t.Fatal("unbounded limits should error")
+	}
+}
+
+func TestSamplePlanNarrowRangeDeduplicates(t *testing.T) {
+	plan, err := SamplePlan(core.Limits{Min: 1, Max: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range plan {
+		if seen[p] {
+			t.Fatalf("duplicate sample %d in %v", p, plan)
+		}
+		seen[p] = true
+	}
+}
+
+// parabolicEnv simulates a noiseless parabolic per-tuple cost.
+func parabolicEnv(a, b, c float64) func(x int) float64 {
+	return func(x int) float64 { return a/float64(x) + b*float64(x) + c }
+}
+
+func TestModelBasedLifecycle(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{Limits: limits, Kind: ModelParabolic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1) // optimum sqrt(1e7) ~ 3162
+	plan, _ := SamplePlan(limits, 6)
+	for i := 0; i < len(plan); i++ {
+		if mb.Decided() {
+			t.Fatalf("decided after only %d samples", i)
+		}
+		if got := mb.Size(); got != plan[i] {
+			t.Fatalf("sample %d size = %d, want %d", i, got, plan[i])
+		}
+		mb.Observe(env(mb.Size()))
+	}
+	if !mb.Decided() {
+		t.Fatal("not decided after the full sample plan")
+	}
+	want := int(math.Sqrt(2000/2e-4) + 0.5)
+	if got := mb.Decision(); int(math.Abs(float64(got-want))) > want/100 {
+		t.Fatalf("decision = %d, want ~%d", got, want)
+	}
+	if !mb.UsefulModel() {
+		t.Fatal("noiseless parabolic fit must be useful")
+	}
+	// Plain model-based control holds the decision.
+	before := mb.Size()
+	mb.Observe(env(before))
+	mb.Observe(env(before) * 100)
+	if mb.Size() != before {
+		t.Fatal("plain model-based controller must hold its decision")
+	}
+	if mb.FittedModel() == nil || mb.FittedModel().Name() != "parabolic" {
+		t.Fatal("fitted model not exposed")
+	}
+}
+
+func TestModelBasedFallbackToLowerLimit(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{Limits: limits, Kind: ModelParabolic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotonically increasing cost: parabolic a comes out <= 0 -> not
+	// useful -> lower limit, the paper's observed failure mode.
+	for !mb.Decided() {
+		mb.Observe(0.001 * float64(mb.Size()))
+	}
+	if mb.UsefulModel() {
+		t.Fatal("fit should be flagged not useful")
+	}
+	if mb.Decision() != 100 {
+		t.Fatalf("decision = %d, want lower limit 100", mb.Decision())
+	}
+}
+
+func TestModelBasedRepeatsPerSample(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{Limits: limits, Kind: ModelQuadratic, RepeatsPerSample: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1)
+	samples := 0
+	for !mb.Decided() {
+		mb.Observe(env(mb.Size()))
+		samples++
+		if samples > 1000 {
+			t.Fatal("did not decide")
+		}
+	}
+	if samples != 6*3 {
+		t.Fatalf("consumed %d measurements, want 18 (6 sizes x 3 repeats)", samples)
+	}
+}
+
+func TestModelBasedRefine(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	var gotInitial int
+	mb, err := NewModelBased(ModelBasedConfig{
+		Limits: limits,
+		Kind:   ModelParabolic,
+		Refine: func(initial int) (core.Controller, error) {
+			gotInitial = initial
+			cfg := core.DefaultConfig()
+			cfg.InitialSize = initial
+			cfg.Limits = limits
+			cfg.DitherFactor = 0
+			cfg.AvgHorizon = 1
+			return core.NewConstant(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1)
+	for !mb.Decided() {
+		mb.Observe(env(mb.Size()))
+	}
+	if gotInitial == 0 {
+		t.Fatal("refiner was not constructed with the decision")
+	}
+	if mb.Size() != gotInitial {
+		t.Fatalf("refined controller should start at the decision %d, got %d", gotInitial, mb.Size())
+	}
+	// Subsequent observations now drive the refiner: first extremum step
+	// is +b1.
+	mb.Observe(env(mb.Size()))
+	if mb.Size() != gotInitial+2000 {
+		t.Fatalf("refiner first step = %d, want %d", mb.Size(), gotInitial+2000)
+	}
+	if mb.Name() != "model-parabolic+refine" {
+		t.Fatalf("unexpected name %q", mb.Name())
+	}
+}
+
+func TestModelBasedBestKind(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{Limits: limits, Kind: ModelBest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1)
+	for !mb.Decided() {
+		mb.Observe(env(mb.Size()))
+	}
+	if !mb.UsefulModel() {
+		t.Fatal("best-kind fit should be useful on clean parabolic data")
+	}
+	if mb.FittedModel().Name() != "parabolic" {
+		t.Fatalf("best kind picked %s for parabolic data", mb.FittedModel().Name())
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if ModelQuadratic.String() != "quadratic" || ModelParabolic.String() != "parabolic" || ModelBest.String() != "best" {
+		t.Fatal("unexpected kind names")
+	}
+}

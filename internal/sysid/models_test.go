@@ -1,0 +1,234 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wsopt/internal/core"
+)
+
+func TestFitQuadraticExact(t *testing.T) {
+	// y = 2x² - 3x + 5
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x*x - 3*x + 5
+	}
+	q, err := FitQuadratic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, -3, 5} {
+		if math.Abs(q.Coefficients()[i]-want) > 1e-6 {
+			t.Fatalf("coefficients = %v, want [2 -3 5]", q.Coefficients())
+		}
+	}
+	if got := q.Eval(10); math.Abs(got-175) > 1e-6 {
+		t.Fatalf("Eval(10) = %g, want 175", got)
+	}
+}
+
+func TestQuadraticOptimum(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	// Convex with interior vertex at 5000.
+	q := &Quadratic{A: 1e-6, B: -1e-2, C: 100}
+	opt, ok := q.Optimum(limits)
+	if !ok || math.Abs(opt-5000) > 1e-6 {
+		t.Fatalf("optimum = (%g, %v), want (5000, true)", opt, ok)
+	}
+	// Vertex beyond the upper limit: clamped, still useful.
+	q2 := &Quadratic{A: 1e-9, B: -1e-3, C: 100} // vertex at 500000
+	opt, ok = q2.Optimum(limits)
+	if !ok || opt != 20000 {
+		t.Fatalf("clamped optimum = (%g, %v), want (20000, true)", opt, ok)
+	}
+	// Concave fit: no interior minimum -> boundary, flagged not useful.
+	q3 := &Quadratic{A: -1e-6, B: 1e-2, C: 100}
+	opt, ok = q3.Optimum(limits)
+	if ok {
+		t.Fatal("concave quadratic should be flagged not useful")
+	}
+	if opt != 100 && opt != 20000 {
+		t.Fatalf("degenerate optimum %g should be a boundary", opt)
+	}
+}
+
+func TestFitParabolicExact(t *testing.T) {
+	// y = 1200/x + 0.002x + 3
+	xs := []float64{100, 2000, 5000, 10000, 15000, 20000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1200/x + 0.002*x + 3
+	}
+	p, err := FitParabolic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1200, 0.002, 3} {
+		if math.Abs(p.Coefficients()[i]-want) > 1e-6*(1+want) {
+			t.Fatalf("coefficients = %v, want [1200 0.002 3]", p.Coefficients())
+		}
+	}
+	// Analytic optimum sqrt(a/b) = sqrt(600000) ~ 774.6.
+	opt, ok := p.Optimum(core.Limits{Min: 100, Max: 20000})
+	if !ok || math.Abs(opt-math.Sqrt(600000)) > 1e-6 {
+		t.Fatalf("optimum = (%g, %v), want (%g, true)", opt, ok, math.Sqrt(600000))
+	}
+}
+
+func TestParabolicDegenerateFits(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	// Negative a: pure increasing cost -> lower limit, not useful.
+	p1 := &Parabolic{A: -10, B: 0.01, C: 1}
+	if opt, ok := p1.Optimum(limits); ok || opt != 100 {
+		t.Fatalf("negative-a fit = (%g, %v), want (100, false)", opt, ok)
+	}
+	// Negative b: monotonically decreasing -> upper limit, not useful.
+	p2 := &Parabolic{A: 10, B: -0.01, C: 1}
+	if opt, ok := p2.Optimum(limits); ok || opt != 20000 {
+		t.Fatalf("negative-b fit = (%g, %v), want (20000, false)", opt, ok)
+	}
+	// Both negative -> lower limit.
+	p3 := &Parabolic{A: -10, B: -0.01, C: 1}
+	if opt, ok := p3.Optimum(limits); ok || opt != 100 {
+		t.Fatalf("double-negative fit = (%g, %v), want (100, false)", opt, ok)
+	}
+}
+
+func TestParabolicEvalAtZero(t *testing.T) {
+	p := &Parabolic{A: 1, B: 1, C: 1}
+	if !math.IsInf(p.Eval(0), 1) {
+		t.Fatal("Eval(0) should be +Inf")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitQuadratic([]float64{1, 2}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+	if _, err := FitQuadratic([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := FitParabolic([]float64{0, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("non-positive block size should error for the parabolic model")
+	}
+	// Duplicated sample points make the normal equations singular.
+	if _, err := FitQuadratic([]float64{5, 5, 5, 5}, []float64{1, 1, 1, 1}); err == nil {
+		t.Fatal("rank-deficient design should error")
+	}
+}
+
+func TestSSE(t *testing.T) {
+	q := &Quadratic{A: 0, B: 1, C: 0} // y = x
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 2, 4}
+	if got := SSE(q, xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SSE = %g, want 1", got)
+	}
+}
+
+func TestFitBestPrefersBetterFamily(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	rng := rand.New(rand.NewSource(3))
+	// Parabolic ground truth: FitBest should return the parabolic family
+	// (smaller residuals on its own data).
+	xs := []float64{100, 4000, 8000, 12000, 16000, 20000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5000/x + 0.0003*x + 2 + rng.NormFloat64()*0.01
+	}
+	m, err := FitBest(xs, ys, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "parabolic" {
+		t.Fatalf("FitBest chose %s for parabolic data", m.Name())
+	}
+	// Pure convex quadratic ground truth: quadratic must win.
+	for i, x := range xs {
+		ys[i] = 1e-8*(x-9000)*(x-9000) + 3 + rng.NormFloat64()*0.001
+	}
+	m, err = FitBest(xs, ys, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "quadratic" {
+		t.Fatalf("FitBest chose %s for quadratic data", m.Name())
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	q := &Quadratic{A: 1, B: 2, C: 3}
+	p := &Parabolic{A: 1, B: 2, C: 3}
+	if q.String() == "" || p.String() == "" {
+		t.Fatal("model String() should render")
+	}
+	if q.Name() != "quadratic" || p.Name() != "parabolic" {
+		t.Fatal("unexpected model names")
+	}
+}
+
+// Property: fitting noiseless samples of the model family recovers the
+// optimum to within numerical tolerance — the core soundness claim of the
+// paper's Section IV.
+func TestParabolicFitRecoversOptimumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	limits := core.Limits{Min: 100, Max: 20000}
+	for trial := 0; trial < 300; trial++ {
+		a := 100 + rng.Float64()*5000
+		b := 1e-5 + rng.Float64()*1e-3
+		c := rng.Float64() * 5
+		truth := math.Sqrt(a / b)
+		xs, err := SamplePlan(limits, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx := make([]float64, len(xs))
+		fy := make([]float64, len(xs))
+		for i, x := range xs {
+			fx[i] = float64(x)
+			fy[i] = a/fx[i] + b*fx[i] + c
+		}
+		p, err := FitParabolic(fx, fy)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, ok := p.Optimum(limits)
+		if !ok {
+			t.Fatalf("trial %d: fit flagged not useful", trial)
+		}
+		wantClamped := math.Min(math.Max(truth, 100), 20000)
+		if math.Abs(opt-wantClamped) > 1e-3*(1+wantClamped) {
+			t.Fatalf("trial %d: optimum %g, want %g", trial, opt, wantClamped)
+		}
+	}
+}
+
+// Property: quick check that quadratic fits never return NaN coefficients
+// for sane inputs.
+func TestQuadraticFitFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 6)
+		ys := make([]float64, 6)
+		for i := range xs {
+			xs[i] = 100 + rng.Float64()*20000 + float64(i) // distinct
+			ys[i] = rng.Float64() * 1000
+		}
+		q, err := FitQuadratic(xs, ys)
+		if err != nil {
+			return true // singular draws are allowed to error
+		}
+		for _, c := range q.Coefficients() {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package sysid
+
+import (
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func TestReidentifyOnDrift(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{
+		Limits:              limits,
+		Kind:                ModelParabolic,
+		ReidentifyThreshold: 0.5,
+		ReidentifyWindow:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := parabolicEnv(2000, 2e-4, 1) // optimum ~3162
+	for !mb.Decided() {
+		mb.Observe(envA(mb.Size()))
+	}
+	firstDecision := mb.Decision()
+	if mb.Reidentifications() != 0 {
+		t.Fatal("no re-identification expected yet")
+	}
+	// Stationary world: residuals stay tiny, the decision holds.
+	for i := 0; i < 20; i++ {
+		mb.Observe(envA(mb.Size()))
+	}
+	if mb.Reidentifications() != 0 || mb.Decision() != firstDecision {
+		t.Fatal("stationary world should not trigger re-identification")
+	}
+	// The profile shifts dramatically: costs triple. The residual monitor
+	// must restart the sweep and land on the new optimum.
+	envB := parabolicEnv(9000, 5e-5, 4) // optimum ~13416
+	for i := 0; i < 60 && mb.Reidentifications() == 0; i++ {
+		mb.Observe(envB(mb.Size()))
+	}
+	if mb.Reidentifications() == 0 {
+		t.Fatal("drift did not trigger re-identification")
+	}
+	for !mb.Decided() {
+		mb.Observe(envB(mb.Size()))
+	}
+	second := mb.Decision()
+	if second <= firstDecision {
+		t.Fatalf("re-identified decision %d should move with the optimum (was %d)", second, firstDecision)
+	}
+}
+
+func TestReidentifyRobustToSpikes(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	mb, err := NewModelBased(ModelBasedConfig{
+		Limits:              limits,
+		Kind:                ModelParabolic,
+		ReidentifyThreshold: 0.5,
+		ReidentifyWindow:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1)
+	for !mb.Decided() {
+		mb.Observe(env(mb.Size()))
+	}
+	// Isolated spikes must not trigger: the median is robust.
+	for i := 0; i < 40; i++ {
+		y := env(mb.Size())
+		if i%7 == 0 {
+			y *= 10
+		}
+		mb.Observe(y)
+	}
+	if mb.Reidentifications() != 0 {
+		t.Fatal("isolated spikes should not trigger re-identification")
+	}
+}
+
+func TestReidentifyIncompatibleWithRefine(t *testing.T) {
+	_, err := NewModelBased(ModelBasedConfig{
+		Limits:              core.Limits{Min: 100, Max: 20000},
+		ReidentifyThreshold: 0.5,
+		Refine: func(initial int) (core.Controller, error) {
+			return core.NewStatic(initial), nil
+		},
+	})
+	if err == nil {
+		t.Fatal("re-identification plus refinement should be rejected")
+	}
+}

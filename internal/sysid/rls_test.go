@@ -1,0 +1,152 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func TestNewRLSValidation(t *testing.T) {
+	if _, err := NewRLS(ModelBest, 0.99); err == nil {
+		t.Fatal("ModelBest should be rejected for RLS")
+	}
+	if _, err := NewRLS(ModelQuadratic, 0); err == nil {
+		t.Fatal("lambda 0 should be rejected")
+	}
+	if _, err := NewRLS(ModelQuadratic, 1.5); err == nil {
+		t.Fatal("lambda > 1 should be rejected")
+	}
+	if _, err := NewRLS(ModelParabolic, 1); err != nil {
+		t.Fatalf("lambda 1 should be accepted: %v", err)
+	}
+}
+
+func TestRLSConvergesToQuadratic(t *testing.T) {
+	r, err := NewRLS(ModelQuadratic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Model() != nil {
+		t.Fatal("model should be nil before 3 updates")
+	}
+	a, b, c := 2e-6, -0.02, 75.0
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		x := 100 + rng.Float64()*20000
+		r.Update(x, a*x*x+b*x+c)
+	}
+	th := r.Theta()
+	if math.Abs(th[0]-a) > 1e-8 || math.Abs(th[1]-b) > 1e-4 || math.Abs(th[2]-c) > 1e-1 {
+		t.Fatalf("theta = %v, want ~[%g %g %g]", th, a, b, c)
+	}
+	m := r.Model()
+	opt, ok := m.(*Quadratic).Optimum(core.Limits{Min: 100, Max: 20000})
+	want := -b / (2 * a)
+	if !ok || math.Abs(opt-want) > 1 {
+		t.Fatalf("optimum = %g, want %g", opt, want)
+	}
+}
+
+func TestRLSForgettingTracksDrift(t *testing.T) {
+	r, err := NewRLS(ModelParabolic, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	sample := func(a, b float64, n int) {
+		for i := 0; i < n; i++ {
+			x := 100 + rng.Float64()*20000
+			r.Update(x, a/x+b*x+2)
+		}
+	}
+	sample(2000, 2e-4, 200) // optimum ~3162
+	m1 := r.Model().(*Parabolic)
+	opt1, _ := m1.Optimum(core.Limits{Min: 100, Max: 20000})
+	sample(8000, 5e-5, 200) // optimum moves to ~12649
+	m2 := r.Model().(*Parabolic)
+	opt2, _ := m2.Optimum(core.Limits{Min: 100, Max: 20000})
+	if math.Abs(opt1-math.Sqrt(1e7)) > 300 {
+		t.Fatalf("first estimate %g, want ~3162", opt1)
+	}
+	if math.Abs(opt2-math.Sqrt(8000/5e-5)) > 1500 {
+		t.Fatalf("post-drift estimate %g did not track to ~12649", opt2)
+	}
+}
+
+func TestRLSUpdatesCounter(t *testing.T) {
+	r, _ := NewRLS(ModelQuadratic, 0.99)
+	for i := 0; i < 5; i++ {
+		r.Update(float64(100+i), float64(i))
+	}
+	if r.Updates() != 5 {
+		t.Fatalf("Updates = %d, want 5", r.Updates())
+	}
+}
+
+func TestSelfTuningController(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	st, err := NewSelfTuning(SelfTuningConfig{Limits: limits, Kind: ModelParabolic, Lambda: 0.95, ReestimatePeriod: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := parabolicEnv(2000, 2e-4, 1) // optimum ~3162
+	for i := 0; i < 60; i++ {
+		st.Observe(env(st.Size()))
+	}
+	if st.Estimator().Updates() != 60 {
+		t.Fatalf("estimator saw %d updates, want 60", st.Estimator().Updates())
+	}
+	if d := math.Abs(float64(st.Decision()) - math.Sqrt(1e7)); d > 100 {
+		t.Fatalf("self-tuning decision %g away from the optimum", d)
+	}
+	// The commanded size stays within the probe band of the decision.
+	if d := math.Abs(float64(st.Size()) - float64(st.Decision())); d > 0.1*float64(st.Decision())+1 {
+		t.Fatalf("probe excursion %g exceeds the configured amplitude", d)
+	}
+	if st.Name() != "self-tuning-parabolic" {
+		t.Fatalf("unexpected name %q", st.Name())
+	}
+}
+
+func TestSelfTuningTracksMovingOptimum(t *testing.T) {
+	limits := core.Limits{Min: 100, Max: 20000}
+	st, err := NewSelfTuning(SelfTuningConfig{Limits: limits, Kind: ModelParabolic, Lambda: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := parabolicEnv(2000, 2e-4, 1) // ~3162
+	envB := parabolicEnv(9000, 4e-5, 1) // ~15000
+	for i := 0; i < 50; i++ {
+		st.Observe(envA(st.Size()))
+	}
+	first := st.Decision()
+	for i := 0; i < 120; i++ {
+		st.Observe(envB(st.Size()))
+	}
+	second := st.Decision()
+	if math.Abs(float64(first)-3162) > 400 {
+		t.Fatalf("first plateau = %d, want ~3162", first)
+	}
+	if second <= first {
+		t.Fatalf("self-tuning did not move with the optimum: %d -> %d", first, second)
+	}
+}
+
+func TestSelfTuningBrokenMeasurements(t *testing.T) {
+	st, _ := NewSelfTuning(SelfTuningConfig{Limits: core.Limits{Min: 100, Max: 20000}})
+	before := st.Size()
+	st.Observe(math.NaN())
+	st.Observe(math.Inf(1))
+	st.Observe(-1)
+	if st.Size() != before {
+		t.Fatal("broken measurements advanced the identification sweep")
+	}
+}
+
+func TestSelfTuningRejectsBadConfig(t *testing.T) {
+	if _, err := NewSelfTuning(SelfTuningConfig{Limits: core.Limits{Min: 100, Max: 100}}); err == nil {
+		t.Fatal("empty range should be rejected")
+	}
+}

@@ -1,0 +1,47 @@
+package sysid
+
+import (
+	"fmt"
+
+	"wsopt/internal/core"
+)
+
+// SamplePlan returns k block sizes evenly distributed across the search
+// space defined by the limits, endpoints included — the paper's scheme for
+// fast identification ("only 6 samples are collected, which are evenly
+// distributed in the whole search space defined by the lower and upper
+// limits"). k must be at least 2 and the limits must describe a non-empty
+// range with a finite upper bound.
+func SamplePlan(limits core.Limits, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("sysid: sample plan needs at least 2 points, got %d", k)
+	}
+	lo := limits.Min
+	if lo < 1 {
+		lo = 1
+	}
+	hi := limits.Max
+	if hi <= lo {
+		return nil, fmt.Errorf("sysid: sample plan needs limits with max > min, got [%d, %d]", limits.Min, limits.Max)
+	}
+	plan := make([]int, k)
+	span := float64(hi - lo)
+	for i := range plan {
+		plan[i] = lo + int(span*float64(i)/float64(k-1)+0.5)
+	}
+	plan[k-1] = hi
+	// Deduplicate in the degenerate case of a tiny range.
+	out := plan[:1]
+	for _, v := range plan[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("sysid: limits [%d, %d] too narrow for a sample plan", limits.Min, limits.Max)
+	}
+	return out, nil
+}
+
+// DefaultSampleCount is the paper's choice of 6 identification samples.
+const DefaultSampleCount = 6

@@ -1,0 +1,85 @@
+package tpch
+
+import (
+	"testing"
+
+	"wsopt/internal/minidb"
+)
+
+func TestDimensionTables(t *testing.T) {
+	cat := minidb.NewCatalog()
+	region, err := GenRegion(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nation, err := GenNation(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.RowCount() != 5 {
+		t.Fatalf("regions = %d, want 5", region.RowCount())
+	}
+	if nation.RowCount() != 25 {
+		t.Fatalf("nations = %d, want 25", nation.RowCount())
+	}
+	// Every nation's region key references an existing region.
+	rows, _ := minidb.Collect(nation.Scan())
+	for _, r := range rows {
+		if rk := r[2].I; rk < 0 || rk > 4 {
+			t.Fatalf("nation %s has region key %d", r[1].S, rk)
+		}
+	}
+}
+
+func TestLoadFullIsJoinable(t *testing.T) {
+	cat, err := LoadFull(0.005) // 750 customers
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cat.Names()
+	if len(names) != 4 {
+		t.Fatalf("catalog = %v, want 4 tables", names)
+	}
+	// customer ⋈ nation ⋈ region, counting customers per region.
+	customers, _ := cat.Execute(minidb.Query{Table: "customer", Columns: []string{"c_custkey", "c_nationkey"}})
+	nations, _ := cat.Execute(minidb.Query{Table: "nation", Columns: []string{"n_nationkey", "n_regionkey"}})
+	j1, err := minidb.HashJoin(nations, customers, "n_nationkey", "c_nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, _ := cat.Execute(minidb.Query{Table: "region", Columns: []string{"r_regionkey", "r_name"}})
+	j2, err := minidb.HashJoin(regions, j1, "r_regionkey", "n_regionkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := minidb.GroupBy(j2, []string{"r_name"}, []minidb.Aggregate{{Func: minidb.Count, As: "customers"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := minidb.Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("regions in result = %d, want 5", len(rows))
+	}
+	total := int64(0)
+	for _, r := range rows {
+		total += r[1].I
+	}
+	if total != int64(CustomerCount(0.005)) {
+		t.Fatalf("joined customer count = %d, want %d", total, CustomerCount(0.005))
+	}
+}
+
+func TestDimensionNamesMatchTPCH(t *testing.T) {
+	cat := minidb.NewCatalog()
+	region, _ := GenRegion(cat)
+	rows, _ := minidb.Collect(region.Scan())
+	want := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i, r := range rows {
+		if r[1].S != want[i] {
+			t.Fatalf("region %d = %q, want %q", i, r[1].S, want[i])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package tpch
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"wsopt/internal/minidb"
+)
+
+// smallSF keeps generator tests fast while exercising every code path.
+const smallSF = 0.01 // 1500 customers, 4500 orders
+
+func TestCustomerGeneration(t *testing.T) {
+	cat := minidb.NewCatalog()
+	tbl, err := GenCustomer(cat, smallSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CustomerCount(smallSF)
+	if tbl.RowCount() != want {
+		t.Fatalf("RowCount = %d, want %d", tbl.RowCount(), want)
+	}
+	rows, err := minidb.Collect(tbl.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := tbl.Schema()
+	segIdx := schema.ColumnIndex("c_mktsegment")
+	balIdx := schema.ColumnIndex("c_acctbal")
+	phoneIdx := schema.ColumnIndex("c_phone")
+	nationIdx := schema.ColumnIndex("c_nationkey")
+	for i, r := range rows {
+		if err := schema.Validate(r); err != nil {
+			t.Fatalf("row %d invalid: %v", i, err)
+		}
+		if r[0].I != int64(i+1) {
+			t.Fatalf("c_custkey not dense: row %d has %d", i, r[0].I)
+		}
+		if bal := r[balIdx].F; bal < -999.99 || bal > 9999.99 {
+			t.Fatalf("c_acctbal %g out of TPC-H range", bal)
+		}
+		if n := r[nationIdx].I; n < 0 || n > 24 {
+			t.Fatalf("c_nationkey %d out of range", n)
+		}
+		if !strings.Contains(r[phoneIdx].S, "-") {
+			t.Fatalf("phone %q malformed", r[phoneIdx].S)
+		}
+		seg := r[segIdx].S
+		valid := false
+		for _, s := range segments {
+			if seg == s {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("segment %q not in the TPC-H domain", seg)
+		}
+	}
+}
+
+func TestOrdersGeneration(t *testing.T) {
+	cat := minidb.NewCatalog()
+	if _, err := GenCustomer(cat, smallSF); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := GenOrders(cat, smallSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OrdersCount(smallSF)
+	if tbl.RowCount() != want {
+		t.Fatalf("RowCount = %d, want %d", tbl.RowCount(), want)
+	}
+	schema := tbl.Schema()
+	custIdx := schema.ColumnIndex("o_custkey")
+	dateIdx := schema.ColumnIndex("o_orderdate")
+	statusIdx := schema.ColumnIndex("o_orderstatus")
+	customers := int64(CustomerCount(smallSF))
+	it := tbl.Scan()
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck := r[custIdx].I; ck < 1 || ck > customers {
+			t.Fatalf("o_custkey %d outside [1, %d]", ck, customers)
+		}
+		if d := r[dateIdx].I; d < 8035 || d >= 8035+2405 {
+			t.Fatalf("o_orderdate %d outside the TPC-H window", d)
+		}
+		if s := r[statusIdx].S; s != "O" && s != "F" && s != "P" {
+			t.Fatalf("o_orderstatus %q invalid", s)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	cat1 := minidb.NewCatalog()
+	cat2 := minidb.NewCatalog()
+	t1, _ := GenCustomer(cat1, smallSF)
+	t2, _ := GenCustomer(cat2, smallSF)
+	r1, _ := minidb.Collect(t1.Scan())
+	r2, _ := minidb.Collect(t2.Scan())
+	if len(r1) != len(r2) {
+		t.Fatal("different cardinalities")
+	}
+	for i := range r1 {
+		for j := range r1[i] {
+			if c, err := minidb.Compare(r1[i][j], r2[i][j]); err != nil || c != 0 {
+				t.Fatalf("row %d column %d differs across runs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadBothRelations(t *testing.T) {
+	cat, err := Load(smallSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "customer" || names[1] != "orders" {
+		t.Fatalf("catalog names = %v", names)
+	}
+	// The paper's workload — scan-project over Customer — must execute.
+	it, err := cat.Execute(minidb.Query{Table: "customer", Columns: []string{"c_custkey", "c_name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := minidb.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != CustomerCount(smallSF) {
+		t.Fatalf("scan-project returned %d rows", len(rows))
+	}
+}
+
+func TestBadScaleFactors(t *testing.T) {
+	cat := minidb.NewCatalog()
+	if _, err := GenCustomer(cat, 0); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := GenOrders(cat, -1); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if CustomerCount(1) != 150000 || OrdersCount(1) != 450000 {
+		t.Fatal("SF=1 cardinalities wrong")
+	}
+	if CustomerCount(0.1) != 15000 {
+		t.Fatal("fractional scale wrong")
+	}
+}

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"wsopt/internal/minidb"
+)
+
+// Binary is the compact length-prefixed codec. Layout:
+//
+//	magic "WSB1"
+//	uvarint ncols; per column: uvarint len + name bytes, 1 type byte
+//	uvarint nrows; per row, per column: 1 flag byte (0=value, 1=null),
+//	  then varint (INT64/DATE), 8-byte LE float bits (FLOAT64), or
+//	  uvarint len + bytes (STRING)
+//
+// It exists to quantify the XML/SOAP overhead the paper attributes to web
+// services; the service can be switched to it at construction time.
+type Binary struct{}
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// ContentType implements Codec.
+func (Binary) ContentType() string { return "application/octet-stream" }
+
+var binaryMagic = [4]byte{'W', 'S', 'B', '1'}
+
+const (
+	flagValue byte = 0
+	flagNull  byte = 1
+)
+
+// Encode implements Codec.
+func (Binary) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(schema))); err != nil {
+		return err
+	}
+	for _, c := range schema {
+		if err := putUvarint(uint64(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(rows))); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if len(r) != len(schema) {
+			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
+		}
+		for j, v := range r {
+			if v.Null {
+				if err := bw.WriteByte(flagNull); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := bw.WriteByte(flagValue); err != nil {
+				return err
+			}
+			switch schema[j].Type {
+			case minidb.Int64, minidb.Date:
+				if err := putVarint(v.I); err != nil {
+					return err
+				}
+			case minidb.Float64:
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			case minidb.String:
+				if err := putUvarint(uint64(len(v.S))); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(v.S); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("wire: cannot encode type %v", schema[j].Type)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// maxBlockStrings caps string and count lengths during decode as a defence
+// against corrupt or hostile payloads.
+const maxBlockStrings = 1 << 26
+
+// Decode implements Codec.
+func (Binary) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("wire: binary decode: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, nil, fmt.Errorf("wire: bad magic %q", magic[:])
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: binary decode column count: %w", err)
+	}
+	if ncols == 0 || ncols > 4096 {
+		return nil, nil, fmt.Errorf("wire: implausible column count %d", ncols)
+	}
+	schema := make(minidb.Schema, ncols)
+	for i := range schema {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil || nameLen > 4096 {
+			return nil, nil, fmt.Errorf("wire: binary decode column name length: %v", err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, nil, fmt.Errorf("wire: binary decode column name: %w", err)
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: binary decode column type: %w", err)
+		}
+		t := minidb.Type(tb)
+		if t < minidb.Int64 || t > minidb.Date {
+			return nil, nil, fmt.Errorf("wire: bad column type byte %d", tb)
+		}
+		schema[i] = minidb.Column{Name: string(name), Type: t}
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: binary decode row count: %w", err)
+	}
+	if nrows > maxBlockStrings {
+		return nil, nil, fmt.Errorf("wire: implausible row count %d", nrows)
+	}
+	rows := make([]minidb.Row, nrows)
+	for i := range rows {
+		row := make(minidb.Row, ncols)
+		for j := range row {
+			flag, err := br.ReadByte()
+			if err != nil {
+				return nil, nil, fmt.Errorf("wire: binary decode row %d: %w", i, err)
+			}
+			if flag == flagNull {
+				row[j] = minidb.Null(schema[j].Type)
+				continue
+			}
+			if flag != flagValue {
+				return nil, nil, fmt.Errorf("wire: bad value flag %d at row %d", flag, i)
+			}
+			switch schema[j].Type {
+			case minidb.Int64:
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, nil, fmt.Errorf("wire: binary decode int at row %d: %w", i, err)
+				}
+				row[j] = minidb.NewInt(v)
+			case minidb.Date:
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, nil, fmt.Errorf("wire: binary decode date at row %d: %w", i, err)
+				}
+				row[j] = minidb.NewDate(v)
+			case minidb.Float64:
+				var buf [8]byte
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, nil, fmt.Errorf("wire: binary decode float at row %d: %w", i, err)
+				}
+				row[j] = minidb.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+			case minidb.String:
+				sl, err := binary.ReadUvarint(br)
+				if err != nil || sl > maxBlockStrings {
+					return nil, nil, fmt.Errorf("wire: binary decode string length at row %d: %v", i, err)
+				}
+				b := make([]byte, sl)
+				if _, err := io.ReadFull(br, b); err != nil {
+					return nil, nil, fmt.Errorf("wire: binary decode string at row %d: %w", i, err)
+				}
+				row[j] = minidb.NewString(string(b))
+			}
+		}
+		rows[i] = row
+	}
+	return schema, rows, nil
+}

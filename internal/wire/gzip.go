@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"wsopt/internal/minidb"
+)
+
+// Gzipped wraps any codec with gzip compression — trading CPU for
+// bandwidth, the classic WAN optimization knob next to block sizing.
+type Gzipped struct {
+	// Inner is the wrapped codec (required).
+	Inner Codec
+	// Level is the gzip level; 0 means gzip.DefaultCompression.
+	Level int
+}
+
+// Gzip wraps inner at the default compression level.
+func Gzip(inner Codec) Gzipped { return Gzipped{Inner: inner} }
+
+// Name implements Codec.
+func (g Gzipped) Name() string { return g.Inner.Name() + "+gzip" }
+
+// ContentType implements Codec. The inner content type is kept; transport
+// compression is signalled out of band (the service sets the header).
+func (g Gzipped) ContentType() string { return g.Inner.ContentType() }
+
+// Encode implements Codec.
+func (g Gzipped) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
+	level := g.Level
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	zw, err := gzip.NewWriterLevel(w, level)
+	if err != nil {
+		return fmt.Errorf("wire: gzip writer: %w", err)
+	}
+	if err := g.Inner.Encode(zw, schema, rows); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// Decode implements Codec.
+func (g Gzipped) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: gzip reader: %w", err)
+	}
+	defer zr.Close()
+	return g.Inner.Decode(zr)
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsopt/internal/minidb"
+)
+
+// JSON is the modern-web-service codec: a rowset as a JSON document. It
+// sits between the XML codec (heaviest) and the binary codec (lightest)
+// in both size and parse cost, rounding out the transport ablation.
+//
+// Layout:
+//
+//	{"columns":[{"name":"k","type":"INT64"},...],
+//	 "rows":[["1","alice"],[null,"bob"],...]}
+//
+// Values travel as strings (NULL as JSON null) so that Int64 precision
+// survives; type information lives in the column header.
+type JSON struct{}
+
+// Name implements Codec.
+func (JSON) Name() string { return "json" }
+
+// ContentType implements Codec.
+func (JSON) ContentType() string { return "application/json" }
+
+type jsonColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type jsonRowset struct {
+	Columns []jsonColumn `json:"columns"`
+	Rows    [][]*string  `json:"rows"`
+}
+
+// Encode implements Codec.
+func (JSON) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
+	doc := jsonRowset{
+		Columns: make([]jsonColumn, len(schema)),
+		Rows:    make([][]*string, len(rows)),
+	}
+	for i, c := range schema {
+		doc.Columns[i] = jsonColumn{Name: c.Name, Type: typeName(c.Type)}
+	}
+	for i, r := range rows {
+		if len(r) != len(schema) {
+			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
+		}
+		cells := make([]*string, len(r))
+		for j, v := range r {
+			if v.Null {
+				continue // nil pointer encodes as JSON null
+			}
+			s := v.String()
+			cells[j] = &s
+		}
+		doc.Rows[i] = cells
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Decode implements Codec.
+func (JSON) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
+	var doc jsonRowset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("wire: json decode: %w", err)
+	}
+	if len(doc.Columns) == 0 {
+		return nil, nil, fmt.Errorf("wire: json document has no columns")
+	}
+	schema := make(minidb.Schema, len(doc.Columns))
+	for i, c := range doc.Columns {
+		t, err := parseTypeName(c.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema[i] = minidb.Column{Name: c.Name, Type: t}
+	}
+	rows := make([]minidb.Row, len(doc.Rows))
+	for i, cells := range doc.Rows {
+		if len(cells) != len(schema) {
+			return nil, nil, fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(cells), len(schema))
+		}
+		row := make(minidb.Row, len(cells))
+		for j, cell := range cells {
+			if cell == nil {
+				row[j] = minidb.Null(schema[j].Type)
+				continue
+			}
+			if schema[j].Type == minidb.String {
+				row[j] = minidb.NewString(*cell)
+				continue
+			}
+			v, err := minidb.ParseValue(schema[j].Type, *cell)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wire: row %d column %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return schema, rows, nil
+}

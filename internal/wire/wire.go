@@ -1,0 +1,72 @@
+// Package wire serializes blocks of tuples for transport between the web
+// service and the client. Two codecs are provided:
+//
+//   - an XML codec that wraps a WebRowSet-style rowset in a SOAP-like
+//     envelope, reproducing the encoding and parsing overheads that make
+//     web services "notoriously slow" — the realistic default;
+//   - a compact length-prefixed binary codec, the ablation baseline for
+//     quantifying that overhead (BenchmarkWireCodecs).
+//
+// Both codecs round-trip schema and rows exactly, including NULLs.
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"wsopt/internal/minidb"
+)
+
+// Codec encodes and decodes one block of tuples.
+type Codec interface {
+	// Name identifies the codec in configuration and reports.
+	Name() string
+	// ContentType is the HTTP content type of the encoding.
+	ContentType() string
+	// Encode writes schema and rows to w.
+	Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error
+	// Decode reads one block back.
+	Decode(r io.Reader) (minidb.Schema, []minidb.Row, error)
+}
+
+// ByName returns the codec registered under name: "xml" (default),
+// "json", "binary", or any of them with a "+gzip" suffix.
+func ByName(name string) (Codec, error) {
+	const gzSuffix = "+gzip"
+	if n := len(name) - len(gzSuffix); n > 0 && name[n:] == gzSuffix {
+		inner, err := ByName(name[:n])
+		if err != nil {
+			return nil, err
+		}
+		return Gzip(inner), nil
+	}
+	switch name {
+	case "xml", "":
+		return XML{}, nil
+	case "json":
+		return JSON{}, nil
+	case "binary":
+		return Binary{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q", name)
+	}
+}
+
+// typeName renders a minidb type for the wire.
+func typeName(t minidb.Type) string { return t.String() }
+
+// parseTypeName parses a wire type name.
+func parseTypeName(s string) (minidb.Type, error) {
+	switch s {
+	case "INT64":
+		return minidb.Int64, nil
+	case "FLOAT64":
+		return minidb.Float64, nil
+	case "STRING":
+		return minidb.String, nil
+	case "DATE":
+		return minidb.Date, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown column type %q", s)
+	}
+}

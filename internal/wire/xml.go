@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"wsopt/internal/minidb"
+)
+
+// XML is the SOAP-like rowset codec. The payload shape is
+//
+//	<Envelope><Body><rowset>
+//	  <metadata><column name="..." type="..."/>...</metadata>
+//	  <rows><row><v>...</v>...</row>...</rows>
+//	</rowset></Body></Envelope>
+//
+// NULL values carry a null="true" attribute so they survive the
+// round-trip distinct from empty strings.
+type XML struct{}
+
+// Name implements Codec.
+func (XML) Name() string { return "xml" }
+
+// ContentType implements Codec.
+func (XML) ContentType() string { return "application/xml" }
+
+type xmlValue struct {
+	Null bool   `xml:"null,attr,omitempty"`
+	Data string `xml:",chardata"`
+}
+
+type xmlRow struct {
+	V []xmlValue `xml:"v"`
+}
+
+type xmlColumn struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlRowset struct {
+	XMLName xml.Name    `xml:"rowset"`
+	Columns []xmlColumn `xml:"metadata>column"`
+	Rows    []xmlRow    `xml:"rows>row"`
+}
+
+type xmlBody struct {
+	Rowset xmlRowset `xml:"rowset"`
+}
+
+type xmlEnvelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    xmlBody  `xml:"Body"`
+}
+
+// Encode implements Codec.
+func (XML) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
+	env := xmlEnvelope{}
+	env.Body.Rowset.Columns = make([]xmlColumn, len(schema))
+	for i, c := range schema {
+		env.Body.Rowset.Columns[i] = xmlColumn{Name: c.Name, Type: typeName(c.Type)}
+	}
+	env.Body.Rowset.Rows = make([]xmlRow, len(rows))
+	for i, r := range rows {
+		if len(r) != len(schema) {
+			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
+		}
+		vals := make([]xmlValue, len(r))
+		for j, v := range r {
+			vals[j] = xmlValue{Null: v.Null, Data: v.String()}
+		}
+		env.Body.Rowset.Rows[i] = xmlRow{V: vals}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	return xml.NewEncoder(w).Encode(env)
+}
+
+// Decode implements Codec.
+func (XML) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
+	var env xmlEnvelope
+	if err := xml.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("wire: xml decode: %w", err)
+	}
+	rs := env.Body.Rowset
+	schema := make(minidb.Schema, len(rs.Columns))
+	for i, c := range rs.Columns {
+		t, err := parseTypeName(c.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema[i] = minidb.Column{Name: c.Name, Type: t}
+	}
+	rows := make([]minidb.Row, len(rs.Rows))
+	for i, xr := range rs.Rows {
+		if len(xr.V) != len(schema) {
+			return nil, nil, fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(xr.V), len(schema))
+		}
+		row := make(minidb.Row, len(xr.V))
+		for j, xv := range xr.V {
+			if xv.Null {
+				row[j] = minidb.Null(schema[j].Type)
+				continue
+			}
+			if schema[j].Type == minidb.String {
+				// Bypass ParseValue, which maps "" to NULL: an empty
+				// string value is distinct from a NULL here.
+				row[j] = minidb.NewString(xv.Data)
+				continue
+			}
+			v, err := minidb.ParseValue(schema[j].Type, xv.Data)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wire: row %d column %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return schema, rows, nil
+}
