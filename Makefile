@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race verify chaos bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: everything must build, vet clean, and pass
+# under the race detector.
+verify: build vet race
+
+# chaos runs just the fault-injection exactly-once tests.
+chaos:
+	$(GO) test -race ./internal/client -run Chaos -v
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -41,6 +41,11 @@ func main() {
 		timescale = flag.Float64("timescale", 0.001, "real milliseconds slept per simulated millisecond")
 		quiet     = flag.Bool("quiet", false, "suppress request logging")
 		dataDir   = flag.String("data", "", "cache generated tables in this directory across restarts")
+
+		faultDrop  = flag.Float64("fault-drop", 0, "chaos: probability of severing the connection after a block is processed")
+		faultTrunc = flag.Float64("fault-truncate", 0, "chaos: probability of truncating a block response body")
+		fault503   = flag.Float64("fault-503", 0, "chaos: probability of refusing a block request with 503")
+		faultSeed  = flag.Int64("fault-seed", 0, "chaos: fault RNG seed (0 = derive from clock)")
 	)
 	flag.Parse()
 
@@ -85,6 +90,15 @@ func main() {
 		logger.Printf("injecting delays from %s (%s) at timescale %g", spec.Name, model, *timescale)
 	}
 
+	faults := service.FaultConfig{
+		DropProb:     *faultDrop,
+		TruncateProb: *faultTrunc,
+		Error503Prob: *fault503,
+	}
+	seed := time.Now().UnixNano()
+	if *faultSeed != 0 {
+		seed = *faultSeed
+	}
 	reqLogger := logger
 	if *quiet {
 		reqLogger = nil
@@ -95,10 +109,15 @@ func main() {
 		CostModel:  model,
 		SleepScale: *timescale,
 		Logger:     reqLogger,
-		Seed:       time.Now().UnixNano(),
+		Seed:       seed,
+		Faults:     faults,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if *faultDrop > 0 || *faultTrunc > 0 || *fault503 > 0 {
+		logger.Printf("fault injection enabled: drop=%.2f truncate=%.2f 503=%.2f",
+			*faultDrop, *faultTrunc, *fault503)
 	}
 
 	// Janitor: expire idle sessions once a minute.

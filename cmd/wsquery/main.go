@@ -39,6 +39,8 @@ func main() {
 		useInj    = flag.Bool("simtime", true, "observe server-injected simulated delays instead of wall time")
 		trace     = flag.Bool("trace", false, "print each block decision")
 		traceCSV  = flag.String("trace-csv", "", "write the full controller trace to this CSV file")
+		retries   = flag.Int("retries", 5, "attempts per request; block transfers replay safely via the seq protocol (1 = no retry)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	c.SetRetry(client.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase})
 
 	q := client.Query{Table: *table, Where: *where}
 	if *columns != "" {
@@ -100,6 +103,9 @@ func main() {
 	fmt.Printf("controller:      %s\n", ctl.Name())
 	fmt.Printf("tuples:          %d in %d blocks\n", res.Tuples, res.Blocks)
 	fmt.Printf("wall time:       %v\n", elapsed.Round(time.Millisecond))
+	if res.Retries > 0 || res.Replays > 0 {
+		fmt.Printf("retries:         %d (%d blocks replayed by the server)\n", res.Retries, res.Replays)
+	}
 	if res.SimulatedMS > 0 {
 		fmt.Printf("simulated time:  %.1f s\n", res.SimulatedMS/1000)
 	}
@@ -124,7 +130,10 @@ func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.C
 			return res, err
 		}
 		if len(blk.Rows) == 0 {
-			break
+			if !blk.Done {
+				return res, fmt.Errorf("server returned an empty block without the done flag (after %d tuples)", res.Tuples)
+			}
+			continue
 		}
 		res.Tuples += len(blk.Rows)
 		res.Blocks++

@@ -1,0 +1,249 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// The chaos tests drive full transfers through a service that randomly
+// severs connections, truncates bodies, and refuses requests, and assert
+// exactly-once delivery: the seq/replay protocol plus client retries must
+// deliver the exact tuple set with zero duplicates and zero losses.
+
+// chaosFaults injects a combined ~20% failure rate across the three
+// fault kinds.
+var chaosFaults = service.FaultConfig{
+	DropProb:     0.08,
+	TruncateProb: 0.06,
+	Error503Prob: 0.06,
+}
+
+// chaosRetry retries aggressively with tiny backoffs to keep the tests
+// fast; 25 attempts makes a full-run failure astronomically unlikely.
+var chaosRetry = RetryPolicy{
+	MaxAttempts: 25,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    5 * time.Millisecond,
+}
+
+// chaosStack builds a faulty service over `rows` unique tuples and a
+// retrying client.
+func chaosStack(t *testing.T, rows int, codec wire.Codec, seed int64) (*Client, *service.Server) {
+	t.Helper()
+	cat := minidb.NewCatalog()
+	tbl, err := cat.CreateTable("data", minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("v%d", i))})
+	}
+	if err := tbl.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Catalog: cat,
+		Codec:   codec,
+		Faults:  chaosFaults,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, codec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(chaosRetry)
+	return c, srv
+}
+
+// assertExactSet fails unless every key 0..n-1 was seen exactly once.
+func assertExactSet(t *testing.T, seen map[int64]int, n int) {
+	t.Helper()
+	dups, losses := 0, 0
+	for k, c := range seen {
+		if c > 1 {
+			dups++
+			t.Errorf("key %d delivered %d times", k, c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seen[int64(i)] == 0 {
+			losses++
+			t.Errorf("key %d lost", i)
+		}
+	}
+	if dups > 0 || losses > 0 {
+		t.Fatalf("chaos run broke exactly-once delivery: %d duplicates, %d losses", dups, losses)
+	}
+}
+
+func TestChaosPullExactlyOnce(t *testing.T) {
+	const rows = 3000
+	c, srv := chaosStack(t, rows, wire.XML{}, 42)
+
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]int, rows)
+	retries, replays := 0, 0
+	for !sess.Done() {
+		blk, err := sess.Next(context.Background(), 100)
+		if err != nil {
+			t.Fatalf("pull under chaos failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		retries += blk.Attempts - 1
+		if blk.Replayed {
+			replays++
+		}
+	}
+	assertExactSet(t, seen, rows)
+
+	st := srv.Stats()
+	injected := st.FaultsInjected.Dropped + st.FaultsInjected.Truncated + st.FaultsInjected.Refused
+	if injected == 0 {
+		t.Fatal("chaos run injected no faults; the test proved nothing")
+	}
+	if retries == 0 {
+		t.Fatal("client reported no retries despite injected faults")
+	}
+	if st.FaultsInjected.Dropped+st.FaultsInjected.Truncated > 0 && replays == 0 {
+		t.Fatal("responses were lost in flight but no block was replayed")
+	}
+	t.Logf("chaos pull: %d faults injected (%d dropped, %d truncated, %d refused), %d retries, %d replays",
+		injected, st.FaultsInjected.Dropped, st.FaultsInjected.Truncated, st.FaultsInjected.Refused, retries, replays)
+}
+
+func TestChaosRunAdaptiveExactlyOnce(t *testing.T) {
+	const rows = 2000
+	c, _ := chaosStack(t, rows, wire.Binary{}, 7)
+
+	cfg := core.Config{
+		InitialSize: 50, Limits: core.Limits{Min: 10, Max: 400},
+		B1: 30, B2: 25, AvgHorizon: 1, CriterionWindow: 5, CriterionThreshold: 1,
+	}
+	ctl, err := core.NewConstant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), Query{Table: "data"}, ctl, MetricPerTuple, true)
+	if err != nil {
+		t.Fatalf("adaptive run under chaos failed: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Fatalf("adaptive run delivered %d tuples, want %d", res.Tuples, rows)
+	}
+	if res.Retries == 0 {
+		t.Fatal("run reported no retries despite injected faults")
+	}
+}
+
+func TestChaosRunPipelinedExactlyOnce(t *testing.T) {
+	const rows = 2000
+	c, _ := chaosStack(t, rows, wire.XML{}, 99)
+
+	seen := make(map[int64]int, rows)
+	res, err := c.RunPipelined(context.Background(), Query{Table: "data"},
+		core.NewStatic(80), MetricPerTuple, true,
+		func(_ minidb.Schema, rows []minidb.Row) error {
+			for _, r := range rows {
+				seen[r[0].I]++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("pipelined run under chaos failed: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Fatalf("pipelined run delivered %d tuples, want %d", res.Tuples, rows)
+	}
+	assertExactSet(t, seen, rows)
+}
+
+func TestChaosPushExactlyOnce(t *testing.T) {
+	const rows = 1500
+	schema := minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	}
+	serverCat := minidb.NewCatalog()
+	sink, err := serverCat.CreateTable("sink", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Catalog: serverCat,
+		Faults:  chaosFaults,
+		Seed:    1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(chaosRetry)
+
+	localCat := minidb.NewCatalog()
+	local, err := localCat.CreateTable("src", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("v%d", i))})
+	}
+	if err := local.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Push(context.Background(), "sink", local.Scan(), core.NewStatic(64), MetricPerTuple, true)
+	if err != nil {
+		t.Fatalf("push under chaos failed: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Fatalf("push reported %d tuples, want %d", res.Tuples, rows)
+	}
+	if sink.RowCount() != rows {
+		t.Fatalf("sink holds %d rows, want exactly %d (duplicates or losses)", sink.RowCount(), rows)
+	}
+	seen := make(map[int64]int, rows)
+	it := sink.Scan()
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r[0].I]++
+	}
+	assertExactSet(t, seen, rows)
+	if res.Retries == 0 {
+		t.Fatal("push reported no retries despite injected faults")
+	}
+}

@@ -82,6 +82,10 @@ type Session struct {
 	id      string
 	columns []string
 	done    bool
+	// seq numbers the blocks pulled so far; the next pull requests
+	// seq+1, and a retry re-requests the same number so the server can
+	// replay a block whose response was lost.
+	seq uint64
 }
 
 // OpenSession creates a server-side session for the query.
@@ -90,7 +94,11 @@ func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: marshal query: %w", err)
 	}
-	resp, err := c.doManagement(ctx, http.MethodPost, c.endpoint("/sessions"), body, "application/json", http.StatusCreated)
+	u, err := c.endpoint("sessions")
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doManagement(ctx, http.MethodPost, u, body, "application/json", http.StatusCreated)
 	if err != nil {
 		return nil, fmt.Errorf("client: open session: %w", err)
 	}
@@ -131,9 +139,19 @@ type Block struct {
 	// InjectedMS is the simulated delay the server reports it applied
 	// (before time scaling), for experiment bookkeeping.
 	InjectedMS float64
+	// Attempts is how many pulls this block took (1 = no retry).
+	Attempts int
+	// Replayed is true when the server served the block from its replay
+	// buffer, i.e. an earlier attempt's response was produced but lost.
+	Replayed bool
 }
 
-// Next pulls one block of up to size tuples and times it.
+// Next pulls one block of up to size tuples and times it. Transient
+// failures — severed connections, truncated bodies, 5xx responses — are
+// retried under the client's RetryPolicy, re-requesting the same
+// sequence number so the server can replay the block without skipping
+// or duplicating tuples. Elapsed covers the successful attempt only, so
+// the controller's timing signal is not polluted by failed tries.
 func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	if s.done {
 		return nil, fmt.Errorf("client: session %s already exhausted", s.id)
@@ -141,7 +159,41 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("client: block size %d must be positive", size)
 	}
-	u := s.c.endpoint("/sessions/"+s.id+"/next") + "?size=" + strconv.Itoa(size)
+	base, err := s.c.endpoint("sessions", s.id, "next")
+	if err != nil {
+		return nil, err
+	}
+	seq := s.seq + 1
+	u := base + "?size=" + strconv.Itoa(size) + "&seq=" + strconv.FormatUint(seq, 10)
+
+	policy := s.c.retry.normalized()
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		blk, err := s.pullOnce(ctx, u)
+		if err == nil {
+			blk.Attempts = attempt
+			s.seq = seq
+			s.done = blk.Done
+			return blk, nil
+		}
+		if !isTransient(err) {
+			return nil, err
+		}
+		if attempt >= policy.MaxAttempts {
+			if attempt > 1 {
+				return nil, fmt.Errorf("client: pull block seq %d: giving up after %d attempts: %w", seq, attempt, err)
+			}
+			return nil, err
+		}
+		if delay, err = backoff(ctx, delay, policy.MaxDelay, err); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pullOnce performs one pull attempt, marking recoverable failures
+// transient.
+func (s *Session) pullOnce(ctx context.Context, u string) (*Block, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
 	if err != nil {
 		return nil, err
@@ -149,34 +201,44 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	t1 := time.Now()
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: pull block: %w", err)
+		return nil, transportErr(ctx, "pull block", err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpFailure("pull block", resp)
+		err := httpFailure("pull block", resp)
+		if retryable(resp.StatusCode) {
+			err = markTransient(err)
+		}
+		return nil, err
 	}
 	schema, rows, err := s.c.codec.Decode(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: decode block: %w", err)
+		// Usually a body truncated by a dying connection: retry and let
+		// the server replay the block intact.
+		return nil, markTransient(fmt.Errorf("client: decode block: %w", err))
 	}
 	elapsed := time.Since(t1)
 
 	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed}
 	blk.Done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
 	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
+	blk.Replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
 	if want := resp.Header.Get(service.HeaderBlockTuples); want != "" {
 		if n, err := strconv.Atoi(want); err == nil && n != len(rows) {
-			return nil, fmt.Errorf("client: server announced %d tuples but block decoded %d", n, len(rows))
+			return nil, markTransient(fmt.Errorf("client: server announced %d tuples but block decoded %d", n, len(rows)))
 		}
 	}
-	s.done = blk.Done
 	return blk, nil
 }
 
 // Close deletes the server-side session. Closing an already-expired
 // session is not an error.
 func (s *Session) Close(ctx context.Context) error {
-	resp, err := s.c.doManagement(ctx, http.MethodDelete, s.c.endpoint("/sessions/"+s.id), nil, "",
+	u, err := s.c.endpoint("sessions", s.id)
+	if err != nil {
+		return err
+	}
+	resp, err := s.c.doManagement(ctx, http.MethodDelete, u, nil, "",
 		http.StatusNoContent, http.StatusNotFound)
 	if err != nil {
 		return fmt.Errorf("client: close session: %w", err)
@@ -194,7 +256,11 @@ func (c *Client) SetLoad(ctx context.Context, jobs, queries int, memory float64)
 	if err != nil {
 		return err
 	}
-	resp, err := c.doManagement(ctx, http.MethodPut, c.endpoint("/load"), body, "application/json", http.StatusNoContent)
+	u, err := c.endpoint("load")
+	if err != nil {
+		return err
+	}
+	resp, err := c.doManagement(ctx, http.MethodPut, u, body, "application/json", http.StatusNoContent)
 	if err != nil {
 		return fmt.Errorf("client: set load: %w", err)
 	}
@@ -217,6 +283,11 @@ type RunResult struct {
 	SimulatedMS float64
 	// Sizes is the commanded block size per request.
 	Sizes []int
+	// Retries counts extra pull attempts beyond the first, and Replays
+	// counts blocks the server served from its replay buffer — both 0
+	// on a fault-free run.
+	Retries int
+	Replays int
 }
 
 // Run executes Algorithm 1: it pulls the whole result set, feeding each
@@ -243,13 +314,23 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 		}
 		got := len(blk.Rows)
 		if got == 0 {
-			break
+			if !blk.Done {
+				// A correct server only sends an empty block as the done
+				// marker; silently accepting one here would report a
+				// truncated result as success.
+				return res, fmt.Errorf("client: server returned an empty block without the done flag (after %d tuples)", res.Tuples)
+			}
+			continue // loop condition observes sess.Done()
 		}
 		res.Tuples += got
 		res.Blocks++
 		res.Elapsed += blk.Elapsed
 		res.SimulatedMS += blk.InjectedMS
 		res.Sizes = append(res.Sizes, size)
+		res.Retries += blk.Attempts - 1
+		if blk.Replayed {
+			res.Replays++
+		}
 
 		y := float64(blk.Elapsed) / float64(time.Millisecond)
 		if useInjected && blk.InjectedMS > 0 {
@@ -263,10 +344,22 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 	return res, nil
 }
 
-func (c *Client) endpoint(p string) string {
-	u := *c.base
-	u.Path, _ = url.JoinPath(u.Path, p)
-	return u.String()
+// endpoint builds an absolute URL from path segments, path-escaping each
+// one (session IDs come from the server and must not be interpolated
+// raw) and surfacing join errors instead of discarding them.
+func (c *Client) endpoint(segments ...string) (string, error) {
+	esc := make([]string, len(segments))
+	for i, seg := range segments {
+		if seg == "" {
+			return "", fmt.Errorf("client: empty path segment in endpoint %v", segments)
+		}
+		esc[i] = url.PathEscape(seg)
+	}
+	joined, err := url.JoinPath(c.base.String(), esc...)
+	if err != nil {
+		return "", fmt.Errorf("client: build endpoint %v: %w", segments, err)
+	}
+	return joined, nil
 }
 
 func httpFailure(op string, resp *http.Response) error {

@@ -1,11 +1,15 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"wsopt/internal/core"
 	"wsopt/internal/minidb"
@@ -247,6 +251,114 @@ func TestTruncatedBlockDetected(t *testing.T) {
 	}
 	if _, err := sess.Next(context.Background(), 10); err == nil {
 		t.Fatal("tuple-count mismatch should be detected")
+	}
+}
+
+// TestRetryReplaysTruncatedResponse drives the exact failure the replay
+// buffer exists for: the first response is cut off mid-body, and the
+// client's same-seq retry receives the replayed block intact.
+func TestRetryReplaysTruncatedResponse(t *testing.T) {
+	schema := minidb.Schema{{Name: "k", Type: minidb.Int64}}
+	rows := []minidb.Row{{minidb.NewInt(1)}, {minidb.NewInt(2)}, {minidb.NewInt(3)}}
+	var pulls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sessions" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+			return
+		}
+		var buf bytes.Buffer
+		if err := (wire.XML{}).Encode(&buf, schema, rows); err != nil {
+			t.Error(err)
+		}
+		w.Header().Set(service.HeaderBlockTuples, "3")
+		w.Header().Set(service.HeaderBlockDone, "true")
+		if pulls.Add(1) == 1 {
+			// Truncate: announce the full length, ship half, sever.
+			w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+			_, _ = w.Write(buf.Bytes()[:buf.Len()/2])
+			panic(http.ErrAbortHandler)
+		}
+		w.Header().Set(service.HeaderBlockReplay, "true")
+		_, _ = w.Write(buf.Bytes())
+	}))
+	defer ts.Close()
+
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := sess.Next(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("truncated response should be recovered by the retry: %v", err)
+	}
+	if len(blk.Rows) != 3 || !blk.Done {
+		t.Fatalf("recovered block = %d rows, done=%v", len(blk.Rows), blk.Done)
+	}
+	if blk.Attempts != 2 || !blk.Replayed {
+		t.Fatalf("attempts = %d, replayed = %v; want the second attempt to be a replay", blk.Attempts, blk.Replayed)
+	}
+}
+
+// TestRunRejectsSilentTruncation covers the Run-level satellite: an empty
+// block without the done flag must surface as an error, not a silently
+// short result.
+func TestRunRejectsSilentTruncation(t *testing.T) {
+	var pulls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sessions" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+			return
+		}
+		schema := minidb.Schema{{Name: "k", Type: minidb.Int64}}
+		var rows []minidb.Row
+		if pulls.Add(1) == 1 {
+			rows = []minidb.Row{{minidb.NewInt(1)}}
+		}
+		// Never sets the done header: the second block is empty + not done.
+		w.Header().Set(service.HeaderBlockTuples, strconv.Itoa(len(rows)))
+		w.Header().Set(service.HeaderBlockDone, "false")
+		_ = wire.XML{}.Encode(w, schema, rows)
+	}))
+	defer ts.Close()
+
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	res, err := c.Run(context.Background(), Query{Table: "data"}, core.NewStatic(10), MetricPerBlock, false)
+	if err == nil {
+		t.Fatal("empty not-done block should be an error, not a short success")
+	}
+	if res.Tuples != 1 {
+		t.Fatalf("partial result should report the 1 tuple delivered, got %d", res.Tuples)
+	}
+
+	// RunPipelined must reject it too.
+	pulls.Store(0)
+	if _, err := c.RunPipelined(context.Background(), Query{Table: "data"},
+		core.NewStatic(10), MetricPerBlock, false, nil); err == nil {
+		t.Fatal("pipelined run should reject an empty not-done block")
+	}
+}
+
+func TestEndpointEscapesSessionIDs(t *testing.T) {
+	c, err := New("http://localhost:9", wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.endpoint("sessions", "s/../../etc", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "http://localhost:9/sessions/s%2F..%2F..%2Fetc/next"
+	if u != want {
+		t.Fatalf("endpoint = %q, want %q (id must be path-escaped)", u, want)
+	}
+	if _, err := c.endpoint("sessions", "", "next"); err == nil {
+		t.Fatal("empty segment should be rejected")
 	}
 }
 

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"wsopt/internal/core"
@@ -62,12 +63,22 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 		if err != nil {
 			return prefetched{err: err}
 		}
+		if len(blk.Rows) == 0 && !blk.Done {
+			// A correct server only sends an empty block as the done
+			// marker; treating one as end-of-stream would report a
+			// truncated result as success.
+			return prefetched{err: fmt.Errorf("client: server returned an empty block without the done flag (after %d tuples)", res.Tuples)}
+		}
 		if len(blk.Rows) > 0 {
 			res.Tuples += len(blk.Rows)
 			res.Blocks++
 			res.Elapsed += blk.Elapsed
 			res.SimulatedMS += blk.InjectedMS
 			res.Sizes = append(res.Sizes, size)
+			res.Retries += blk.Attempts - 1
+			if blk.Replayed {
+				res.Replays++
+			}
 
 			y := float64(blk.Elapsed) / float64(time.Millisecond)
 			if useInjected && blk.InjectedMS > 0 {

@@ -20,6 +20,10 @@ import (
 type PushSession struct {
 	c  *Client
 	id string
+	// seq numbers the blocks uploaded so far; a retried Send re-sends
+	// the same number so the server can deduplicate a block whose
+	// acknowledgement was lost.
+	seq uint64
 }
 
 // OpenPush creates a server-side ingest session for the named table.
@@ -28,7 +32,11 @@ func (c *Client) OpenPush(ctx context.Context, table string) (*PushSession, erro
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.doManagement(ctx, http.MethodPost, c.endpoint("/ingest"), body, "application/json", http.StatusCreated)
+	u, err := c.endpoint("ingest")
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doManagement(ctx, http.MethodPost, u, body, "application/json", http.StatusCreated)
 	if err != nil {
 		return nil, fmt.Errorf("client: open push: %w", err)
 	}
@@ -56,9 +64,17 @@ type PushBlock struct {
 	Elapsed time.Duration
 	// InjectedMS is the simulated delay the server applied (pre-scaling).
 	InjectedMS float64
+	// Attempts is how many uploads this block took (1 = no retry).
+	Attempts int
+	// Replayed is true when the server recognized the block as a
+	// duplicate and acknowledged without re-applying it.
+	Replayed bool
 }
 
-// Send uploads one block of rows and times it.
+// Send uploads one block of rows and times it. Transient failures are
+// retried under the client's RetryPolicy, re-sending the same sequence
+// number so the server can acknowledge an already-applied block instead
+// of loading it twice.
 func (p *PushSession) Send(ctx context.Context, schema minidb.Schema, rows []minidb.Row) (*PushBlock, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("client: cannot push an empty block")
@@ -67,7 +83,41 @@ func (p *PushSession) Send(ctx context.Context, schema minidb.Schema, rows []min
 	if err := p.c.codec.Encode(&buf, schema, rows); err != nil {
 		return nil, fmt.Errorf("client: encode block: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.c.endpoint("/ingest/"+p.id+"/block"), bytes.NewReader(buf.Bytes()))
+	base, err := p.c.endpoint("ingest", p.id, "block")
+	if err != nil {
+		return nil, err
+	}
+	seq := p.seq + 1
+	u := base + "?seq=" + strconv.FormatUint(seq, 10)
+
+	policy := p.c.retry.normalized()
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		blk, err := p.sendOnce(ctx, u, buf.Bytes(), len(rows))
+		if err == nil {
+			blk.Attempts = attempt
+			p.seq = seq
+			return blk, nil
+		}
+		if !isTransient(err) {
+			return nil, err
+		}
+		if attempt >= policy.MaxAttempts {
+			if attempt > 1 {
+				return nil, fmt.Errorf("client: push block seq %d: giving up after %d attempts: %w", seq, attempt, err)
+			}
+			return nil, err
+		}
+		if delay, err = backoff(ctx, delay, policy.MaxDelay, err); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sendOnce performs one upload attempt, marking recoverable failures
+// transient.
+func (p *PushSession) sendOnce(ctx context.Context, u string, payload []byte, tuples int) (*PushBlock, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
@@ -75,20 +125,29 @@ func (p *PushSession) Send(ctx context.Context, schema minidb.Schema, rows []min
 	t1 := time.Now()
 	resp, err := p.c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: push block: %w", err)
+		return nil, transportErr(ctx, "push block", err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusNoContent {
-		return nil, httpFailure("push block", resp)
+		err := httpFailure("push block", resp)
+		if retryable(resp.StatusCode) {
+			err = markTransient(err)
+		}
+		return nil, err
 	}
-	blk := &PushBlock{Tuples: len(rows), Elapsed: time.Since(t1)}
+	blk := &PushBlock{Tuples: tuples, Elapsed: time.Since(t1)}
 	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
+	blk.Replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
 	return blk, nil
 }
 
 // Close finishes the upload and returns the server-confirmed tuple count.
 func (p *PushSession) Close(ctx context.Context) (int, error) {
-	resp, err := p.c.doManagement(ctx, http.MethodDelete, p.c.endpoint("/ingest/"+p.id), nil, "", http.StatusOK)
+	u, err := p.c.endpoint("ingest", p.id)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := p.c.doManagement(ctx, http.MethodDelete, u, nil, "", http.StatusOK)
 	if err != nil {
 		return 0, fmt.Errorf("client: close push: %w", err)
 	}
@@ -116,6 +175,11 @@ type PushResult struct {
 	SimulatedMS float64
 	// Sizes is the commanded block size per request.
 	Sizes []int
+	// Retries counts extra upload attempts beyond the first, and
+	// Replays counts duplicate blocks the server deduplicated — both 0
+	// on a fault-free run.
+	Retries int
+	Replays int
 }
 
 // Push ships every row of the iterator to the named server table,
@@ -148,6 +212,10 @@ func (c *Client) Push(ctx context.Context, table string, src minidb.Iterator, ct
 			res.Elapsed += blk.Elapsed
 			res.SimulatedMS += blk.InjectedMS
 			res.Sizes = append(res.Sizes, size)
+			res.Retries += blk.Attempts - 1
+			if blk.Replayed {
+				res.Replays++
+			}
 
 			y := float64(blk.Elapsed) / float64(time.Millisecond)
 			if useInjected && blk.InjectedMS > 0 {

@@ -3,18 +3,22 @@ package client
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 )
 
-// RetryPolicy controls retries of *session-management* requests (opening
-// and closing sessions, adjusting load). Block transfers are deliberately
-// never retried: a pull advances the server-side cursor and an upload
-// appends rows, so a blind retry could skip or duplicate tuples. The
-// controller loop handles a failed block by surfacing the error to the
-// caller, who owns the trade-off.
+// RetryPolicy controls retries of every request the client makes:
+// session management (opening and closing sessions, adjusting load) and
+// block transfers. Block pulls and pushes carry a per-session sequence
+// number, and the server buffers the last block per session, replaying
+// it verbatim when the same seq is requested again — so retrying a
+// failed transfer can neither skip nor duplicate tuples. A retried pull
+// re-requests the *same* seq; the server either serves it fresh (if the
+// first attempt never advanced the cursor) or replays the buffer (if the
+// response was produced but lost in flight).
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (1 = no retry, the
 	// default).
@@ -39,7 +43,8 @@ func (p RetryPolicy) normalized() RetryPolicy {
 	return p
 }
 
-// SetRetry installs the retry policy for session-management requests.
+// SetRetry installs the retry policy for all requests, block transfers
+// included.
 func (c *Client) SetRetry(p RetryPolicy) { c.retry = p.normalized() }
 
 // retryable reports whether a response status is worth another attempt:
@@ -55,6 +60,52 @@ func retryable(status int) bool {
 	default:
 		return false
 	}
+}
+
+// transientError marks a failure that is safe and worthwhile to retry:
+// severed connections, truncated bodies, and 5xx responses.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// markTransient wraps err so isTransient reports true for it.
+func markTransient(err error) error { return &transientError{err: err} }
+
+// isTransient reports whether err was marked retryable.
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// transportErr classifies an http.Client.Do failure: a cancelled or
+// timed-out context is the caller's decision and is never retried;
+// anything else (refused, reset, severed mid-body) is transient.
+func transportErr(ctx context.Context, op string, err error) error {
+	wrapped := fmt.Errorf("client: %s: %w", op, err)
+	if ctx.Err() != nil {
+		return wrapped
+	}
+	return markTransient(wrapped)
+}
+
+// backoff sleeps the current retry delay (honouring ctx) and returns the
+// next delay. A context expiry is wrapped around lastErr so callers see
+// why the retries were happening, not just that they were interrupted.
+func backoff(ctx context.Context, delay, maxDelay time.Duration, lastErr error) (time.Duration, error) {
+	select {
+	case <-ctx.Done():
+		if lastErr != nil {
+			return 0, fmt.Errorf("client: %w (interrupted while retrying after: %v)", ctx.Err(), lastErr)
+		}
+		return 0, ctx.Err()
+	case <-time.After(delay):
+	}
+	delay *= 2
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	return delay, nil
 }
 
 // doManagement performs a session-management request with the configured
@@ -95,14 +146,8 @@ func (c *Client) doManagement(ctx context.Context, method, url string, body []by
 		if attempt >= policy.MaxAttempts {
 			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt, lastErr)
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(delay):
-		}
-		delay *= 2
-		if delay > policy.MaxDelay {
-			delay = policy.MaxDelay
+		if delay, err = backoff(ctx, delay, policy.MaxDelay, lastErr); err != nil {
+			return nil, err
 		}
 	}
 }

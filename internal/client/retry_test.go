@@ -2,13 +2,18 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"wsopt/internal/minidb"
+	"wsopt/internal/service"
 	"wsopt/internal/wire"
 )
 
@@ -98,8 +103,13 @@ func TestRetryHonorsContextCancellation(t *testing.T) {
 	}
 }
 
-func TestBlockPullsAreNeverRetried(t *testing.T) {
+// blockFlakyServer 503s the first `failures` pulls, then serves one
+// tuple per pull, recording the seq parameter of every pull request.
+func blockFlakyServer(t *testing.T, failures int) (*httptest.Server, *atomic.Int64, func() []string) {
+	t.Helper()
 	var nextCalls atomic.Int64
+	var mu sync.Mutex
+	var seqs []string
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/sessions" {
 			w.Header().Set("Content-Type", "application/json")
@@ -107,20 +117,116 @@ func TestBlockPullsAreNeverRetried(t *testing.T) {
 			fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
 			return
 		}
-		nextCalls.Add(1)
-		http.Error(w, "boom", http.StatusServiceUnavailable)
+		n := nextCalls.Add(1)
+		mu.Lock()
+		seqs = append(seqs, r.URL.Query().Get("seq"))
+		mu.Unlock()
+		if int(n) <= failures {
+			http.Error(w, "boom", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set(service.HeaderBlockTuples, "1")
+		w.Header().Set(service.HeaderBlockDone, "false")
+		_ = wire.XML{}.Encode(w, minidb.Schema{{Name: "k", Type: minidb.Int64}},
+			[]minidb.Row{{minidb.NewInt(1)}})
 	}))
-	defer ts.Close()
+	t.Cleanup(ts.Close)
+	return ts, &nextCalls, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), seqs...)
+	}
+}
+
+func TestBlockPullRetriesReuseSeq(t *testing.T) {
+	ts, nextCalls, seqs := blockFlakyServer(t, 2)
 	c, _ := New(ts.URL, wire.XML{}, nil)
-	c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := sess.Next(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("retry should have recovered the block: %v", err)
+	}
+	if blk.Attempts != 3 || nextCalls.Load() != 3 {
+		t.Fatalf("attempts = %d, calls = %d, want 3 each", blk.Attempts, nextCalls.Load())
+	}
+	for _, s := range seqs() {
+		if s != "1" {
+			t.Fatalf("retries must re-request the same seq; got %v", seqs())
+		}
+	}
+	// The next fresh pull advances the seq.
+	if _, err := sess.Next(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := seqs(); got[len(got)-1] != "2" {
+		t.Fatalf("fresh pull should request seq 2; got %v", got)
+	}
+}
+
+func TestBlockPullDefaultPolicySingleAttempt(t *testing.T) {
+	ts, nextCalls, _ := blockFlakyServer(t, 100)
+	c, _ := New(ts.URL, wire.XML{}, nil)
 	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := sess.Next(context.Background(), 10); err == nil {
-		t.Fatal("failed block should surface")
+		t.Fatal("failed block should surface without a policy")
 	}
 	if nextCalls.Load() != 1 {
-		t.Fatalf("block pulls retried %d times; they advance server state and must not be", nextCalls.Load())
+		t.Fatalf("calls = %d, want 1 by default", nextCalls.Load())
+	}
+}
+
+func TestBlockPullDoesNotRetryNonTransientErrors(t *testing.T) {
+	// 409 (seq conflict) and 410 (exhausted) are protocol states, not
+	// transient faults: one attempt only.
+	for _, status := range []int{http.StatusConflict, http.StatusGone, http.StatusNotFound} {
+		var nextCalls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/sessions" {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusCreated)
+				fmt.Fprint(w, `{"session":"s1","columns":["k"]}`)
+				return
+			}
+			nextCalls.Add(1)
+			http.Error(w, "nope", status)
+		}))
+		c, _ := New(ts.URL, wire.XML{}, nil)
+		c.SetRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+		sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Next(context.Background(), 10); err == nil {
+			t.Fatalf("status %d should surface", status)
+		}
+		if nextCalls.Load() != 1 {
+			t.Fatalf("status %d retried %d times; must not be", status, nextCalls.Load())
+		}
+		ts.Close()
+	}
+}
+
+func TestRetryContextExpiryKeepsLastError(t *testing.T) {
+	ts, _ := flakyServer(t, 100, http.StatusServiceUnavailable)
+	c, _ := New(ts.URL, wire.XML{}, nil)
+	c.SetRetry(RetryPolicy{MaxAttempts: 50, BaseDelay: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.OpenSession(ctx, Query{Table: "data"})
+	if err == nil {
+		t.Fatal("cancelled retry loop should error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context error to remain matchable", err)
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want the last attempt's failure preserved", err)
 	}
 }

@@ -24,12 +24,23 @@ import (
 // exactly as for downloads; the same cost model prices each block.
 
 // ingestSession is one open upload cursor.
+//
+// Like download sessions, uploads are idempotent under client retries:
+// the client sends seq on each block, the server applies seq==lastSeq+1
+// and acknowledges a re-sent seq==lastSeq without loading it again, so
+// a lost 204 cannot duplicate rows.
 type ingestSession struct {
 	mu       sync.Mutex
 	id       string
 	table    *minidb.Table
 	tuples   int
 	lastUsed time.Time
+
+	// lastSeq is the seq of the most recently applied block (0 = none);
+	// lastTuples/lastDelayMS reproduce its acknowledgement on replay.
+	lastSeq     uint64
+	lastTuples  int
+	lastDelayMS float64
 }
 
 // registerIngestRoutes wires the upload endpoints into the mux.
@@ -88,6 +99,25 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such ingest session")
 		return
 	}
+	var seq uint64
+	hasSeq := false
+	if qs := r.URL.Query().Get("seq"); qs != "" {
+		var err error
+		seq, err = strconv.ParseUint(qs, 10, 64)
+		if err != nil || seq < 1 {
+			httpError(w, http.StatusBadRequest, "seq must be a positive integer")
+			return
+		}
+		hasSeq = true
+	}
+
+	fault := s.faults.decide()
+	if fault == fault503 {
+		s.countFault(fault)
+		httpError(w, http.StatusServiceUnavailable, "injected fault: service unavailable")
+		return
+	}
+
 	schema, rows, err := s.codec.Decode(r.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decode block: %v", err)
@@ -118,6 +148,24 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.lastUsed = time.Now()
+	if hasSeq {
+		switch {
+		case seq == sess.lastSeq && sess.lastSeq > 0:
+			// Duplicate of the last applied block (the client never saw
+			// our acknowledgement): ack again without loading it.
+			s.mu.Lock()
+			s.stats.BlocksIngestReplayed++
+			s.mu.Unlock()
+			s.ackIngestBlock(w, sess.id, sess.lastTuples, sess.lastDelayMS, true, fault)
+			return
+		case seq == sess.lastSeq+1:
+			// Fresh block, applied below.
+		default:
+			httpError(w, http.StatusConflict,
+				"seq %d outside the replay window (last applied %d)", seq, sess.lastSeq)
+			return
+		}
+	}
 	if err := sess.table.BulkLoad(rows); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -132,8 +180,28 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
 		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
 	}
-	w.Header().Set(HeaderBlockTuples, strconv.Itoa(len(rows)))
+	// Commit the seq before acknowledging: if the ack is lost (or the
+	// fault layer severs the connection) the client's retry of the same
+	// seq is recognized as a duplicate.
+	sess.lastSeq++
+	sess.lastTuples, sess.lastDelayMS = len(rows), delayMS
+	s.ackIngestBlock(w, sess.id, len(rows), delayMS, false, fault)
+}
+
+// ackIngestBlock writes the 204 acknowledgement for an upload block,
+// applying any injected drop/truncate fault (both sever the connection —
+// a 204 has no body to truncate).
+func (s *Server) ackIngestBlock(w http.ResponseWriter, id string, tuples int, delayMS float64, replayed bool, fault faultKind) {
+	if fault == faultDrop || fault == faultTruncate {
+		s.countFault(fault)
+		s.logf("ingest %s: injected fault: dropping connection", id)
+		abortConnection()
+	}
+	w.Header().Set(HeaderBlockTuples, strconv.Itoa(tuples))
 	w.Header().Set(HeaderInjectedDelayMS, strconv.FormatFloat(delayMS, 'f', 3, 64))
+	if replayed {
+		w.Header().Set(HeaderBlockReplay, "true")
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -169,6 +169,63 @@ func TestIngestBlockErrors(t *testing.T) {
 	}
 }
 
+func TestIngestSeqDeduplicatesRetries(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0)})
+	id, _ := openIngest(t, ts, `{"table":"items"}`)
+	rows := []minidb.Row{
+		{minidb.NewInt(1), minidb.NewString("a")},
+		{minidb.NewInt(2), minidb.NewString("b")},
+	}
+
+	post := func(seq string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/ingest/"+id+"/block?seq="+seq, "application/xml", encodeItems(t, rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("1")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("first block = %s", resp.Status)
+	}
+	// Re-sending the same seq (lost acknowledgement) is acked without
+	// loading the rows again.
+	resp = post("1")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("duplicate block = %s", resp.Status)
+	}
+	if resp.Header.Get(HeaderBlockReplay) != "true" {
+		t.Fatal("duplicate ack not flagged as replay")
+	}
+	tbl, _ := srv.cfg.Catalog.Table("items")
+	if tbl.RowCount() != 2 {
+		t.Fatalf("duplicate seq loaded rows twice: table has %d rows", tbl.RowCount())
+	}
+	st := srv.Stats()
+	if st.BlocksIngested != 1 || st.BlocksIngestReplayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A seq outside the window conflicts.
+	resp = post("5")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("future seq = %s, want 409", resp.Status)
+	}
+	// The next in-order seq applies normally.
+	resp = post("2")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("seq 2 = %s", resp.Status)
+	}
+	if tbl.RowCount() != 4 {
+		t.Fatalf("table has %d rows after second block, want 4", tbl.RowCount())
+	}
+}
+
 func TestIngestExpires(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 0), SessionTTL: time.Millisecond})
 	openIngest(t, ts, `{"table":"items"}`)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 )
@@ -12,11 +13,27 @@ type inProcessTransport struct {
 	handler http.Handler
 }
 
-// RoundTrip implements http.RoundTripper.
-func (t inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+// errConnectionDropped is what an in-process caller sees when a handler
+// aborts the connection (e.g. the fault injector severing it) — the
+// function-call analogue of a TCP reset.
+var errConnectionDropped = errors.New("service: in-process connection dropped")
+
+// RoundTrip implements http.RoundTripper. A handler panicking with
+// http.ErrAbortHandler — the net/http idiom for severing the connection,
+// used by the fault injector — surfaces as a transport error, exactly as
+// a real client would observe it.
+func (t inProcessTransport) RoundTrip(req *http.Request) (resp *http.Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != http.ErrAbortHandler {
+				panic(r)
+			}
+			resp, err = nil, errConnectionDropped
+		}
+	}()
 	rec := httptest.NewRecorder()
 	t.handler.ServeHTTP(rec, req)
-	resp := rec.Result()
+	resp = rec.Result()
 	resp.Request = req
 	return resp, nil
 }

@@ -17,6 +17,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -40,6 +41,12 @@ const (
 	// HeaderInjectedDelayMS reports the simulated (model) latency that
 	// was injected for this block, in milliseconds, before scaling.
 	HeaderInjectedDelayMS = "X-Injected-Delay-Ms"
+	// HeaderBlockSeq echoes the sequence number the block was served
+	// under (absent for legacy pulls that sent no seq).
+	HeaderBlockSeq = "X-Block-Seq"
+	// HeaderBlockReplay is "true" when the block was served from the
+	// replay buffer rather than by advancing the iterator.
+	HeaderBlockReplay = "X-Block-Replay"
 )
 
 // Config parameterizes a Server.
@@ -61,15 +68,19 @@ type Config struct {
 	MaxBlockSize int
 	// Logger receives request-level diagnostics; nil disables logging.
 	Logger *log.Logger
-	// Seed seeds the delay-noise RNG.
+	// Seed seeds the delay-noise RNG (and, offset, the fault RNG).
 	Seed int64
+	// Faults injects transport failures on the block endpoints for
+	// chaos testing; the zero value injects nothing.
+	Faults FaultConfig
 }
 
 // Server is the block-pull web service.
 type Server struct {
-	cfg   Config
-	codec wire.Codec
-	mux   *http.ServeMux
+	cfg    Config
+	codec  wire.Codec
+	mux    *http.ServeMux
+	faults *faultInjector
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -86,6 +97,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Catalog == nil {
 		return nil, fmt.Errorf("service: config needs a catalog")
 	}
+	if err := cfg.Faults.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Codec == nil {
 		cfg.Codec = wire.XML{}
 	}
@@ -98,6 +112,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		codec:    cfg.Codec,
+		faults:   newFaultInjector(cfg.Faults, cfg.Seed+1),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		sessions: make(map[string]*session),
 		ingests:  make(map[string]*ingestSession),
@@ -119,16 +134,51 @@ func New(cfg Config) (*Server, error) {
 type Stats struct {
 	// SessionsOpened counts download sessions ever created.
 	SessionsOpened int64 `json:"sessions_opened"`
-	// BlocksServed counts blocks shipped to clients.
+	// BlocksServed counts block responses fully written to clients
+	// (replays included — it is the number of completed block serves,
+	// not the number of distinct blocks produced).
 	BlocksServed int64 `json:"blocks_served"`
-	// TuplesServed counts tuples shipped to clients.
+	// TuplesServed counts tuples in fully written block responses.
 	TuplesServed int64 `json:"tuples_served"`
+	// BlocksReplayed counts block responses served verbatim from a
+	// session's replay buffer (client retried a seq).
+	BlocksReplayed int64 `json:"blocks_replayed"`
+	// EncodeFailures counts blocks whose codec encoding failed; the
+	// rows stay parked in the session so a same-seq retry can re-encode.
+	EncodeFailures int64 `json:"encode_failures"`
 	// IngestsOpened counts upload sessions ever created.
 	IngestsOpened int64 `json:"ingests_opened"`
 	// BlocksIngested counts blocks received from clients.
 	BlocksIngested int64 `json:"blocks_ingested"`
 	// TuplesIngested counts tuples received from clients.
 	TuplesIngested int64 `json:"tuples_ingested"`
+	// BlocksIngestReplayed counts duplicate upload blocks acknowledged
+	// without re-applying (client retried a seq).
+	BlocksIngestReplayed int64 `json:"blocks_ingest_replayed"`
+	// FaultsInjected counts transport faults fired by the chaos layer,
+	// by kind.
+	FaultsInjected FaultStats `json:"faults_injected"`
+}
+
+// FaultStats breaks injected faults down by kind.
+type FaultStats struct {
+	Dropped   int64 `json:"dropped"`
+	Truncated int64 `json:"truncated"`
+	Refused   int64 `json:"refused"`
+}
+
+// countFault records an injected fault in the stats.
+func (s *Server) countFault(k faultKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch k {
+	case faultDrop:
+		s.stats.FaultsInjected.Dropped++
+	case faultTruncate:
+		s.stats.FaultsInjected.Truncated++
+	case fault503:
+		s.stats.FaultsInjected.Refused++
+	}
 }
 
 // Stats returns a snapshot of the service counters.
@@ -191,12 +241,39 @@ func (s *Server) ExpireIdle(now time.Time) int {
 }
 
 // session is one open block-pull cursor.
+//
+// The transfer is made idempotent by per-session sequence numbers: a
+// client that sends seq on each pull gets block seq==lastSeq+1 by
+// advancing the iterator, and a verbatim replay of the buffered bytes
+// when it re-requests seq==lastSeq — so a lost or truncated response is
+// recovered by retrying the same seq, with no tuple skipped or
+// duplicated. Legacy pulls without seq advance unconditionally, exactly
+// as before.
 type session struct {
 	mu       sync.Mutex
 	id       string
 	iter     minidb.Iterator
 	done     bool
 	lastUsed time.Time
+
+	// lastSeq is the sequence number of the most recent fresh block
+	// (0 = none served yet); replay buffers that block's response.
+	lastSeq uint64
+	replay  *replayBlock
+	// pendingRows parks rows already pulled from the iterator whose
+	// encoding failed, so a same-seq retry re-encodes instead of
+	// losing them.
+	pendingRows []minidb.Row
+	pendingDone bool
+	hasPending  bool
+}
+
+// replayBlock is the buffered response of the last served block.
+type replayBlock struct {
+	payload []byte
+	tuples  int
+	done    bool
+	delayMS float64
 }
 
 // createRequest is the body of POST /sessions.
@@ -274,37 +351,126 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "size %d exceeds maximum %d", size, s.cfg.MaxBlockSize)
 		return
 	}
+	var seq uint64
+	hasSeq := false
+	if qs := r.URL.Query().Get("seq"); qs != "" {
+		seq, err = strconv.ParseUint(qs, 10, 64)
+		if err != nil || seq < 1 {
+			httpError(w, http.StatusBadRequest, "seq must be a positive integer")
+			return
+		}
+		hasSeq = true
+	}
+
+	fault := s.faults.decide()
+	if fault == fault503 {
+		// Refused before touching any session state: a clean retry.
+		s.countFault(fault)
+		httpError(w, http.StatusServiceUnavailable, "injected fault: service unavailable")
+		return
+	}
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.lastUsed = time.Now()
+
+	if hasSeq {
+		switch {
+		case seq == sess.lastSeq && sess.replay != nil:
+			s.serveReplay(w, sess, fault)
+			return
+		case seq == sess.lastSeq+1:
+			// Fresh block, handled below.
+		default:
+			httpError(w, http.StatusConflict,
+				"seq %d outside the replay window (last served %d)", seq, sess.lastSeq)
+			return
+		}
+	}
 	if sess.done {
 		httpError(w, http.StatusGone, "result set exhausted")
 		return
 	}
-	rows, done, err := minidb.NextBlock(sess.iter, size)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+
+	rows, done := sess.pendingRows, sess.pendingDone
+	if !sess.hasPending {
+		rows, done, err = minidb.NextBlock(sess.iter, size)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.codec.Encode(&buf, sess.iter.Schema(), rows); err != nil {
+		// Park the rows: the iterator has advanced, so losing them here
+		// would skip tuples. A retry of the same seq re-encodes.
+		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
+		s.mu.Lock()
+		s.stats.EncodeFailures++
+		s.mu.Unlock()
+		s.logf("session %s: encode block: %v", sess.id, err)
+		httpError(w, http.StatusInternalServerError, "encode block: %v", err)
 		return
 	}
-	sess.done = done
-	s.mu.Lock()
-	s.stats.BlocksServed++
-	s.stats.TuplesServed += int64(len(rows))
-	s.mu.Unlock()
+	sess.pendingRows, sess.hasPending = nil, false
 
 	delayMS := s.priceBlock(len(rows))
 	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
 		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
 	}
 
-	w.Header().Set("Content-Type", s.codec.ContentType())
-	w.Header().Set(HeaderBlockTuples, strconv.Itoa(len(rows)))
-	w.Header().Set(HeaderBlockDone, strconv.FormatBool(done))
-	w.Header().Set(HeaderInjectedDelayMS, strconv.FormatFloat(delayMS, 'f', 3, 64))
-	if err := s.codec.Encode(w, sess.iter.Schema(), rows); err != nil {
-		s.logf("session %s: encode block: %v", sess.id, err)
+	// Commit the block before attempting to write it: from here on the
+	// session state says "seq N was produced", and any delivery failure
+	// is recovered by replaying the buffer.
+	sess.lastSeq++
+	sess.replay = &replayBlock{payload: buf.Bytes(), tuples: len(rows), done: done, delayMS: delayMS}
+	sess.done = done
+
+	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault)
+}
+
+// serveReplay re-sends the buffered block verbatim.
+func (s *Server) serveReplay(w http.ResponseWriter, sess *session, fault faultKind) {
+	s.mu.Lock()
+	s.stats.BlocksReplayed++
+	s.mu.Unlock()
+	s.writeBlock(w, sess, sess.replay, true, true, fault)
+}
+
+// writeBlock writes one block response (fresh or replayed), applying any
+// injected drop/truncate fault, and accounts served stats only after the
+// payload is fully written.
+func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBlock, hasSeq, replayed bool, fault faultKind) {
+	if fault == faultDrop {
+		s.countFault(fault)
+		s.logf("session %s: injected fault: dropping connection", sess.id)
+		abortConnection()
 	}
+	w.Header().Set("Content-Type", s.codec.ContentType())
+	w.Header().Set(HeaderBlockTuples, strconv.Itoa(rb.tuples))
+	w.Header().Set(HeaderBlockDone, strconv.FormatBool(rb.done))
+	w.Header().Set(HeaderInjectedDelayMS, strconv.FormatFloat(rb.delayMS, 'f', 3, 64))
+	if hasSeq {
+		w.Header().Set(HeaderBlockSeq, strconv.FormatUint(sess.lastSeq, 10))
+	}
+	if replayed {
+		w.Header().Set(HeaderBlockReplay, "true")
+	}
+	if fault == faultTruncate {
+		s.countFault(fault)
+		s.logf("session %s: injected fault: truncating response", sess.id)
+		w.Header().Set("Content-Length", strconv.Itoa(len(rb.payload)))
+		_, _ = w.Write(rb.payload[:len(rb.payload)/2])
+		abortConnection()
+	}
+	if _, err := w.Write(rb.payload); err != nil {
+		s.logf("session %s: write block: %v", sess.id, err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.BlocksServed++
+	s.stats.TuplesServed += int64(rb.tuples)
+	s.mu.Unlock()
 }
 
 // priceBlock draws the simulated delay for a block under the current load.

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification gate: build, vet, and race-detector tests.
+# Same as `make verify`, for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
