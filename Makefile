@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify chaos bench clean
+.PHONY: all build vet test race fuzzseeds verify chaos bench clean
 
 all: verify
 
@@ -16,9 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: everything must build, vet clean, and pass
-# under the race detector.
-verify: build vet race
+# fuzzseeds replays the checked-in fuzz seed corpora (no new input
+# generation) so a codec or parser regression on a known-nasty input
+# fails the gate deterministically.
+fuzzseeds:
+	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb
+
+# verify is the tier-1 gate: everything must build, vet clean, pass
+# under the race detector, and survive the fuzz seed corpora.
+verify: build vet race fuzzseeds
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:

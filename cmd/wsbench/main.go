@@ -7,10 +7,16 @@
 //	wsbench                         # conf2.2-shaped link, all controllers
 //	wsbench -conf conf1.3 -runs 5
 //	wsbench -codec binary -sf 0.2
+//	wsbench -json BENCH_transfer.json   # machine-readable transfer report
+//
+// With -json, wsbench also writes a per-controller transfer report
+// (blocks/sec, bytes/sec, p50/p95 block RTT) built from the client's
+// metrics histograms, for tracking data-plane throughput across commits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +28,7 @@ import (
 
 	"wsopt/internal/client"
 	"wsopt/internal/core"
+	"wsopt/internal/metrics"
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
 	"wsopt/internal/service"
@@ -31,6 +38,22 @@ import (
 	"wsopt/internal/wire"
 )
 
+// transferReport is one controller's entry in the -json output.
+type transferReport struct {
+	Controller   string  `json:"controller"`
+	Runs         int     `json:"runs"`
+	MeanSimMS    float64 `json:"mean_simulated_ms"`
+	Blocks       int64   `json:"blocks"`
+	Tuples       int64   `json:"tuples"`
+	Bytes        int64   `json:"bytes"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	BytesPerSec  float64 `json:"bytes_per_sec"`
+	RTTMeanMS    float64 `json:"rtt_mean_ms"`
+	RTTP50MS     float64 `json:"rtt_p50_ms"`
+	RTTP95MS     float64 `json:"rtt_p95_ms"`
+}
+
 func main() {
 	var (
 		confName  = flag.String("conf", "conf2.2", "link profile shaping the injected delays")
@@ -38,6 +61,7 @@ func main() {
 		runs      = flag.Int("runs", 3, "runs per controller (results are averaged)")
 		codecName = flag.String("codec", "xml", "block codec")
 		seed      = flag.Int64("seed", 1, "randomization seed")
+		jsonOut   = flag.String("json", "", "write a machine-readable transfer report (e.g. BENCH_transfer.json)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -111,12 +135,18 @@ func main() {
 		name   string
 		meanMS float64
 		blocks int
+		report transferReport
 	}
 	var results []outcome
 	ctx := context.Background()
 	for name, mk := range controllers {
+		// Fresh metrics per controller: the registry's counters and RTT
+		// histogram aggregate exactly this controller's runs.
+		reg := metrics.NewRegistry()
+		c.SetMetrics(reg)
 		var totals []float64
 		blocks := 0
+		wallStart := time.Now()
 		for r := 0; r < *runs; r++ {
 			ctl, err := mk(*seed + int64(r)*101)
 			if err != nil {
@@ -130,7 +160,26 @@ func main() {
 			totals = append(totals, res.SimulatedMS)
 			blocks = res.Blocks
 		}
-		results = append(results, outcome{name: name, meanMS: stats.Mean(totals), blocks: blocks})
+		wall := time.Since(wallStart).Seconds()
+		snap := reg.Snapshot()
+		rtt := snap.Histogram("wsopt_client_block_rtt_ms")
+		rep := transferReport{
+			Controller:  name,
+			Runs:        *runs,
+			MeanSimMS:   stats.Mean(totals),
+			Blocks:      snap.Counter("wsopt_client_blocks_total"),
+			Tuples:      snap.Counter("wsopt_client_tuples_total"),
+			Bytes:       snap.Counter("wsopt_client_bytes_total"),
+			WallSeconds: wall,
+			RTTMeanMS:   rtt.Mean(),
+			RTTP50MS:    rtt.Quantile(0.50),
+			RTTP95MS:    rtt.Quantile(0.95),
+		}
+		if wall > 0 {
+			rep.BlocksPerSec = float64(rep.Blocks) / wall
+			rep.BytesPerSec = float64(rep.Bytes) / wall
+		}
+		results = append(results, outcome{name: name, meanMS: rep.MeanSimMS, blocks: blocks, report: rep})
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].meanMS < results[j].meanMS })
 
@@ -145,6 +194,33 @@ func main() {
 			r.meanMS/best, r.blocks)
 	}
 	w.Flush()
+
+	if *jsonOut != "" {
+		reports := make([]transferReport, 0, len(results))
+		for _, r := range results {
+			reports = append(reports, r.report)
+		}
+		doc := struct {
+			Link    string           `json:"link"`
+			Codec   string           `json:"codec"`
+			SF      float64          `json:"sf"`
+			Tuples  int              `json:"tuples_per_run"`
+			Results []transferReport `json:"results"`
+		}{Link: spec.Name, Codec: codec.Name(), SF: *sf, Tuples: tpch.CustomerCount(*sf), Results: reports}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			logger.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("transfer report written to %s", *jsonOut)
+	}
 }
 
 // scaleModel shrinks the cost model's tuple axis by the given factor so a

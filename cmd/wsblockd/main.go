@@ -6,11 +6,15 @@
 //
 //	wsblockd -addr :8080 -sf 0.1
 //	wsblockd -addr :8080 -sf 1 -codec binary -conf conf2.2 -timescale 0.001
+//	wsblockd -addr :8080 -metrics-addr :9090   # Prometheus /metrics + pprof
 //
 // With -conf, per-block delays are drawn from the named calibrated cost
 // profile and injected (scaled by -timescale) so a laptop reproduces the
 // paper's WAN/loaded-server conditions. Load can also be adjusted at
-// runtime via PUT /load.
+// runtime via PUT /load. With -metrics-addr, a second listener serves
+// Prometheus text-format metrics at /metrics, a liveness probe at
+// /healthz, and the standard pprof profiling endpoints under
+// /debug/pprof/.
 package main
 
 import (
@@ -18,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
@@ -34,13 +41,14 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		sf        = flag.Float64("sf", 0.1, "TPC-H scale factor (1 = 150K customers, 450K orders)")
-		codecName = flag.String("codec", "xml", "block codec: xml or binary")
-		confName  = flag.String("conf", "", "inject delays from a calibrated profile (conf1.1 .. conf2.2)")
-		timescale = flag.Float64("timescale", 0.001, "real milliseconds slept per simulated millisecond")
-		quiet     = flag.Bool("quiet", false, "suppress request logging")
-		dataDir   = flag.String("data", "", "cache generated tables in this directory across restarts")
+		addr        = flag.String("addr", ":8080", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		sf          = flag.Float64("sf", 0.1, "TPC-H scale factor (1 = 150K customers, 450K orders)")
+		codecName   = flag.String("codec", "xml", "block codec: xml or binary")
+		confName    = flag.String("conf", "", "inject delays from a calibrated profile (conf1.1 .. conf2.2)")
+		timescale   = flag.Float64("timescale", 0.001, "real milliseconds slept per simulated millisecond")
+		quiet       = flag.Bool("quiet", false, "suppress request logging")
+		dataDir     = flag.String("data", "", "cache generated tables in this directory across restarts")
 
 		faultDrop  = flag.Float64("fault-drop", 0, "chaos: probability of severing the connection after a block is processed")
 		faultTrunc = flag.Float64("fault-truncate", 0, "chaos: probability of truncating a block response body")
@@ -103,6 +111,8 @@ func main() {
 	if *quiet {
 		reqLogger = nil
 	}
+	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg)
 	srv, err := service.New(service.Config{
 		Catalog:    cat,
 		Codec:      codec,
@@ -111,6 +121,7 @@ func main() {
 		Logger:     reqLogger,
 		Seed:       seed,
 		Faults:     faults,
+		Metrics:    reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -129,11 +140,48 @@ func main() {
 		}
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before announcing, so `-addr 127.0.0.1:0` reports the port
+	// the kernel actually picked (the e2e tests depend on this).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// Observability plane: /metrics, /healthz, and pprof on their own
+	// listener so operational scrapes never contend with block traffic.
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", reg.Handler())
+		mmux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		mmux.HandleFunc("/debug/pprof/", pprof.Index)
+		mmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		metricsSrv = &http.Server{Handler: mmux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("wsblockd metrics on %s\n", mln.Addr())
+	}
+
 	// Graceful shutdown: finish in-flight block transfers on SIGINT/TERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		logger.Print("shutting down ...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -141,10 +189,18 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
+		if metricsSrv != nil {
+			if err := metricsSrv.Shutdown(shutdownCtx); err != nil {
+				logger.Printf("metrics shutdown: %v", err)
+			}
+		}
 	}()
 
-	fmt.Printf("wsblockd listening on %s (codec=%s)\n", *addr, codec.Name())
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	fmt.Printf("wsblockd listening on %s (codec=%s)\n", ln.Addr(), codec.Name())
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		logger.Fatal(err)
 	}
+	// Serve returns the moment Shutdown begins; wait for in-flight
+	// requests to drain before exiting.
+	<-shutdownDone
 }

@@ -7,6 +7,7 @@
 //	wsquery -table orders -controller model-parabolic -limits 100:20000
 //	wsquery -table customer -controller static -size 1000
 //	wsquery -table customer -controller constant -b1 800 -trace
+//	wsquery -table customer -events transfer.jsonl   # structured per-block trace
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		useInj    = flag.Bool("simtime", true, "observe server-injected simulated delays instead of wall time")
 		trace     = flag.Bool("trace", false, "print each block decision")
 		traceCSV  = flag.String("trace-csv", "", "write the full controller trace to this CSV file")
+		eventsOut = flag.String("events", "", "write a JSONL structured trace (one event per block) to this file")
 		retries   = flag.Int("retries", 5, "attempts per request; block transfers replay safely via the seq protocol (1 = no retry)")
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt)")
 	)
@@ -69,6 +71,17 @@ func main() {
 	}
 	c.SetRetry(client.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase})
 
+	var eventsFile *os.File
+	var events *client.EventWriter
+	if *eventsOut != "" {
+		eventsFile, err = os.Create(*eventsOut)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		events = client.NewEventWriter(eventsFile)
+		c.SetEvents(events)
+	}
+
 	q := client.Query{Table: *table, Where: *where}
 	if *columns != "" {
 		q.Columns = strings.Split(*columns, ",")
@@ -78,7 +91,7 @@ func main() {
 	start := time.Now()
 	var res *client.RunResult
 	if *trace {
-		res, err = runTraced(ctx, c, q, ctl, *useInj)
+		res, err = runTraced(ctx, c, q, ctl, *useInj, events)
 	} else {
 		res, err = c.Run(ctx, q, ctl, client.MetricPerTuple, *useInj)
 	}
@@ -86,6 +99,16 @@ func main() {
 		logger.Fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if events != nil {
+		if err := events.Flush(); err != nil {
+			logger.Fatal(err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("events written to %s", *eventsOut)
+	}
 
 	if tracer != nil {
 		f, err := os.Create(*traceCSV)
@@ -114,8 +137,9 @@ func main() {
 	}
 }
 
-// runTraced mirrors client.Run while printing each decision.
-func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.Controller, useInj bool) (*client.RunResult, error) {
+// runTraced mirrors client.Run while printing each decision (and, when
+// an event sink is given, emitting the same structured trace Run would).
+func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.Controller, useInj bool, events *client.EventWriter) (*client.RunResult, error) {
 	sess, err := c.OpenSession(ctx, q)
 	if err != nil {
 		return nil, err
@@ -140,6 +164,10 @@ func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.C
 		res.Elapsed += blk.Elapsed
 		res.SimulatedMS += blk.InjectedMS
 		res.Sizes = append(res.Sizes, size)
+		res.Retries += blk.Attempts - 1
+		if blk.Replayed {
+			res.Replays++
+		}
 		y := float64(blk.Elapsed.Milliseconds())
 		if useInj && blk.InjectedMS > 0 {
 			y = blk.InjectedMS
@@ -148,6 +176,25 @@ func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.C
 		fmt.Printf("block %3d: size=%6d got=%6d time=%9.2fms per-tuple=%.4fms\n",
 			res.Blocks, size, len(blk.Rows), y, perTuple)
 		ctl.Observe(perTuple)
+		if events != nil {
+			ev := client.BlockEvent{
+				Seq:        sess.Seq(),
+				Size:       size,
+				Tuples:     len(blk.Rows),
+				Bytes:      blk.Bytes,
+				RTTMS:      float64(blk.Elapsed.Microseconds()) / 1000,
+				InjectedMS: blk.InjectedMS,
+				Decision:   ctl.Size(),
+				Phase:      core.PhaseOf(ctl),
+				Retries:    blk.Attempts - 1,
+				Replayed:   blk.Replayed,
+				Done:       blk.Done,
+				Controller: ctl.Name(),
+			}
+			if err := events.Write(ev); err != nil {
+				return res, err
+			}
+		}
 	}
 	return res, nil
 }

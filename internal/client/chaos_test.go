@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"wsopt/internal/core"
+	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/service"
 	"wsopt/internal/wire"
@@ -36,8 +37,9 @@ var chaosRetry = RetryPolicy{
 }
 
 // chaosStack builds a faulty service over `rows` unique tuples and a
-// retrying client.
-func chaosStack(t *testing.T, rows int, codec wire.Codec, seed int64) (*Client, *service.Server) {
+// retrying client. When reg is non-nil both sides record into it, so a
+// test can cross-check the metrics against ground truth.
+func chaosStack(t *testing.T, rows int, codec wire.Codec, seed int64, reg *metrics.Registry) (*Client, *service.Server) {
 	t.Helper()
 	cat := minidb.NewCatalog()
 	tbl, err := cat.CreateTable("data", minidb.Schema{
@@ -59,6 +61,7 @@ func chaosStack(t *testing.T, rows int, codec wire.Codec, seed int64) (*Client, 
 		Codec:   codec,
 		Faults:  chaosFaults,
 		Seed:    seed,
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +73,7 @@ func chaosStack(t *testing.T, rows int, codec wire.Codec, seed int64) (*Client, 
 		t.Fatal(err)
 	}
 	c.SetRetry(chaosRetry)
+	c.SetMetrics(reg)
 	return c, srv
 }
 
@@ -96,7 +100,7 @@ func assertExactSet(t *testing.T, seen map[int64]int, n int) {
 
 func TestChaosPullExactlyOnce(t *testing.T) {
 	const rows = 3000
-	c, srv := chaosStack(t, rows, wire.XML{}, 42)
+	c, srv := chaosStack(t, rows, wire.XML{}, 42, nil)
 
 	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
 	if err != nil {
@@ -136,7 +140,7 @@ func TestChaosPullExactlyOnce(t *testing.T) {
 
 func TestChaosRunAdaptiveExactlyOnce(t *testing.T) {
 	const rows = 2000
-	c, _ := chaosStack(t, rows, wire.Binary{}, 7)
+	c, _ := chaosStack(t, rows, wire.Binary{}, 7, nil)
 
 	cfg := core.Config{
 		InitialSize: 50, Limits: core.Limits{Min: 10, Max: 400},
@@ -160,7 +164,7 @@ func TestChaosRunAdaptiveExactlyOnce(t *testing.T) {
 
 func TestChaosRunPipelinedExactlyOnce(t *testing.T) {
 	const rows = 2000
-	c, _ := chaosStack(t, rows, wire.XML{}, 99)
+	c, _ := chaosStack(t, rows, wire.XML{}, 99, nil)
 
 	seen := make(map[int64]int, rows)
 	res, err := c.RunPipelined(context.Background(), Query{Table: "data"},
@@ -178,6 +182,99 @@ func TestChaosRunPipelinedExactlyOnce(t *testing.T) {
 		t.Fatalf("pipelined run delivered %d tuples, want %d", res.Tuples, rows)
 	}
 	assertExactSet(t, seen, rows)
+}
+
+// TestChaosMetricsAccounting shares one registry between both sides of a
+// chaotic transfer and cross-checks every counter against ground truth:
+// the client's series must match what the pull loop observed exactly, and
+// the service's series must match srv.Stats() exactly — faults counted
+// equals faults injected, replays counted equals replays served.
+func TestChaosMetricsAccounting(t *testing.T) {
+	const rows = 3000
+	reg := metrics.NewRegistry()
+	c, srv := chaosStack(t, rows, wire.XML{}, 42, reg)
+
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks, tuples, retries, replays int
+	var bytes int64
+	for !sess.Done() {
+		blk, err := sess.Next(context.Background(), 100)
+		if err != nil {
+			t.Fatalf("pull under chaos failed: %v", err)
+		}
+		blocks++
+		tuples += len(blk.Rows)
+		bytes += blk.Bytes
+		retries += blk.Attempts - 1
+		if blk.Replayed {
+			replays++
+		}
+	}
+	if tuples != rows {
+		t.Fatalf("delivered %d tuples, want %d", tuples, rows)
+	}
+
+	snap := reg.Snapshot()
+	st := srv.Stats()
+
+	// Client side: every series equals what the loop saw.
+	for name, want := range map[string]int64{
+		"wsopt_client_blocks_total":  int64(blocks),
+		"wsopt_client_tuples_total":  int64(rows),
+		"wsopt_client_bytes_total":   bytes,
+		"wsopt_client_retries_total": int64(retries),
+		"wsopt_client_replays_total": int64(replays),
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if rtt := snap.Histogram("wsopt_client_block_rtt_ms"); rtt.Count != int64(blocks) {
+		t.Errorf("client RTT histogram saw %d blocks, want %d", rtt.Count, blocks)
+	}
+
+	// Service side: metrics mirror Stats counter for counter. In
+	// particular, faults counted == faults injected.
+	for name, want := range map[string]int64{
+		"wsopt_service_blocks_served_total":   st.BlocksServed,
+		"wsopt_service_tuples_served_total":   st.TuplesServed,
+		"wsopt_service_blocks_replayed_total": st.BlocksReplayed,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d (Stats disagrees with metrics)", name, got, want)
+		}
+	}
+	faultWant := map[string]int64{
+		"dropped":   st.FaultsInjected.Dropped,
+		"truncated": st.FaultsInjected.Truncated,
+		"refused":   st.FaultsInjected.Refused,
+	}
+	var faultTotal int64
+	for kind, want := range faultWant {
+		got := snap.Counter("wsopt_service_faults_injected_total", metrics.L("kind", kind))
+		if got != want {
+			t.Errorf("faults_injected{kind=%q} = %d, want %d", kind, got, want)
+		}
+		faultTotal += got
+	}
+	if faultTotal == 0 {
+		t.Fatal("no faults recorded; the accounting test proved nothing")
+	}
+	if retries == 0 {
+		t.Fatal("no retries observed despite injected faults")
+	}
+
+	// Replay accounting across the wire: the server can replay a block
+	// more often than the client notices (a replayed response can itself
+	// be faulted in flight), never less.
+	if st.BlocksReplayed < int64(replays) {
+		t.Errorf("server replayed %d blocks but client observed %d replays", st.BlocksReplayed, replays)
+	}
+	t.Logf("chaos metrics: %d blocks, %d retries, %d client replays / %d server replays, %d faults",
+		blocks, retries, replays, st.BlocksReplayed, faultTotal)
 }
 
 func TestChaosPushExactlyOnce(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wsopt/internal/core"
+	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/service"
 	"wsopt/internal/wire"
@@ -35,10 +36,12 @@ const (
 
 // Client talks to one block-pull service.
 type Client struct {
-	base  *url.URL
-	hc    *http.Client
-	codec wire.Codec
-	retry RetryPolicy
+	base    *url.URL
+	hc      *http.Client
+	codec   wire.Codec
+	retry   RetryPolicy
+	metrics *clientMetrics
+	events  *EventWriter
 }
 
 // New builds a client for the service at baseURL using codec to decode
@@ -58,7 +61,9 @@ func New(baseURL string, codec wire.Codec, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 5 * time.Minute}
 	}
-	return &Client{base: u, hc: hc, codec: codec}, nil
+	// A private registry keeps recording unconditional; SetMetrics
+	// rebinds the series to a shared registry when one exists.
+	return &Client{base: u, hc: hc, codec: codec, metrics: newClientMetrics(metrics.NewRegistry())}, nil
 }
 
 // Query names the server-side plan to open.
@@ -122,6 +127,10 @@ func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
 // Columns returns the projected column names of the session's result.
 func (s *Session) Columns() []string { return s.columns }
 
+// Seq returns the sequence number of the most recently pulled block
+// (0 before the first pull), for trace and event bookkeeping.
+func (s *Session) Seq() uint64 { return s.seq }
+
 // Done reports whether the result set has been exhausted.
 func (s *Session) Done() bool { return s.done }
 
@@ -144,6 +153,8 @@ type Block struct {
 	// Replayed is true when the server served the block from its replay
 	// buffer, i.e. an earlier attempt's response was produced but lost.
 	Replayed bool
+	// Bytes is the encoded payload size of the successful attempt.
+	Bytes int64
 }
 
 // Next pulls one block of up to size tuples and times it. Transient
@@ -174,6 +185,7 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 			blk.Attempts = attempt
 			s.seq = seq
 			s.done = blk.Done
+			s.c.metrics.recordBlock(blk)
 			return blk, nil
 		}
 		if !isTransient(err) {
@@ -211,7 +223,8 @@ func (s *Session) pullOnce(ctx context.Context, u string) (*Block, error) {
 		}
 		return nil, err
 	}
-	schema, rows, err := s.c.codec.Decode(resp.Body)
+	body := &countingReader{r: resp.Body}
+	schema, rows, err := s.c.codec.Decode(body)
 	if err != nil {
 		// Usually a body truncated by a dying connection: retry and let
 		// the server replay the block intact.
@@ -219,7 +232,7 @@ func (s *Session) pullOnce(ctx context.Context, u string) (*Block, error) {
 	}
 	elapsed := time.Since(t1)
 
-	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed}
+	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed, Bytes: body.n}
 	blk.Done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
 	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
 	blk.Replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
@@ -340,8 +353,34 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 			y /= float64(got)
 		}
 		ctl.Observe(y)
+		if err := c.emitEvent(sess, blk, size, ctl); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
+}
+
+// emitEvent writes the structured trace record for one pulled block,
+// after the controller has observed it (so the event carries the
+// decision the block produced). A nil sink is a no-op.
+func (c *Client) emitEvent(sess *Session, blk *Block, size int, ctl core.Controller) error {
+	if c.events == nil {
+		return nil
+	}
+	return c.events.Write(BlockEvent{
+		Seq:        sess.seq,
+		Size:       size,
+		Tuples:     len(blk.Rows),
+		Bytes:      blk.Bytes,
+		RTTMS:      float64(blk.Elapsed.Microseconds()) / 1000,
+		InjectedMS: blk.InjectedMS,
+		Decision:   ctl.Size(),
+		Phase:      core.PhaseOf(ctl),
+		Retries:    blk.Attempts - 1,
+		Replayed:   blk.Replayed,
+		Done:       blk.Done,
+		Controller: ctl.Name(),
+	})
 }
 
 // endpoint builds an absolute URL from path segments, path-escaping each
@@ -370,4 +409,16 @@ func httpFailure(op string, resp *http.Response) error {
 func drain(resp *http.Response) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
+}
+
+// countingReader counts the payload bytes the codec actually consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }

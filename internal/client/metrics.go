@@ -1,0 +1,53 @@
+package client
+
+import (
+	"wsopt/internal/metrics"
+)
+
+// clientMetrics holds the consumer-side series: what Algorithm 1
+// observes (per-block RTT) plus transfer accounting the controllers
+// never see (bytes moved, retries, replays).
+type clientMetrics struct {
+	blocks  *metrics.Counter
+	tuples  *metrics.Counter
+	bytes   *metrics.Counter
+	retries *metrics.Counter
+	replays *metrics.Counter
+
+	rtt       *metrics.Histogram
+	blockSize *metrics.Histogram
+}
+
+func newClientMetrics(reg *metrics.Registry) *clientMetrics {
+	return &clientMetrics{
+		blocks:    reg.Counter("wsopt_client_blocks_total", "Blocks successfully pulled."),
+		tuples:    reg.Counter("wsopt_client_tuples_total", "Tuples successfully pulled."),
+		bytes:     reg.Counter("wsopt_client_bytes_total", "Encoded payload bytes received in successful pulls."),
+		retries:   reg.Counter("wsopt_client_retries_total", "Extra pull attempts beyond the first."),
+		replays:   reg.Counter("wsopt_client_replays_total", "Blocks the server served from its replay buffer."),
+		rtt:       reg.Histogram("wsopt_client_block_rtt_ms", "Client-observed round-trip time per successful block, in milliseconds.", metrics.DefLatencyBuckets),
+		blockSize: reg.Histogram("wsopt_client_block_size_tuples", "Tuples per received block.", metrics.DefSizeBuckets),
+	}
+}
+
+// SetMetrics rebinds the client's series to reg, so they appear in the
+// registry that backs an exporter or a test snapshot. Call before use;
+// anything recorded earlier stays in the previous (private) registry.
+func (c *Client) SetMetrics(reg *metrics.Registry) {
+	if reg != nil {
+		c.metrics = newClientMetrics(reg)
+	}
+}
+
+// recordBlock accounts one successfully pulled block.
+func (m *clientMetrics) recordBlock(blk *Block) {
+	m.blocks.Inc()
+	m.tuples.Add(int64(len(blk.Rows)))
+	m.bytes.Add(blk.Bytes)
+	m.retries.Add(int64(blk.Attempts - 1))
+	if blk.Replayed {
+		m.replays.Inc()
+	}
+	m.rtt.Observe(float64(blk.Elapsed.Microseconds()) / 1000)
+	m.blockSize.Observe(float64(len(blk.Rows)))
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"wsopt/internal/metrics"
 )
 
 // Controller decides the size of the next data block to pull from the web
@@ -47,6 +49,29 @@ type Controller interface {
 // be cleared without changing their configuration, e.g. between queries.
 type Resetter interface {
 	Reset()
+}
+
+// PhaseOf reports the operating phase of a controller for traces and
+// events: "transient" or "steady" for the switching extremum family
+// (which exposes InSteadyState), "" for controllers without phases.
+// Wrappers such as Tracer are unwrapped transparently.
+func PhaseOf(ctl Controller) string {
+	type steady interface{ InSteadyState() bool }
+	type unwrapper interface{ Unwrap() Controller }
+	for ctl != nil {
+		if s, ok := ctl.(steady); ok {
+			if s.InSteadyState() {
+				return "steady"
+			}
+			return "transient"
+		}
+		u, ok := ctl.(unwrapper)
+		if !ok {
+			return ""
+		}
+		ctl = u.Unwrap()
+	}
+	return ""
 }
 
 // Limits bound the block sizes a controller may emit. The paper imposes
@@ -175,6 +200,10 @@ type Config struct {
 	// Seed seeds the controller's private dither RNG. Controllers with
 	// equal configurations and seeds behave identically.
 	Seed int64
+	// Metrics, when non-nil, receives the controller's phase-transition
+	// counter (wsopt_core_phase_transitions_total). Decisions themselves
+	// are traced by core.Tracer and the client's event log.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's WAN parameterization: x0=1000,

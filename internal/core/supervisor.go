@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"wsopt/internal/metrics"
 )
 
 // Supervisor implements the supervisory-control pattern the paper's
@@ -27,6 +29,9 @@ type Supervisor struct {
 	best     float64
 	switches int
 	steps    int
+
+	failoverCtr *metrics.Counter
+	activeGauge *metrics.Gauge
 }
 
 // SupervisorConfig parameterizes the switching logic.
@@ -40,6 +45,10 @@ type SupervisorConfig struct {
 	// WarmupWindows delays judgement after a switch so the incoming
 	// controller's transient is not punished (default 2 windows).
 	WarmupWindows int
+	// Metrics, when non-nil, receives the failover counter
+	// (wsopt_core_supervisor_failovers_total) and the active-controller
+	// index gauge (wsopt_core_supervisor_active).
+	Metrics *metrics.Registry
 }
 
 // NewSupervisor builds a supervisor over a non-empty bank of controllers.
@@ -68,7 +77,14 @@ func NewSupervisor(bank []Controller, cfg SupervisorConfig) (*Supervisor, error)
 	if cfg.WarmupWindows == 0 {
 		cfg.WarmupWindows = 2
 	}
-	return &Supervisor{bank: bank, cfg: cfg, best: math.Inf(1)}, nil
+	s := &Supervisor{bank: bank, cfg: cfg, best: math.Inf(1)}
+	if cfg.Metrics != nil {
+		s.failoverCtr = cfg.Metrics.Counter("wsopt_core_supervisor_failovers_total",
+			"Supervisor failovers to the next controller in the bank.")
+		s.activeGauge = cfg.Metrics.Gauge("wsopt_core_supervisor_active",
+			"Index of the currently active controller in the supervisor's bank.")
+	}
+	return s, nil
 }
 
 // Size implements Controller.
@@ -110,6 +126,10 @@ func (s *Supervisor) failover() {
 	s.best = math.Inf(1)
 	s.steps = 0 // restart the warmup for the incoming controller
 	s.switches++
+	if s.failoverCtr != nil {
+		s.failoverCtr.Inc()
+		s.activeGauge.Set(float64(s.active))
+	}
 }
 
 // Name implements Controller.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+
+	"wsopt/internal/metrics"
 )
 
 // phase labels the hybrid controller's operating regime.
@@ -50,6 +52,7 @@ type extremum struct {
 	xbarHist      []float64 // recent averaged block sizes, for Eq. 6
 	stepCount     int       // adaptivity steps taken
 	phaseSwitches int       // number of transient<->steady transitions
+	phaseCtr      *metrics.Counter
 }
 
 func newExtremum(cfg Config, mode gainMode) (*extremum, error) {
@@ -64,7 +67,19 @@ func newExtremum(cfg Config, mode gainMode) (*extremum, error) {
 		cur:  float64(cfg.Limits.Clamp(cfg.InitialSize)),
 		ph:   phaseTransient,
 	}
+	if cfg.Metrics != nil {
+		e.phaseCtr = cfg.Metrics.Counter("wsopt_core_phase_transitions_total",
+			"Transient<->steady phase transitions across all switching controllers.")
+	}
 	return e, nil
+}
+
+// countPhaseSwitch records one transient<->steady transition.
+func (e *extremum) countPhaseSwitch() {
+	e.phaseSwitches++
+	if e.phaseCtr != nil {
+		e.phaseCtr.Inc()
+	}
 }
 
 // Size implements Controller.
@@ -175,7 +190,7 @@ func (e *extremum) pushXbar(x float64) {
 func (e *extremum) updatePhase() bool {
 	if e.cfg.ResetPeriod > 0 && e.stepCount%e.cfg.ResetPeriod == 0 {
 		if e.ph == phaseSteady {
-			e.phaseSwitches++
+			e.countPhaseSwitch()
 		}
 		e.ph = phaseTransient
 		e.justSwitched = false
@@ -188,7 +203,7 @@ func (e *extremum) updatePhase() bool {
 		if e.steadyStateDetected() {
 			e.ph = phaseSteady
 			e.justSwitched = true
-			e.phaseSwitches++
+			e.countPhaseSwitch()
 			// The saw-tooth of the constant-gain phase straddles the
 			// stability point; its center — the mean recent decision — is
 			// the best estimate of the optimum, while the current value
@@ -203,7 +218,7 @@ func (e *extremum) updatePhase() bool {
 		if e.cfg.AllowSwitchBack && e.driftDetected() {
 			e.ph = phaseTransient
 			e.justSwitched = false
-			e.phaseSwitches++
+			e.countPhaseSwitch()
 			e.signHist = e.signHist[:0]
 		}
 	}

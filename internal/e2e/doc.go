@@ -1,0 +1,6 @@
+// Package e2e holds the end-to-end test suite for the cmd/ binaries: it
+// builds wsblockd and wsquery with `go build`, runs a real daemon on an
+// ephemeral port, executes a full adaptive query against it, and
+// verifies the observability plane (/metrics, /healthz, pprof) and the
+// JSONL event trace. See e2e_test.go.
+package e2e

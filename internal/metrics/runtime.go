@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntime adds process-level gauges (uptime, goroutines, heap)
+// to the registry, evaluated lazily at scrape time. Call once at
+// startup from long-running binaries.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("wsopt_process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	r.GaugeFunc("wsopt_go_goroutines", "Current number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("wsopt_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("wsopt_go_gc_cycles", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

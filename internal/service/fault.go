@@ -62,10 +62,10 @@ func (c FaultConfig) validate() error {
 type faultKind int
 
 const (
-	faultNone faultKind = iota
-	fault503            // refuse the request before processing
-	faultDrop           // sever the connection before writing anything
-	faultTruncate       // write a prefix of the body, then sever
+	faultNone     faultKind = iota
+	fault503                // refuse the request before processing
+	faultDrop               // sever the connection before writing anything
+	faultTruncate           // write a prefix of the body, then sever
 )
 
 // faultInjector draws fault decisions from its own seeded RNG so chaos

@@ -75,6 +75,7 @@ func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
 	s.ingests[id] = &ingestSession{id: id, table: tbl, lastUsed: time.Now()}
 	s.stats.IngestsOpened++
 	s.mu.Unlock()
+	s.metrics.ingestsOpened.Inc()
 	s.logf("ingest %s opened: table=%s", id, req.Table)
 
 	w.Header().Set("Content-Type", "application/json")
@@ -156,6 +157,7 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			s.stats.BlocksIngestReplayed++
 			s.mu.Unlock()
+			s.metrics.ingestReplays.Inc()
 			s.ackIngestBlock(w, sess.id, sess.lastTuples, sess.lastDelayMS, true, fault)
 			return
 		case seq == sess.lastSeq+1:
@@ -175,6 +177,9 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 	s.stats.BlocksIngested++
 	s.stats.TuplesIngested += int64(len(rows))
 	s.mu.Unlock()
+	s.metrics.blocksIngested.Inc()
+	s.metrics.tuplesIngested.Add(int64(len(rows)))
+	s.metrics.blockSize.Observe(float64(len(rows)))
 
 	delayMS := s.priceBlock(len(rows))
 	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {

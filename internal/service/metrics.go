@@ -1,0 +1,77 @@
+package service
+
+import (
+	"wsopt/internal/metrics"
+)
+
+// serviceMetrics mirrors the Stats counters into a metrics.Registry so
+// the same signals are scrapeable at /metrics. All series are registered
+// eagerly (value 0) so a scrape sees the full schema before traffic.
+type serviceMetrics struct {
+	sessionsOpened *metrics.Counter
+	ingestsOpened  *metrics.Counter
+	blocksServed   *metrics.Counter
+	tuplesServed   *metrics.Counter
+	blocksReplayed *metrics.Counter
+	encodeFailures *metrics.Counter
+
+	blocksIngested *metrics.Counter
+	tuplesIngested *metrics.Counter
+	ingestReplays  *metrics.Counter
+
+	faultsDropped   *metrics.Counter
+	faultsTruncated *metrics.Counter
+	faultsRefused   *metrics.Counter
+
+	blockSize  *metrics.Histogram
+	blockDelay *metrics.Histogram
+}
+
+// newServiceMetrics registers the service's series in reg. The live
+// session gauge reads the server's maps at scrape time.
+func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
+	m := &serviceMetrics{
+		sessionsOpened: reg.Counter("wsopt_service_sessions_opened_total", "Download sessions ever created."),
+		ingestsOpened:  reg.Counter("wsopt_service_ingests_opened_total", "Upload sessions ever created."),
+		blocksServed:   reg.Counter("wsopt_service_blocks_served_total", "Block responses fully written to clients (replays included)."),
+		tuplesServed:   reg.Counter("wsopt_service_tuples_served_total", "Tuples in fully written block responses."),
+		blocksReplayed: reg.Counter("wsopt_service_blocks_replayed_total", "Blocks served verbatim from a session's replay buffer."),
+		encodeFailures: reg.Counter("wsopt_service_encode_failures_total", "Blocks whose codec encoding failed."),
+		blocksIngested: reg.Counter("wsopt_service_blocks_ingested_total", "Blocks received from uploading clients."),
+		tuplesIngested: reg.Counter("wsopt_service_tuples_ingested_total", "Tuples received from uploading clients."),
+		ingestReplays:  reg.Counter("wsopt_service_ingest_replays_total", "Duplicate upload blocks acknowledged without re-applying."),
+
+		faultsDropped:   reg.Counter("wsopt_service_faults_injected_total", "Transport faults fired by the chaos layer, by kind.", metrics.L("kind", "dropped")),
+		faultsTruncated: reg.Counter("wsopt_service_faults_injected_total", "Transport faults fired by the chaos layer, by kind.", metrics.L("kind", "truncated")),
+		faultsRefused:   reg.Counter("wsopt_service_faults_injected_total", "Transport faults fired by the chaos layer, by kind.", metrics.L("kind", "refused")),
+
+		blockSize:  reg.Histogram("wsopt_service_block_size_tuples", "Tuples per served block.", metrics.DefSizeBuckets),
+		blockDelay: reg.Histogram("wsopt_service_block_delay_ms", "Injected simulated delay per served block, in milliseconds.", metrics.DefLatencyBuckets),
+	}
+	reg.GaugeFunc("wsopt_service_sessions_live", "Currently open sessions (downloads + uploads).", func() float64 {
+		return float64(s.liveSessions())
+	})
+	return m
+}
+
+// countFault records an injected fault in both Stats and metrics.
+func (s *Server) countFault(k faultKind) {
+	s.mu.Lock()
+	switch k {
+	case faultDrop:
+		s.stats.FaultsInjected.Dropped++
+	case faultTruncate:
+		s.stats.FaultsInjected.Truncated++
+	case fault503:
+		s.stats.FaultsInjected.Refused++
+	}
+	s.mu.Unlock()
+	switch k {
+	case faultDrop:
+		s.metrics.faultsDropped.Inc()
+	case faultTruncate:
+		s.metrics.faultsTruncated.Inc()
+	case fault503:
+		s.metrics.faultsRefused.Inc()
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
 	"wsopt/internal/wire"
@@ -73,6 +74,10 @@ type Config struct {
 	// Faults injects transport failures on the block endpoints for
 	// chaos testing; the zero value injects nothing.
 	Faults FaultConfig
+	// Metrics receives the service's counters and histograms; nil uses a
+	// private registry so recording is always safe. Pass the registry
+	// that backs /metrics to expose them.
+	Metrics *metrics.Registry
 }
 
 // Server is the block-pull web service.
@@ -89,7 +94,8 @@ type Server struct {
 	ingests  map[string]*ingestSession
 	nextID   uint64
 
-	stats Stats
+	stats   Stats
+	metrics *serviceMetrics
 }
 
 // New builds a Server; the catalog is required.
@@ -117,6 +123,11 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[string]*session),
 		ingests:  make(map[string]*ingestSession),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.metrics = newServiceMetrics(reg, s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleCreate)
 	mux.HandleFunc("POST /sessions/{id}/next", s.handleNext)
@@ -167,20 +178,6 @@ type FaultStats struct {
 	Refused   int64 `json:"refused"`
 }
 
-// countFault records an injected fault in the stats.
-func (s *Server) countFault(k faultKind) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch k {
-	case faultDrop:
-		s.stats.FaultsInjected.Dropped++
-	case faultTruncate:
-		s.stats.FaultsInjected.Truncated++
-	case fault503:
-		s.stats.FaultsInjected.Refused++
-	}
-}
-
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -212,11 +209,19 @@ func (s *Server) Load() netsim.Load {
 	return s.load
 }
 
-// SessionCount reports live sessions, for tests and monitoring.
+// SessionCount reports live download sessions, for tests and monitoring.
 func (s *Server) SessionCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// liveSessions counts all open cursors (downloads + uploads) for the
+// sessions-live gauge.
+func (s *Server) liveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions) + len(s.ingests)
 }
 
 // ExpireIdle drops sessions idle longer than the TTL and returns how many
@@ -321,6 +326,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = &session{id: id, iter: it, lastUsed: time.Now()}
 	s.stats.SessionsOpened++
 	s.mu.Unlock()
+	s.metrics.sessionsOpened.Inc()
 	s.logf("session %s opened: table=%s cols=%v", id, req.Table, req.Columns)
 
 	w.Header().Set("Content-Type", "application/json")
@@ -408,6 +414,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.stats.EncodeFailures++
 		s.mu.Unlock()
+		s.metrics.encodeFailures.Inc()
 		s.logf("session %s: encode block: %v", sess.id, err)
 		httpError(w, http.StatusInternalServerError, "encode block: %v", err)
 		return
@@ -434,6 +441,7 @@ func (s *Server) serveReplay(w http.ResponseWriter, sess *session, fault faultKi
 	s.mu.Lock()
 	s.stats.BlocksReplayed++
 	s.mu.Unlock()
+	s.metrics.blocksReplayed.Inc()
 	s.writeBlock(w, sess, sess.replay, true, true, fault)
 }
 
@@ -471,6 +479,10 @@ func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBloc
 	s.stats.BlocksServed++
 	s.stats.TuplesServed += int64(rb.tuples)
 	s.mu.Unlock()
+	s.metrics.blocksServed.Inc()
+	s.metrics.tuplesServed.Add(int64(rb.tuples))
+	s.metrics.blockSize.Observe(float64(rb.tuples))
+	s.metrics.blockDelay.Observe(rb.delayMS)
 }
 
 // priceBlock draws the simulated delay for a block under the current load.

@@ -8,3 +8,5 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+# Replay the checked-in fuzz seed corpora (deterministic, no generation).
+go test -run '^Fuzz' ./internal/wire ./internal/minidb
