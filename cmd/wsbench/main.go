@@ -52,6 +52,8 @@ type transferReport struct {
 	RTTMeanMS    float64 `json:"rtt_mean_ms"`
 	RTTP50MS     float64 `json:"rtt_p50_ms"`
 	RTTP95MS     float64 `json:"rtt_p95_ms"`
+	Failovers    int64   `json:"failovers,omitempty"`
+	HedgeWins    int64   `json:"hedge_wins,omitempty"`
 }
 
 func main() {
@@ -62,6 +64,8 @@ func main() {
 		codecName = flag.String("codec", "xml", "block codec")
 		seed      = flag.Int64("seed", 1, "randomization seed")
 		jsonOut   = flag.String("json", "", "write a machine-readable transfer report (e.g. BENCH_transfer.json)")
+		replicas  = flag.Int("replicas", 1, "serve the bench from this many identical in-process replicas (exercises hedging and failover)")
+		hedge     = flag.Float64("hedge", 0.9, "hedge a straggling pull after this fraction of its deadline (multi-replica runs; 0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -90,14 +94,27 @@ func main() {
 	}
 	b1 := spec.B1 / scale
 
-	srv, err := service.New(service.Config{Catalog: cat, Codec: codec, CostModel: model, Seed: *seed})
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	urls := make([]string, 0, *replicas)
+	for i := 0; i < *replicas; i++ {
+		srv, err := service.New(service.Config{Catalog: cat, Codec: codec, CostModel: model, Seed: *seed + int64(i)})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	c, err := client.NewMulti(urls, codec, nil)
 	if err != nil {
 		logger.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	c, err := client.New(ts.URL, codec, nil)
-	if err != nil {
+	if err := c.SetResilience(client.ResilienceConfig{
+		HedgeFraction:  *hedge,
+		DisableHedging: *hedge <= 0 || *replicas < 2,
+	}); err != nil {
 		logger.Fatal(err)
 	}
 
@@ -174,6 +191,8 @@ func main() {
 			RTTMeanMS:   rtt.Mean(),
 			RTTP50MS:    rtt.Quantile(0.50),
 			RTTP95MS:    rtt.Quantile(0.95),
+			Failovers:   snap.Counter("wsopt_client_failovers_total"),
+			HedgeWins:   snap.Counter("wsopt_client_hedge_wins_total"),
 		}
 		if wall > 0 {
 			rep.BlocksPerSec = float64(rep.Blocks) / wall

@@ -54,6 +54,9 @@ func main() {
 		faultTrunc = flag.Float64("fault-truncate", 0, "chaos: probability of truncating a block response body")
 		fault503   = flag.Float64("fault-503", 0, "chaos: probability of refusing a block request with 503")
 		faultSeed  = flag.Int64("fault-seed", 0, "chaos: fault RNG seed (0 = derive from clock)")
+
+		maxSessions = flag.Int("max-sessions", 0, "admission control: refuse new sessions with 503 + Retry-After beyond this many open cursors (0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with admission-control 503s")
 	)
 	flag.Parse()
 
@@ -114,14 +117,16 @@ func main() {
 	reg := metrics.NewRegistry()
 	metrics.RegisterRuntime(reg)
 	srv, err := service.New(service.Config{
-		Catalog:    cat,
-		Codec:      codec,
-		CostModel:  model,
-		SleepScale: *timescale,
-		Logger:     reqLogger,
-		Seed:       seed,
-		Faults:     faults,
-		Metrics:    reg,
+		Catalog:     cat,
+		Codec:       codec,
+		CostModel:   model,
+		SleepScale:  *timescale,
+		Logger:      reqLogger,
+		Seed:        seed,
+		Faults:      faults,
+		Metrics:     reg,
+		MaxSessions: *maxSessions,
+		RetryAfter:  *retryAfter,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -129,6 +134,9 @@ func main() {
 	if *faultDrop > 0 || *faultTrunc > 0 || *fault503 > 0 {
 		logger.Printf("fault injection enabled: drop=%.2f truncate=%.2f 503=%.2f",
 			*faultDrop, *faultTrunc, *fault503)
+	}
+	if *maxSessions > 0 {
+		logger.Printf("admission control: max %d concurrent sessions (Retry-After %s)", *maxSessions, *retryAfter)
 	}
 
 	// Janitor: expire idle sessions once a minute.

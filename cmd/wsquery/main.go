@@ -8,6 +8,12 @@
 //	wsquery -table customer -controller static -size 1000
 //	wsquery -table customer -controller constant -b1 800 -trace
 //	wsquery -table customer -events transfer.jsonl   # structured per-block trace
+//	wsquery -endpoints http://a:8080,http://b:8080 -table customer
+//
+// With -endpoints, the client spreads resilience across the listed
+// replicas: per-endpoint circuit breakers, adaptive per-block deadlines,
+// hedged pulls for stragglers, and mid-query session failover that
+// resumes from the committed tuple cursor.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 
 	"wsopt/internal/client"
 	"wsopt/internal/core"
+	"wsopt/internal/metrics"
+	"wsopt/internal/resilience"
 	"wsopt/internal/sysid"
 	"wsopt/internal/wire"
 )
@@ -42,7 +50,16 @@ func main() {
 		traceCSV  = flag.String("trace-csv", "", "write the full controller trace to this CSV file")
 		eventsOut = flag.String("events", "", "write a JSONL structured trace (one event per block) to this file")
 		retries   = flag.Int("retries", 5, "attempts per request; block transfers replay safely via the seq protocol (1 = no retry)")
-		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt, full jitter)")
+
+		endpoints       = flag.String("endpoints", "", "comma-separated replica base URLs (overrides -url; enables hedging and failover)")
+		breakerThresh   = flag.Int("breaker-threshold", 5, "consecutive failures before an endpoint's circuit breaker opens")
+		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker refuses traffic before probing")
+		deadlineMult    = flag.Float64("deadline-mult", 4, "adaptive deadline = mult x p95 per-tuple RTT x block size")
+		deadlineMin     = flag.Duration("deadline-min", time.Second, "lower clamp on the adaptive per-block deadline")
+		deadlineMax     = flag.Duration("deadline-max", 2*time.Minute, "upper clamp on (and fallback for) the adaptive deadline")
+		hedge           = flag.Float64("hedge", 0.9, "hedge a straggling pull after this fraction of its deadline (0 disables hedging)")
+		metricsOut      = flag.String("metrics-out", "", "write the client's metrics (Prometheus text) to this file at exit")
 	)
 	flag.Parse()
 
@@ -65,11 +82,40 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	c, err := client.New(*url, codec, nil)
+	urls := []string{*url}
+	if *endpoints != "" {
+		urls = nil
+		for _, u := range strings.Split(*endpoints, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	c, err := client.NewMulti(urls, codec, nil)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	c.SetRetry(client.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase})
+	if err := c.SetResilience(client.ResilienceConfig{
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *breakerThresh,
+			Cooldown:         *breakerCooldown,
+		},
+		Deadline: resilience.DeadlineConfig{
+			Multiplier: *deadlineMult,
+			Min:        *deadlineMin,
+			Max:        *deadlineMax,
+		},
+		HedgeFraction:  *hedge,
+		DisableHedging: *hedge <= 0,
+	}); err != nil {
+		logger.Fatal(err)
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		c.SetMetrics(reg)
+	}
 
 	var eventsFile *os.File
 	var events *client.EventWriter
@@ -123,11 +169,27 @@ func main() {
 		}
 		logger.Printf("trace written to %s", *traceCSV)
 	}
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			logger.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("metrics written to %s", *metricsOut)
+	}
 	fmt.Printf("controller:      %s\n", ctl.Name())
 	fmt.Printf("tuples:          %d in %d blocks\n", res.Tuples, res.Blocks)
 	fmt.Printf("wall time:       %v\n", elapsed.Round(time.Millisecond))
 	if res.Retries > 0 || res.Replays > 0 {
 		fmt.Printf("retries:         %d (%d blocks replayed by the server)\n", res.Retries, res.Replays)
+	}
+	if res.Failovers > 0 || res.HedgeWins > 0 {
+		fmt.Printf("resilience:      %d session failovers, %d hedged blocks won\n", res.Failovers, res.HedgeWins)
 	}
 	if res.SimulatedMS > 0 {
 		fmt.Printf("simulated time:  %.1f s\n", res.SimulatedMS/1000)
@@ -145,8 +207,15 @@ func runTraced(ctx context.Context, c *client.Client, q client.Query, ctl core.C
 		return nil, err
 	}
 	defer sess.Close(context.WithoutCancel(ctx))
+	sess.OnDisturbance = func(reason string) {
+		fmt.Printf("disturbance: %s\n", reason)
+		core.NotifyDisturbance(ctl, reason)
+	}
 
 	res := &client.RunResult{}
+	defer func() {
+		res.Failovers, res.HedgeWins = sess.Failovers(), sess.HedgeWins()
+	}()
 	for !sess.Done() {
 		size := ctl.Size()
 		blk, err := sess.Next(ctx, size)

@@ -140,7 +140,7 @@ func TestChaosPullExactlyOnce(t *testing.T) {
 
 func TestChaosRunAdaptiveExactlyOnce(t *testing.T) {
 	const rows = 2000
-	c, _ := chaosStack(t, rows, wire.Binary{}, 7, nil)
+	c, srv := chaosStack(t, rows, wire.Binary{}, 12, nil)
 
 	cfg := core.Config{
 		InitialSize: 50, Limits: core.Limits{Min: 10, Max: 400},
@@ -158,7 +158,9 @@ func TestChaosRunAdaptiveExactlyOnce(t *testing.T) {
 		t.Fatalf("adaptive run delivered %d tuples, want %d", res.Tuples, rows)
 	}
 	if res.Retries == 0 {
-		t.Fatal("run reported no retries despite injected faults")
+		st := srv.Stats()
+		t.Fatalf("run reported no retries despite injected faults (blocks=%d sizes=%v server-blocks=%d faults=%+v)",
+			res.Blocks, res.Sizes, st.BlocksServed, st.FaultsInjected)
 	}
 }
 

@@ -3,6 +3,14 @@
 // paper — request a block, time it, let the controller pick the next
 // block's size — entirely at the client, with no server cooperation beyond
 // the plain pull interface ("minimally intrusive", Section I).
+//
+// The client can be given several replica endpoints (NewMulti). Each gets
+// a passive-health circuit breaker; block pulls carry an adaptive deadline
+// derived from recent RTTs; a straggling pull is hedged to a second
+// healthy replica; and when an endpoint's breaker opens mid-query the
+// session fails over, resuming from the committed tuple cursor. All of it
+// leans on the seq/replay idempotence of the protocol — a duplicated pull
+// can neither skip nor repeat tuples.
 package client
 
 import (
@@ -19,6 +27,7 @@ import (
 	"wsopt/internal/core"
 	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
+	"wsopt/internal/resilience"
 	"wsopt/internal/service"
 	"wsopt/internal/wire"
 )
@@ -34,26 +43,43 @@ const (
 	MetricPerBlock
 )
 
-// Client talks to one block-pull service.
+// Client talks to one logical block-pull service, possibly replicated
+// across several endpoints.
 type Client struct {
-	base    *url.URL
-	hc      *http.Client
-	codec   wire.Codec
-	retry   RetryPolicy
-	metrics *clientMetrics
-	events  *EventWriter
+	urls     []string
+	pool     *resilience.Pool
+	deadline *resilience.DeadlineTracker
+	rcfg     ResilienceConfig
+	hc       *http.Client
+	codec    wire.Codec
+	retry    RetryPolicy
+	metrics  *clientMetrics
+	events   *EventWriter
 }
 
 // New builds a client for the service at baseURL using codec to decode
 // blocks (it must match the server's). A nil http.Client uses a default
 // with a 5-minute timeout.
 func New(baseURL string, codec wire.Codec, hc *http.Client) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	return NewMulti([]string{baseURL}, codec, hc)
+}
+
+// NewMulti builds a client over several replica endpoints serving the
+// same deterministic data. The first URL is the initial primary; the rest
+// are failover and hedging targets. A single URL behaves exactly like
+// New.
+func NewMulti(urls []string, codec wire.Codec, hc *http.Client) (*Client, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: need at least one endpoint URL")
 	}
-	if u.Scheme == "" || u.Host == "" {
-		return nil, fmt.Errorf("client: base URL %q must be absolute", baseURL)
+	for _, raw := range urls {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad base URL: %w", err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("client: base URL %q must be absolute", raw)
+		}
 	}
 	if codec == nil {
 		codec = wire.XML{}
@@ -61,10 +87,23 @@ func New(baseURL string, codec wire.Codec, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 5 * time.Minute}
 	}
+	c := &Client{
+		urls:  append([]string(nil), urls...),
+		hc:    hc,
+		codec: codec,
+		rcfg:  ResilienceConfig{}.normalized(),
+	}
 	// A private registry keeps recording unconditional; SetMetrics
 	// rebinds the series to a shared registry when one exists.
-	return &Client{base: u, hc: hc, codec: codec, metrics: newClientMetrics(metrics.NewRegistry())}, nil
+	c.metrics = newClientMetrics(metrics.NewRegistry(), c)
+	if err := c.rebuildPool(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
+
+// Endpoints returns the configured replica base URLs.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.urls...) }
 
 // Query names the server-side plan to open.
 type Query struct {
@@ -79,49 +118,98 @@ type Query struct {
 	Distinct bool `json:"distinct,omitempty"`
 	// Limit truncates the result when positive.
 	Limit int `json:"limit,omitempty"`
+	// Offset skips the first N result tuples server-side — how a hedged
+	// or failed-over session resumes from the committed cursor on a
+	// different replica.
+	Offset int `json:"offset,omitempty"`
 }
 
 // Session is an open pull cursor. Not safe for concurrent use.
 type Session struct {
 	c       *Client
+	q       Query
+	ep      *resilience.Endpoint
 	id      string
 	columns []string
 	done    bool
-	// seq numbers the blocks pulled so far; the next pull requests
-	// seq+1, and a retry re-requests the same number so the server can
-	// replay a block whose response was lost.
+	// seq numbers the blocks pulled so far on the *current* server-side
+	// session; the next pull requests seq+1, and a retry re-requests the
+	// same number so the server can replay a block whose response was
+	// lost. A failover or hedge adoption opens a fresh server session and
+	// resets the counter.
 	seq uint64
+	// committed counts tuples already delivered to the caller (plus the
+	// query's own Offset) — the resume cursor for failover and hedging.
+	committed int
+	failovers int
+	hedgeWins int
+
+	// OnDisturbance, when set, is invoked after a session failover or a
+	// hedge adoption with a human-readable reason — the hook Run uses to
+	// tell the controller conditions just changed under it.
+	OnDisturbance func(reason string)
 }
 
-// OpenSession creates a server-side session for the query.
+// OpenSession creates a server-side session for the query, trying the
+// preferred endpoint first and falling back to the other replicas.
 func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
+	first := c.pool.Pick()
+	order := []*resilience.Endpoint{first}
+	for _, ep := range c.pool.Endpoints() {
+		if ep != first {
+			order = append(order, ep)
+		}
+	}
+	var lastErr error
+	for _, ep := range order {
+		id, cols, err := c.openSessionOn(ctx, ep, q, q.Offset)
+		if err == nil {
+			ep.Success()
+			c.pool.Promote(ep)
+			return &Session{c: c, q: q, ep: ep, id: id, columns: cols, committed: q.Offset}, nil
+		}
+		if isTransient(err) {
+			ep.Failure()
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// openSessionOn creates a server-side session on one specific endpoint,
+// resuming at the given tuple offset.
+func (c *Client) openSessionOn(ctx context.Context, ep *resilience.Endpoint, q Query, offset int) (id string, columns []string, err error) {
+	q.Offset = offset
 	body, err := json.Marshal(q)
 	if err != nil {
-		return nil, fmt.Errorf("client: marshal query: %w", err)
+		return "", nil, fmt.Errorf("client: marshal query: %w", err)
 	}
-	u, err := c.endpoint("sessions")
+	u, err := joinURL(ep.URL(), "sessions")
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	resp, err := c.doManagement(ctx, http.MethodPost, u, body, "application/json", http.StatusCreated)
 	if err != nil {
-		return nil, fmt.Errorf("client: open session: %w", err)
+		return "", nil, fmt.Errorf("client: open session: %w", err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusCreated {
-		return nil, httpFailure("open session", resp)
+		return "", nil, httpFailure("open session", resp)
 	}
 	var cr struct {
 		Session string   `json:"session"`
 		Columns []string `json:"columns"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-		return nil, fmt.Errorf("client: decode session response: %w", err)
+		return "", nil, fmt.Errorf("client: decode session response: %w", err)
 	}
 	if cr.Session == "" {
-		return nil, fmt.Errorf("client: server returned empty session id")
+		return "", nil, fmt.Errorf("client: server returned empty session id")
 	}
-	return &Session{c: c, id: cr.Session, columns: cr.Columns}, nil
+	return cr.Session, cr.Columns, nil
 }
 
 // Columns returns the projected column names of the session's result.
@@ -133,6 +221,16 @@ func (s *Session) Seq() uint64 { return s.seq }
 
 // Done reports whether the result set has been exhausted.
 func (s *Session) Done() bool { return s.done }
+
+// Endpoint returns the base URL of the replica currently serving the
+// session.
+func (s *Session) Endpoint() string { return s.ep.URL() }
+
+// Failovers returns how many times the session moved to another replica.
+func (s *Session) Failovers() int { return s.failovers }
+
+// HedgeWins returns how many blocks were won by a hedged pull.
+func (s *Session) HedgeWins() int { return s.hedgeWins }
 
 // Block is one pulled block with its client-side timing.
 type Block struct {
@@ -155,14 +253,25 @@ type Block struct {
 	Replayed bool
 	// Bytes is the encoded payload size of the successful attempt.
 	Bytes int64
+	// Endpoint is the base URL of the replica that served the block.
+	Endpoint string
+	// Hedged is true when the block was won by a hedged pull against a
+	// second replica rather than the session's primary.
+	Hedged bool
+	// Failovers counts session failovers that happened while pulling this
+	// block.
+	Failovers int
 }
 
 // Next pulls one block of up to size tuples and times it. Transient
-// failures — severed connections, truncated bodies, 5xx responses — are
-// retried under the client's RetryPolicy, re-requesting the same
-// sequence number so the server can replay the block without skipping
-// or duplicating tuples. Elapsed covers the successful attempt only, so
-// the controller's timing signal is not polluted by failed tries.
+// failures — severed connections, truncated bodies, deadline expiries,
+// 5xx responses — are retried under the client's RetryPolicy,
+// re-requesting the same sequence number so the server can replay the
+// block without skipping or duplicating tuples. When the current
+// endpoint's breaker refuses traffic and another replica exists, the
+// session fails over and resumes from the committed cursor. Elapsed
+// covers the successful attempt only, so the controller's timing signal
+// is not polluted by failed tries.
 func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	if s.done {
 		return nil, fmt.Errorf("client: session %s already exhausted", s.id)
@@ -170,30 +279,38 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("client: block size %d must be positive", size)
 	}
-	base, err := s.c.endpoint("sessions", s.id, "next")
-	if err != nil {
-		return nil, err
-	}
-	seq := s.seq + 1
-	u := base + "?size=" + strconv.Itoa(size) + "&seq=" + strconv.FormatUint(seq, 10)
-
-	policy := s.c.retry.normalized()
+	c := s.c
+	policy := c.retry.normalized()
 	delay := policy.BaseDelay
+	failovers := 0
 	for attempt := 1; ; attempt++ {
-		blk, err := s.pullOnce(ctx, u)
+		blk, seqAfter, err := s.pullAttempt(ctx, size, s.seq+1, attempt)
 		if err == nil {
 			blk.Attempts = attempt
-			s.seq = seq
+			blk.Failovers = failovers
+			s.seq = seqAfter
 			s.done = blk.Done
-			s.c.metrics.recordBlock(blk)
+			s.committed += len(blk.Rows)
+			c.metrics.recordBlock(blk)
 			return blk, nil
 		}
 		if !isTransient(err) {
 			return nil, err
 		}
+		// Failover: the current endpoint's breaker refuses traffic and an
+		// alternative exists — re-open the session there and retry
+		// immediately (no backoff: the failure was this replica's, not the
+		// service's). Bounded by the pool size so a pathological pool
+		// cannot extend the retry budget indefinitely.
+		if !c.rcfg.DisableFailover && c.pool.Len() > 1 && failovers < c.pool.Len() && !s.ep.Allow() {
+			if ferr := s.failover(ctx); ferr == nil {
+				failovers++
+				continue
+			}
+		}
 		if attempt >= policy.MaxAttempts {
 			if attempt > 1 {
-				return nil, fmt.Errorf("client: pull block seq %d: giving up after %d attempts: %w", seq, attempt, err)
+				return nil, fmt.Errorf("client: pull block seq %d: giving up after %d attempts: %w", s.seq+1, attempt, err)
 			}
 			return nil, err
 		}
@@ -203,32 +320,172 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 	}
 }
 
-// pullOnce performs one pull attempt, marking recoverable failures
-// transient.
-func (s *Session) pullOnce(ctx context.Context, u string) (*Block, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+// pullResult carries one primary pull attempt's outcome.
+type pullResult struct {
+	blk *Block
+	err error
+}
+
+// pullAttempt performs one logical pull: the primary request against the
+// session's current endpoint under the adaptive deadline, hedged to a
+// second healthy replica once the hedge fraction of the deadline has
+// elapsed. It returns the winning block and the seq the session is at
+// after it (the requested seq when the primary won; 1 when a hedge won,
+// because the hedge runs on a fresh server-side session).
+func (s *Session) pullAttempt(ctx context.Context, size int, seq uint64, attempt int) (*Block, uint64, error) {
+	c := s.c
+	// The breaker only gates pulls when an alternative endpoint exists:
+	// on a single-endpoint pool refusing traffic would just burn the
+	// retry budget without anywhere to send it.
+	if c.pool.Len() > 1 && !s.ep.Allow() {
+		return nil, 0, markTransient(fmt.Errorf("client: endpoint %s: circuit breaker open", s.ep.URL()))
+	}
+	u, err := joinURL(s.ep.URL(), "sessions", s.id, "next")
+	if err != nil {
+		return nil, 0, err
+	}
+	u += "?size=" + strconv.Itoa(size) + "&seq=" + strconv.FormatUint(seq, 10)
+
+	d := c.attemptDeadline(size, attempt)
+	cctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+
+	prim := make(chan pullResult, 1)
+	go func() {
+		blk, err := c.pullOnce(cctx, ctx, u)
+		prim <- pullResult{blk, err}
+	}()
+
+	var hedgeFired <-chan time.Time
+	if hd, ok := c.hedgeDelay(d); ok {
+		timer := time.NewTimer(hd)
+		defer timer.Stop()
+		hedgeFired = timer.C
+	}
+
+	var hedgeCh chan hedgeOutcome
+	var primErr error
+	primDone := false
+	for {
+		select {
+		case r := <-prim:
+			primDone = true
+			if r.err == nil {
+				s.ep.Success()
+				c.deadline.Observe(r.blk.Elapsed, len(r.blk.Rows))
+				if hedgeCh != nil {
+					// The straggler came through first after all: the
+					// hedge lost the race; reap its mirror session.
+					c.metrics.hedgeLosses.Inc()
+					c.reapHedge(hedgeCh)
+				}
+				r.blk.Endpoint = s.ep.URL()
+				return r.blk, seq, nil
+			}
+			if isTransient(r.err) {
+				s.ep.Failure()
+			}
+			primErr = r.err
+			if hedgeCh == nil {
+				return nil, 0, r.err
+			}
+			prim = nil // primary settled; wait for the hedge to decide
+		case <-hedgeFired:
+			hedgeFired = nil
+			hedgeCh = make(chan hedgeOutcome, 1)
+			c.metrics.hedges.Inc()
+			// Session state is captured by value: the goroutine may
+			// outlive this attempt and must not read s afterwards.
+			go c.runHedge(ctx, s.ep, s.q, s.committed, size, hedgeCh)
+		case ho := <-hedgeCh:
+			if ho.err != nil {
+				c.metrics.hedgeLosses.Inc()
+				hedgeCh = nil
+				if primDone {
+					return nil, 0, primErr
+				}
+				continue // primary is still running; let it finish
+			}
+			// The hedge won: adopt its mirror session as the new primary
+			// cursor. The primary pull is cancelled; even if its response
+			// was in flight, the abandoned server session is deleted and
+			// the committed cursor was never advanced for it, so no tuple
+			// is skipped or duplicated.
+			cancel()
+			old, oldID := s.ep, s.id
+			s.ep, s.id = ho.ep, ho.id
+			c.pool.Promote(ho.ep)
+			c.metrics.hedgeWins.Inc()
+			s.hedgeWins++
+			c.deadline.Observe(ho.blk.Elapsed, len(ho.blk.Rows))
+			c.closeAsync(old, oldID)
+			if s.OnDisturbance != nil {
+				s.OnDisturbance("hedged block adopted; session moved to " + ho.ep.URL())
+			}
+			ho.blk.Endpoint = ho.ep.URL()
+			ho.blk.Hedged = true
+			return ho.blk, 1, nil
+		}
+	}
+}
+
+// failover re-opens the session on a healthy replica other than the
+// current endpoint, resuming at the committed tuple cursor.
+func (s *Session) failover(ctx context.Context) error {
+	c := s.c
+	other, ok := c.pool.Other(s.ep)
+	if !ok {
+		return fmt.Errorf("client: no healthy endpoint to fail over to")
+	}
+	id, _, err := c.openSessionOn(ctx, other, s.q, s.committed)
+	if err != nil {
+		if isTransient(err) {
+			other.Failure()
+		}
+		return err
+	}
+	other.Success()
+	old, oldID := s.ep, s.id
+	s.ep, s.id = other, id
+	s.seq = 0
+	c.pool.Promote(other)
+	c.metrics.failovers.Inc()
+	s.failovers++
+	c.closeAsync(old, oldID)
+	if s.OnDisturbance != nil {
+		s.OnDisturbance("session failover to " + other.URL())
+	}
+	return nil
+}
+
+// pullOnce performs one pull attempt over the wire. cctx bounds the
+// attempt (the adaptive per-block deadline); parent is the caller's
+// context. An expiry of cctx alone means the pull stalled — a transient,
+// retryable condition — while a dead parent means the caller gave up.
+func (c *Client) pullOnce(cctx, parent context.Context, u string) (*Block, error) {
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, u, nil)
 	if err != nil {
 		return nil, err
 	}
 	t1 := time.Now()
-	resp, err := s.c.hc.Do(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, transportErr(ctx, "pull block", err)
+		return nil, c.classifyPullErr(cctx, parent, fmt.Errorf("client: pull block: %w", err))
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		err := httpFailure("pull block", resp)
 		if retryable(resp.StatusCode) {
-			err = markTransient(err)
+			err = markTransientRetryAfter(err, parseRetryAfter(resp.Header))
 		}
 		return nil, err
 	}
 	body := &countingReader{r: resp.Body}
-	schema, rows, err := s.c.codec.Decode(body)
+	schema, rows, err := c.codec.Decode(body)
 	if err != nil {
-		// Usually a body truncated by a dying connection: retry and let
-		// the server replay the block intact.
-		return nil, markTransient(fmt.Errorf("client: decode block: %w", err))
+		// Usually a body truncated by a dying connection or a deadline
+		// expiry mid-body: retry and let the server replay the block.
+		return nil, c.classifyPullErr(cctx, parent, fmt.Errorf("client: decode block: %w", err))
 	}
 	elapsed := time.Since(t1)
 
@@ -244,10 +501,24 @@ func (s *Session) pullOnce(ctx context.Context, u string) (*Block, error) {
 	return blk, nil
 }
 
+// classifyPullErr decides whether a failed pull is worth retrying: the
+// caller's cancellation never is; an adaptive-deadline expiry always is
+// (and is counted); anything else — refused, reset, severed mid-body —
+// is transient.
+func (c *Client) classifyPullErr(cctx, parent context.Context, wrapped error) error {
+	if parent.Err() != nil {
+		return wrapped
+	}
+	if cctx.Err() != nil {
+		c.metrics.deadlineTimeouts.Inc()
+	}
+	return markTransient(wrapped)
+}
+
 // Close deletes the server-side session. Closing an already-expired
 // session is not an error.
 func (s *Session) Close(ctx context.Context) error {
-	u, err := s.c.endpoint("sessions", s.id)
+	u, err := joinURL(s.ep.URL(), "sessions", s.id)
 	if err != nil {
 		return err
 	}
@@ -264,6 +535,7 @@ func (s *Session) Close(ctx context.Context) error {
 }
 
 // SetLoad adjusts the server's simulated load (experiment orchestration).
+// With several endpoints it targets the current primary.
 func (c *Client) SetLoad(ctx context.Context, jobs, queries int, memory float64) error {
 	body, err := json.Marshal(map[string]any{"Jobs": jobs, "Queries": queries, "Memory": memory})
 	if err != nil {
@@ -301,13 +573,21 @@ type RunResult struct {
 	// on a fault-free run.
 	Retries int
 	Replays int
+	// Failovers counts session moves to another replica; HedgeWins counts
+	// blocks won by a hedged pull — both 0 on a healthy single-endpoint
+	// run.
+	Failovers int
+	HedgeWins int
 }
 
 // Run executes Algorithm 1: it pulls the whole result set, feeding each
 // block's timing to the controller. The controller observes wall time by
 // default; when the server injects simulated delays with a small
 // SleepScale, prefer observing the scale-free injected delay by setting
-// useInjected.
+// useInjected. Failovers and hedge adoptions are surfaced to the
+// controller as disturbances (core.NotifyDisturbance), so adaptive
+// controllers re-enter their search instead of trusting a baseline
+// measured against a replica that no longer serves the session.
 func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric Metric, useInjected bool) (*RunResult, error) {
 	sess, err := c.OpenSession(ctx, q)
 	if err != nil {
@@ -317,12 +597,16 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 		// Best-effort cleanup; the session may already be gone.
 		_ = sess.Close(context.WithoutCancel(ctx))
 	}()
+	sess.OnDisturbance = func(reason string) {
+		core.NotifyDisturbance(ctl, reason)
+	}
 
 	res := &RunResult{}
 	for !sess.Done() {
 		size := ctl.Size()
 		blk, err := sess.Next(ctx, size)
 		if err != nil {
+			res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
 			return res, err
 		}
 		got := len(blk.Rows)
@@ -357,6 +641,7 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 			return res, err
 		}
 	}
+	res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
 	return res, nil
 }
 
@@ -380,13 +665,23 @@ func (c *Client) emitEvent(sess *Session, blk *Block, size int, ctl core.Control
 		Replayed:   blk.Replayed,
 		Done:       blk.Done,
 		Controller: ctl.Name(),
+		Endpoint:   blk.Endpoint,
+		Hedged:     blk.Hedged,
+		Failovers:  blk.Failovers,
 	})
 }
 
-// endpoint builds an absolute URL from path segments, path-escaping each
-// one (session IDs come from the server and must not be interpolated
-// raw) and surfacing join errors instead of discarding them.
+// endpoint builds an absolute URL on the current primary endpoint from
+// path segments (management operations that are not session-bound).
 func (c *Client) endpoint(segments ...string) (string, error) {
+	return joinURL(c.pool.Primary().URL(), segments...)
+}
+
+// joinURL builds an absolute URL from a base and path segments,
+// path-escaping each one (session IDs come from the server and must not
+// be interpolated raw) and surfacing join errors instead of discarding
+// them.
+func joinURL(base string, segments ...string) (string, error) {
 	esc := make([]string, len(segments))
 	for i, seg := range segments {
 		if seg == "" {
@@ -394,7 +689,7 @@ func (c *Client) endpoint(segments ...string) (string, error) {
 		}
 		esc[i] = url.PathEscape(seg)
 	}
-	joined, err := url.JoinPath(c.base.String(), esc...)
+	joined, err := url.JoinPath(base, esc...)
 	if err != nil {
 		return "", fmt.Errorf("client: build endpoint %v: %w", segments, err)
 	}

@@ -47,6 +47,14 @@ type BlockEvent struct {
 	Done bool `json:"done,omitempty"`
 	// Controller names the deciding controller.
 	Controller string `json:"controller,omitempty"`
+	// Endpoint is the replica base URL that served the block (empty in
+	// single-endpoint traces written before resilience support).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Hedged is true when the block was won by a hedged pull against a
+	// second replica.
+	Hedged bool `json:"hedged,omitempty"`
+	// Failovers counts session failovers that happened during this pull.
+	Failovers int `json:"failovers,omitempty"`
 }
 
 // EventWriter emits BlockEvents as JSON Lines. Safe for concurrent use.

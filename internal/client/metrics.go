@@ -2,11 +2,13 @@ package client
 
 import (
 	"wsopt/internal/metrics"
+	"wsopt/internal/resilience"
 )
 
 // clientMetrics holds the consumer-side series: what Algorithm 1
 // observes (per-block RTT) plus transfer accounting the controllers
-// never see (bytes moved, retries, replays).
+// never see (bytes moved, retries, replays) and the resilience layer's
+// bookkeeping (breaker transitions, hedges, failovers, sheds absorbed).
 type clientMetrics struct {
 	blocks  *metrics.Counter
 	tuples  *metrics.Counter
@@ -14,19 +16,66 @@ type clientMetrics struct {
 	retries *metrics.Counter
 	replays *metrics.Counter
 
+	failovers        *metrics.Counter
+	hedges           *metrics.Counter
+	hedgeWins        *metrics.Counter
+	hedgeLosses      *metrics.Counter
+	deadlineTimeouts *metrics.Counter
+
+	breakerToClosed   *metrics.Counter
+	breakerToOpen     *metrics.Counter
+	breakerToHalfOpen *metrics.Counter
+
 	rtt       *metrics.Histogram
 	blockSize *metrics.Histogram
 }
 
-func newClientMetrics(reg *metrics.Registry) *clientMetrics {
-	return &clientMetrics{
-		blocks:    reg.Counter("wsopt_client_blocks_total", "Blocks successfully pulled."),
-		tuples:    reg.Counter("wsopt_client_tuples_total", "Tuples successfully pulled."),
-		bytes:     reg.Counter("wsopt_client_bytes_total", "Encoded payload bytes received in successful pulls."),
-		retries:   reg.Counter("wsopt_client_retries_total", "Extra pull attempts beyond the first."),
-		replays:   reg.Counter("wsopt_client_replays_total", "Blocks the server served from its replay buffer."),
+// newClientMetrics registers the client's series in reg. All series are
+// registered eagerly (value 0) so a scrape sees the full schema before
+// traffic; the per-endpoint breaker-state gauges read the client's
+// *current* pool at scrape time, so they survive a SetResilience rebuild.
+func newClientMetrics(reg *metrics.Registry, c *Client) *clientMetrics {
+	m := &clientMetrics{
+		blocks:  reg.Counter("wsopt_client_blocks_total", "Blocks successfully pulled."),
+		tuples:  reg.Counter("wsopt_client_tuples_total", "Tuples successfully pulled."),
+		bytes:   reg.Counter("wsopt_client_bytes_total", "Encoded payload bytes received in successful pulls."),
+		retries: reg.Counter("wsopt_client_retries_total", "Extra pull attempts beyond the first."),
+		replays: reg.Counter("wsopt_client_replays_total", "Blocks the server served from its replay buffer."),
+
+		failovers:        reg.Counter("wsopt_client_failovers_total", "Sessions re-opened on another replica after the current endpoint's breaker opened."),
+		hedges:           reg.Counter("wsopt_client_hedges_total", "Hedged pulls issued against a second replica."),
+		hedgeWins:        reg.Counter("wsopt_client_hedge_wins_total", "Blocks won by the hedged pull (session adopted the mirror)."),
+		hedgeLosses:      reg.Counter("wsopt_client_hedge_losses_total", "Hedged pulls that lost the race or failed."),
+		deadlineTimeouts: reg.Counter("wsopt_client_deadline_timeouts_total", "Pulls cancelled by the adaptive per-block deadline."),
+
+		breakerToClosed:   reg.Counter("wsopt_client_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", metrics.L("to", "closed")),
+		breakerToOpen:     reg.Counter("wsopt_client_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", metrics.L("to", "open")),
+		breakerToHalfOpen: reg.Counter("wsopt_client_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", metrics.L("to", "half-open")),
+
 		rtt:       reg.Histogram("wsopt_client_block_rtt_ms", "Client-observed round-trip time per successful block, in milliseconds.", metrics.DefLatencyBuckets),
 		blockSize: reg.Histogram("wsopt_client_block_size_tuples", "Tuples per received block.", metrics.DefSizeBuckets),
+	}
+	if c != nil {
+		for _, u := range c.urls {
+			u := u
+			reg.GaugeFunc("wsopt_client_breaker_state",
+				"Breaker state per endpoint: 0 closed, 1 open, 2 half-open.",
+				func() float64 { return float64(c.endpointState(u)) },
+				metrics.L("endpoint", u))
+		}
+	}
+	return m
+}
+
+// breakerTransition counts one breaker state change by destination.
+func (m *clientMetrics) breakerTransition(to resilience.BreakerState) {
+	switch to {
+	case resilience.Closed:
+		m.breakerToClosed.Inc()
+	case resilience.Open:
+		m.breakerToOpen.Inc()
+	case resilience.HalfOpen:
+		m.breakerToHalfOpen.Inc()
 	}
 }
 
@@ -35,7 +84,7 @@ func newClientMetrics(reg *metrics.Registry) *clientMetrics {
 // anything recorded earlier stays in the previous (private) registry.
 func (c *Client) SetMetrics(reg *metrics.Registry) {
 	if reg != nil {
-		c.metrics = newClientMetrics(reg)
+		c.metrics = newClientMetrics(reg, c)
 	}
 }
 

@@ -51,6 +51,9 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 	defer func() {
 		_ = sess.Close(context.WithoutCancel(ctx))
 	}()
+	sess.OnDisturbance = func(reason string) {
+		core.NotifyDisturbance(ctl, reason)
+	}
 
 	start := time.Now()
 	res := &PipelinedResult{}
@@ -94,6 +97,7 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 
 	cur := fetch()
 	for {
+		res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
 		if cur.err != nil {
 			res.WallTime = time.Since(start)
 			return res, cur.err

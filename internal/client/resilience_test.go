@@ -1,0 +1,319 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsopt/internal/metrics"
+	"wsopt/internal/minidb"
+	"wsopt/internal/resilience"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// gate wraps a replica's handler so a test can make its block endpoint
+// misbehave on command: refuse pulls with 503, or stall them.
+type gate struct {
+	h http.Handler
+
+	mu    sync.Mutex
+	fail  bool
+	stall time.Duration
+}
+
+func (g *gate) set(fail bool, stall time.Duration) {
+	g.mu.Lock()
+	g.fail, g.stall = fail, stall
+	g.mu.Unlock()
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/next") {
+		g.mu.Lock()
+		fail, stall := g.fail, g.stall
+		g.mu.Unlock()
+		if fail {
+			http.Error(w, "replica down", http.StatusServiceUnavailable)
+			return
+		}
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+	}
+	g.h.ServeHTTP(w, r)
+}
+
+// replica builds one service instance over `rows` deterministic tuples
+// behind a gate.
+func replica(t *testing.T, rows int) (*gate, string) {
+	t.Helper()
+	cat := minidb.NewCatalog()
+	tbl, err := cat.CreateTable("data", minidb.Schema{
+		{Name: "k", Type: minidb.Int64},
+		{Name: "v", Type: minidb.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("v%d", i))})
+	}
+	if err := tbl.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gate{h: srv.Handler()}
+	ts := httptest.NewServer(g)
+	t.Cleanup(ts.Close)
+	return g, ts.URL
+}
+
+// TestFailoverResumesOnSecondReplica: replica A starts refusing pulls
+// mid-query; the breaker opens and the session fails over to replica B,
+// resuming from the committed cursor with zero duplicate or missing
+// tuples.
+func TestFailoverResumesOnSecondReplica(t *testing.T) {
+	const rows = 1000
+	gateA, urlA := replica(t, rows)
+	_, urlB := replica(t, rows)
+
+	reg := metrics.NewRegistry()
+	c, err := NewMulti([]string{urlA, urlB}, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err := c.SetResilience(ResilienceConfig{
+		Breaker:        resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+		DisableHedging: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMetrics(reg)
+
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []string
+	sess.OnDisturbance = func(reason string) { reasons = append(reasons, reason) }
+
+	seen := make(map[int64]int, rows)
+	for !sess.Done() {
+		blk, err := sess.Next(context.Background(), 100)
+		if err != nil {
+			t.Fatalf("pull failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		// Kill replica A once a third of the result set is committed.
+		if len(seen) >= rows/3 {
+			gateA.set(true, 0)
+		}
+	}
+	assertExactSet(t, seen, rows)
+
+	if got := sess.Failovers(); got != 1 {
+		t.Fatalf("session failovers = %d, want 1", got)
+	}
+	if sess.Endpoint() != urlB {
+		t.Fatalf("session endpoint = %s, want %s after failover", sess.Endpoint(), urlB)
+	}
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "failover") {
+		t.Fatalf("disturbance reasons = %q, want one failover notice", reasons)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("wsopt_client_failovers_total"); got != 1 {
+		t.Fatalf("failovers_total = %d, want 1", got)
+	}
+	if got := snap.Counter("wsopt_client_breaker_transitions_total", metrics.L("to", "open")); got < 1 {
+		t.Fatalf("breaker transitions to=open = %d, want >= 1", got)
+	}
+}
+
+// TestHedgeWinsOnStall: replica A stalls its block endpoint well past the
+// adaptive deadline's hedge point; the hedged pull against replica B wins
+// the race and the session adopts B, without duplicating or dropping a
+// tuple.
+func TestHedgeWinsOnStall(t *testing.T) {
+	const rows = 600
+	gateA, urlA := replica(t, rows)
+	_, urlB := replica(t, rows)
+
+	reg := metrics.NewRegistry()
+	c, err := NewMulti([]string{urlA, urlB}, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err := c.SetResilience(ResilienceConfig{
+		// One observation is enough to activate the adaptive deadline;
+		// Min floors it at 40ms, so the hedge fires ~20ms into a stalled
+		// pull while the healthy replica answers in microseconds.
+		Deadline:        resilience.DeadlineConfig{Min: 40 * time.Millisecond, MinSamples: 1, Multiplier: 1},
+		HedgeFraction:   0.5,
+		DisableFailover: true,
+		Breaker:         resilience.BreakerConfig{FailureThreshold: 1000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMetrics(reg)
+
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]int, rows)
+	stalled := false
+	for !sess.Done() {
+		blk, err := sess.Next(context.Background(), 100)
+		if err != nil {
+			t.Fatalf("pull failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		// After the first committed block (which also seeds the deadline
+		// tracker), stall A for far longer than the 40ms deadline.
+		if !stalled {
+			stalled = true
+			gateA.set(false, 300*time.Millisecond)
+		}
+	}
+	assertExactSet(t, seen, rows)
+
+	if got := sess.HedgeWins(); got < 1 {
+		t.Fatalf("session hedge wins = %d, want >= 1", got)
+	}
+	if sess.Endpoint() != urlB {
+		t.Fatalf("session endpoint = %s, want %s after hedge adoption", sess.Endpoint(), urlB)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("wsopt_client_hedge_wins_total"); got < 1 {
+		t.Fatalf("hedge_wins_total = %d, want >= 1", got)
+	}
+	if got := snap.Counter("wsopt_client_hedges_total"); got < snap.Counter("wsopt_client_hedge_wins_total") {
+		t.Fatalf("hedges_total = %d < hedge_wins_total", got)
+	}
+}
+
+// TestSingleEndpointBreakerNeverRefuses: with one endpoint the breaker
+// records state but must not gate pulls — refusing with nowhere else to
+// go would only burn the retry budget.
+func TestSingleEndpointBreakerNeverRefuses(t *testing.T) {
+	const rows = 200
+	gateA, urlA := replica(t, rows)
+	c, err := NewMulti([]string{urlA}, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(RetryPolicy{MaxAttempts: 20, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	if err := c.SetResilience(ResilienceConfig{
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refuse a handful of pulls: the breaker opens immediately
+	// (threshold 1) but pulls must keep flowing once the fault clears.
+	gateA.set(true, 0)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		gateA.set(false, 0)
+	}()
+	seen := make(map[int64]int, rows)
+	for !sess.Done() {
+		blk, err := sess.Next(context.Background(), 50)
+		if err != nil {
+			t.Fatalf("pull failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+	}
+	assertExactSet(t, seen, rows)
+}
+
+func TestBackoffFullJitterBoundedByDelay(t *testing.T) {
+	const delay = 60 * time.Millisecond
+	start := time.Now()
+	next, err := backoff(context.Background(), delay, 2*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > delay+40*time.Millisecond {
+		t.Fatalf("jittered sleep took %v, want <= ~%v", elapsed, delay)
+	}
+	if next != 2*delay {
+		t.Fatalf("next delay = %v, want %v", next, 2*delay)
+	}
+}
+
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	floor := 50 * time.Millisecond
+	lastErr := markTransientRetryAfter(fmt.Errorf("boom"), floor)
+	start := time.Now()
+	if _, err := backoff(context.Background(), time.Millisecond, time.Second, lastErr); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < floor {
+		t.Fatalf("slept %v, want >= Retry-After floor %v", elapsed, floor)
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	next, err := backoff(context.Background(), 8*time.Millisecond, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 10*time.Millisecond {
+		t.Fatalf("next delay = %v, want cap 10ms", next)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-2", 0},
+		{"garbage", 0},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(mk(tc.in)); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// A future HTTP-date parses to roughly the remaining interval.
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	got := parseRetryAfter(mk(future))
+	if got <= 0 || got > 6*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want ~5s", got)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -63,8 +65,13 @@ func retryable(status int) bool {
 }
 
 // transientError marks a failure that is safe and worthwhile to retry:
-// severed connections, truncated bodies, and 5xx responses.
-type transientError struct{ err error }
+// severed connections, truncated bodies, and 5xx responses. retryAfter
+// carries a server-sent Retry-After hint (zero when none was sent); the
+// backoff honours it as a floor on the next sleep.
+type transientError struct {
+	err        error
+	retryAfter time.Duration
+}
 
 func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
@@ -72,10 +79,47 @@ func (e *transientError) Unwrap() error { return e.err }
 // markTransient wraps err so isTransient reports true for it.
 func markTransient(err error) error { return &transientError{err: err} }
 
+// markTransientRetryAfter is markTransient carrying the server's
+// Retry-After hint.
+func markTransientRetryAfter(err error, retryAfter time.Duration) error {
+	return &transientError{err: err, retryAfter: retryAfter}
+}
+
 // isTransient reports whether err was marked retryable.
 func isTransient(err error) bool {
 	var te *transientError
 	return errors.As(err, &te)
+}
+
+// retryAfterHint extracts the server-sent backoff floor from a transient
+// error chain (zero when none).
+func retryAfterHint(err error) time.Duration {
+	var te *transientError
+	if errors.As(err, &te) {
+		return te.retryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a Retry-After header as delay-seconds or an
+// HTTP-date; zero when absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // transportErr classifies an http.Client.Do failure: a cancelled or
@@ -89,17 +133,29 @@ func transportErr(ctx context.Context, op string, err error) error {
 	return markTransient(wrapped)
 }
 
-// backoff sleeps the current retry delay (honouring ctx) and returns the
-// next delay. A context expiry is wrapped around lastErr so callers see
-// why the retries were happening, not just that they were interrupted.
+// backoff sleeps before the next retry (honouring ctx) and returns the
+// next delay ceiling. The sleep is full-jitter: uniform in (0, delay],
+// so concurrent clients that failed together do not retry in lockstep
+// and hammer the recovering server in waves. A server-sent Retry-After
+// on lastErr floors the sleep — the server knows its own recovery time
+// better than the client's doubling schedule does. A context expiry is
+// wrapped around lastErr so callers see why the retries were happening,
+// not just that they were interrupted.
 func backoff(ctx context.Context, delay, maxDelay time.Duration, lastErr error) (time.Duration, error) {
+	sleep := delay
+	if delay > 0 {
+		sleep = time.Duration(rand.Int63n(int64(delay))) + 1
+	}
+	if floor := retryAfterHint(lastErr); floor > sleep {
+		sleep = floor
+	}
 	select {
 	case <-ctx.Done():
 		if lastErr != nil {
 			return 0, fmt.Errorf("client: %w (interrupted while retrying after: %v)", ctx.Err(), lastErr)
 		}
 		return 0, ctx.Err()
-	case <-time.After(delay):
+	case <-time.After(sleep):
 	}
 	delay *= 2
 	if delay > maxDelay {
@@ -138,7 +194,7 @@ func (c *Client) doManagement(ctx context.Context, method, url string, body []by
 			if !retryable(resp.StatusCode) {
 				return resp, nil // let the caller turn it into an error
 			}
-			lastErr = httpFailure(method+" "+url, resp)
+			lastErr = markTransientRetryAfter(httpFailure(method+" "+url, resp), parseRetryAfter(resp.Header))
 			drain(resp)
 		} else {
 			lastErr = err

@@ -51,6 +51,37 @@ type Resetter interface {
 	Reset()
 }
 
+// Disturber is implemented by controllers that can react to an external
+// disturbance — an event that invalidates the measurement history without
+// invalidating the current operating point, such as a session failover to
+// another replica. Unlike Reset, Disturb keeps the current block size and
+// only re-enters the search: the optimum for the new regime is more likely
+// near the current size than near the initial one.
+type Disturber interface {
+	Disturb()
+}
+
+// NotifyDisturbance forwards a disturbance to ctl if it (or anything it
+// wraps) implements Disturber. It returns whether any controller reacted.
+// The reason is currently informational only; it keeps call sites
+// self-documenting and leaves room for per-cause policies.
+func NotifyDisturbance(ctl Controller, reason string) bool {
+	_ = reason
+	type unwrapper interface{ Unwrap() Controller }
+	for ctl != nil {
+		if d, ok := ctl.(Disturber); ok {
+			d.Disturb()
+			return true
+		}
+		u, ok := ctl.(unwrapper)
+		if !ok {
+			return false
+		}
+		ctl = u.Unwrap()
+	}
+	return false
+}
+
 // PhaseOf reports the operating phase of a controller for traces and
 // events: "transient" or "steady" for the switching extremum family
 // (which exposes InSteadyState), "" for controllers without phases.

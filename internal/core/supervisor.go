@@ -132,6 +132,21 @@ func (s *Supervisor) failover() {
 	}
 }
 
+// Disturb implements Disturber: the environment changed underneath the
+// active controller (e.g. a session failover moved the query to another
+// replica), so the reference performance is stale. The supervisor
+// re-baselines — best is cleared and the warmup restarts, preventing a
+// spurious failover against a reference measured on the old replica — and
+// forwards the disturbance to the active controller.
+func (s *Supervisor) Disturb() {
+	s.window = s.window[:0]
+	s.best = math.Inf(1)
+	s.steps = 0
+	if d, ok := s.bank[s.active].(Disturber); ok {
+		d.Disturb()
+	}
+}
+
 // Name implements Controller.
 func (s *Supervisor) Name() string {
 	return "supervisor(" + s.bank[s.active].Name() + ")"

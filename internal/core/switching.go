@@ -287,6 +287,24 @@ func (e *extremum) Reset() {
 	e.phaseSwitches = 0
 }
 
+// Disturb implements Disturber: an external disturbance (e.g. a session
+// failover to a different replica) invalidated the measurement history, so
+// the controller re-enters the transient search phase — but keeps the
+// current block size, which is a far better starting point for the new
+// regime than the initial one. Compare Reset, which discards both.
+func (e *extremum) Disturb() {
+	e.avg.reset()
+	e.havePrev = false
+	e.prevX, e.prevY = 0, 0
+	if e.ph == phaseSteady {
+		e.countPhaseSwitch()
+	}
+	e.ph = phaseTransient
+	e.justSwitched = false
+	e.signHist = e.signHist[:0]
+	e.xbarHist = e.xbarHist[:0]
+}
+
 // Steps returns the number of adaptivity steps taken so far.
 func (e *extremum) Steps() int { return e.stepCount }
 

@@ -1,0 +1,175 @@
+package e2e
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wsopt/internal/client"
+	"wsopt/internal/tpch"
+)
+
+// TestFailoverAcrossReplicasSIGKILL is the headline resilience run: two
+// real wsblockd replicas, a real wsquery pulling through both with
+// breakers and failover armed, and a SIGKILL of the serving replica
+// mid-transfer. The query must finish with the exact tuple count, and
+// the client's metrics must show the breaker opening and the session
+// failing over.
+func TestFailoverAcrossReplicasSIGKILL(t *testing.T) {
+	wsblockd, wsquery := buildBinaries(t)
+	// conf1.1 delays at timescale 0.2 stretch each ~100-tuple block to
+	// roughly a tenth of a second of real time, leaving a wide window to
+	// kill replica A while the transfer is demonstrably mid-flight.
+	a := startDaemon(t, wsblockd, "-conf", "conf1.1", "-timescale", "0.2")
+	b := startDaemon(t, wsblockd, "-conf", "conf1.1", "-timescale", "0.2")
+
+	wantTuples := tpch.CustomerCount(scaleFactor)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "client-metrics.prom")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+
+	cmd := exec.Command(wsquery,
+		"-endpoints", a.baseURL+","+b.baseURL,
+		"-table", "customer", "-controller", "static", "-size", "100",
+		"-retries", "30", "-retry-base", "2ms",
+		"-breaker-threshold", "2", "-breaker-cooldown", "1h",
+		"-metrics-out", metricsPath, "-events", eventsPath)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start wsquery: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	// Wait until replica A has demonstrably served part of the result,
+	// then kill it without ceremony: SIGKILL, no shutdown, no drain.
+	killBy := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(killBy) {
+			t.Fatalf("replica A never reached 3 served blocks\nwsquery output so far:\n%s", out.String())
+		}
+		_, body := httpGet(t, a.metricsURL+"/metrics")
+		if parseMetrics(body)["wsopt_service_blocks_served_total"] >= 3 {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("wsquery finished before replica A could be killed (err=%v):\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := a.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL replica A: %v", err)
+	}
+	_ = a.cmd.Wait()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wsquery failed after replica A was killed: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("wsquery did not finish within 60s of the kill\n%s", out.String())
+	}
+
+	// Exactly-once across the kill: the reported tuple count and the
+	// per-block event trace must both account for the full relation.
+	m := tuplesRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("wsquery output has no tuple report:\n%s", out.String())
+	}
+	tuples, _ := strconv.Atoi(m[1])
+	if tuples != wantTuples {
+		t.Fatalf("query across the kill delivered %d tuples, want %d\n%s", tuples, wantTuples, out.String())
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := client.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("parse events: %v", err)
+	}
+	evTuples, movedToB := 0, false
+	for _, ev := range events {
+		evTuples += ev.Tuples
+		if ev.Endpoint == b.baseURL {
+			movedToB = true
+		}
+	}
+	if evTuples != wantTuples {
+		t.Fatalf("events account for %d tuples, want %d", evTuples, wantTuples)
+	}
+	if !movedToB {
+		t.Fatalf("no event records a block served by replica B (%s); events: %+v", b.baseURL, events)
+	}
+
+	// The client's own metrics must surface the disturbance: at least
+	// one breaker opened and at least one session failover happened.
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := parseMetrics(string(raw))
+	if got := series["wsopt_client_failovers_total"]; got < 1 {
+		t.Errorf("wsopt_client_failovers_total = %g, want >= 1\n%s", got, raw)
+	}
+	if got := series[`wsopt_client_breaker_transitions_total{to="open"}`]; got < 1 {
+		t.Errorf(`breaker_transitions_total{to="open"} = %g, want >= 1`+"\n%s", got, raw)
+	}
+	if got := series["wsopt_client_tuples_total"]; got != float64(wantTuples) {
+		t.Errorf("wsopt_client_tuples_total = %g, want %d", got, wantTuples)
+	}
+
+	b.stop(t)
+}
+
+// TestDaemonAdmissionControl boots a daemon with -max-sessions 1 and
+// asserts the second concurrent session is shed with 503 + Retry-After
+// while the first keeps streaming.
+func TestDaemonAdmissionControl(t *testing.T) {
+	wsblockd, _ := buildBinaries(t)
+	d := startDaemon(t, wsblockd, "-max-sessions", "1", "-retry-after", "2s")
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(d.baseURL+"/sessions", "application/json",
+			strings.NewReader(`{"table":"customer"}`))
+		if err != nil {
+			t.Fatalf("POST /sessions: %v", err)
+		}
+		return resp
+	}
+	// First session occupies the only admission slot.
+	first := post()
+	first.Body.Close()
+	if first.StatusCode != http.StatusCreated {
+		t.Fatalf("first session = %d, want 201", first.StatusCode)
+	}
+	// Second session must be shed with the configured hint.
+	second := post()
+	second.Body.Close()
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second session = %d, want 503", second.StatusCode)
+	}
+	if got := second.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+
+	d.stop(t)
+}

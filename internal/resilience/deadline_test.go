@@ -1,0 +1,111 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadlineFallbackBeforeMinSamples(t *testing.T) {
+	d := NewDeadlineTracker(DeadlineConfig{Max: 30 * time.Second, MinSamples: 3})
+	if got := d.DeadlineFor(100); got != 30*time.Second {
+		t.Fatalf("DeadlineFor with no samples = %v, want Max", got)
+	}
+	d.Observe(10*time.Millisecond, 10)
+	d.Observe(10*time.Millisecond, 10)
+	if got := d.DeadlineFor(100); got != 30*time.Second {
+		t.Fatalf("DeadlineFor with 2 < MinSamples samples = %v, want Max", got)
+	}
+}
+
+func TestDeadlineScalesWithBlockSize(t *testing.T) {
+	d := NewDeadlineTracker(DeadlineConfig{
+		Multiplier: 2,
+		Quantile:   0.5,
+		Min:        time.Millisecond,
+		Max:        time.Hour,
+		MinSamples: 1,
+	})
+	// 100ms for 10 tuples = 10ms/tuple; every sample identical so any
+	// quantile is 10ms.
+	for i := 0; i < 5; i++ {
+		d.Observe(100*time.Millisecond, 10)
+	}
+	// size 50: 2 × 10ms × 50 = 1s
+	if got, want := d.DeadlineFor(50), time.Second; got != want {
+		t.Fatalf("DeadlineFor(50) = %v, want %v", got, want)
+	}
+	// size 500: 10× larger block, 10× larger deadline
+	if got, want := d.DeadlineFor(500), 10*time.Second; got != want {
+		t.Fatalf("DeadlineFor(500) = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlineClamping(t *testing.T) {
+	d := NewDeadlineTracker(DeadlineConfig{
+		Multiplier: 1,
+		Quantile:   0.5,
+		Min:        time.Second,
+		Max:        5 * time.Second,
+		MinSamples: 1,
+	})
+	d.Observe(time.Millisecond, 1) // 1ms/tuple
+	if got := d.DeadlineFor(1); got != time.Second {
+		t.Fatalf("tiny estimate should clamp to Min: got %v", got)
+	}
+	if got := d.DeadlineFor(1_000_000); got != 5*time.Second {
+		t.Fatalf("huge estimate should clamp to Max: got %v", got)
+	}
+}
+
+func TestDeadlineUsesQuantileOfWindow(t *testing.T) {
+	d := NewDeadlineTracker(DeadlineConfig{
+		Multiplier: 1,
+		Quantile:   1.0, // max of the window
+		Min:        time.Microsecond,
+		Max:        time.Hour,
+		MinSamples: 1,
+		Window:     4,
+	})
+	// Fill the window, then push it out with faster samples: the old slow
+	// sample must age out of the ring.
+	d.Observe(400*time.Millisecond, 1) // 400ms/tuple — will be evicted
+	for i := 0; i < 4; i++ {
+		d.Observe(10*time.Millisecond, 1)
+	}
+	if got, want := d.DeadlineFor(1), 10*time.Millisecond; got != want {
+		t.Fatalf("DeadlineFor after eviction = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlineIgnoresBadObservations(t *testing.T) {
+	d := NewDeadlineTracker(DeadlineConfig{MinSamples: 1})
+	d.Observe(0, 10)
+	d.Observe(-time.Second, 10)
+	if got := d.Samples(); got != 0 {
+		t.Fatalf("non-positive RTTs should be ignored, have %d samples", got)
+	}
+	d.Observe(time.Second, 0) // zero tuples counts as one
+	if got := d.Samples(); got != 1 {
+		t.Fatalf("Samples = %d, want 1", got)
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.95, 7},
+		{[]float64{1, 2, 3, 4}, 0, 1},
+		{[]float64{1, 2, 3, 4}, 1, 4},
+		{[]float64{1, 2, 3, 4}, 0.5, 2.5},
+		{[]float64{10, 20}, 0.75, 17.5},
+	}
+	for _, tc := range cases {
+		if got := quantileSorted(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("quantileSorted(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func testPool(t *testing.T, urls ...string) *Pool {
+	t.Helper()
+	p, err := NewPool(urls, BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}, nil)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, BreakerConfig{}, nil); err == nil {
+		t.Error("empty URL list should be rejected")
+	}
+	if _, err := NewPool([]string{"http://a", ""}, BreakerConfig{}, nil); err == nil {
+		t.Error("empty URL should be rejected")
+	}
+	if _, err := NewPool([]string{"http://a", "http://a"}, BreakerConfig{}, nil); err == nil {
+		t.Error("duplicate URL should be rejected")
+	}
+}
+
+func TestPoolPickPrefersPrimaryAndSkipsOpen(t *testing.T) {
+	p := testPool(t, "http://a", "http://b", "http://c")
+	if got := p.Pick().URL(); got != "http://a" {
+		t.Fatalf("Pick() = %s, want primary http://a", got)
+	}
+	// Open a's breaker (threshold 1): picks should skip to b.
+	p.Endpoints()[0].Failure()
+	if got := p.Pick().URL(); got != "http://b" {
+		t.Fatalf("Pick() with a open = %s, want http://b", got)
+	}
+}
+
+func TestPoolPickAllOpenFallsBackToPrimary(t *testing.T) {
+	p := testPool(t, "http://a", "http://b")
+	for _, ep := range p.Endpoints() {
+		ep.Failure()
+	}
+	// Every breaker is open: Pick must still return something (the
+	// primary) so cooldown probes can eventually recover the pool.
+	if got := p.Pick().URL(); got != "http://a" {
+		t.Fatalf("Pick() with all open = %s, want http://a", got)
+	}
+}
+
+func TestPoolOther(t *testing.T) {
+	p := testPool(t, "http://a", "http://b")
+	a, b := p.Endpoints()[0], p.Endpoints()[1]
+	if ep, ok := p.Other(a); !ok || ep != b {
+		t.Fatalf("Other(a) = %v,%v, want b,true", ep, ok)
+	}
+	b.Failure()
+	if _, ok := p.Other(a); ok {
+		t.Fatal("Other(a) should find nothing when b's breaker is open")
+	}
+	// Single-endpoint pool: never hedges to itself.
+	single := testPool(t, "http://only")
+	if _, ok := single.Other(single.Endpoints()[0]); ok {
+		t.Fatal("Other on single-endpoint pool should report none")
+	}
+}
+
+func TestPoolPromote(t *testing.T) {
+	p := testPool(t, "http://a", "http://b")
+	b := p.Endpoints()[1]
+	p.Promote(b)
+	if got := p.Primary(); got != b {
+		t.Fatalf("Primary() after Promote = %v, want b", got.URL())
+	}
+	if got := p.Pick(); got != b {
+		t.Fatalf("Pick() after Promote = %v, want b", got.URL())
+	}
+}
+
+func TestPoolPerEndpointBreakerConfig(t *testing.T) {
+	var urls []string
+	p, err := NewPool([]string{"http://a", "http://b"}, BreakerConfig{FailureThreshold: 1},
+		func(u string) BreakerConfig {
+			return BreakerConfig{
+				FailureThreshold: 1,
+				OnTransition:     func(_, _ BreakerState) { urls = append(urls, u) },
+			}
+		})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	p.Endpoints()[1].Failure()
+	if len(urls) != 1 || urls[0] != "http://b" {
+		t.Fatalf("transition callback saw %v, want [http://b]", urls)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -68,12 +69,20 @@ const (
 	faultTruncate           // write a prefix of the body, then sever
 )
 
-// faultInjector draws fault decisions from its own seeded RNG so chaos
-// runs are reproducible independently of the delay-noise RNG.
+// faultInjector draws fault decisions from seeded RNGs so chaos runs are
+// reproducible independently of the delay-noise RNG. Decisions are drawn
+// from a per-session stream seeded by (seed, session id): under
+// concurrency the interleaving of requests across sessions no longer
+// changes which faults each session sees, so a chaos run against a given
+// seed produces the same per-session fault sequence every time. (A
+// per-stream RNG — rather than a pure hash of (session, seq) — also means
+// a retry of the same seq draws a fresh decision instead of
+// deterministically re-faulting forever.)
 type faultInjector struct {
-	mu  sync.Mutex
-	rng *rand.Rand
-	cfg FaultConfig
+	mu   sync.Mutex
+	seed int64
+	cfg  FaultConfig
+	rngs map[string]*rand.Rand
 }
 
 // newFaultInjector returns nil when no fault is configured; a nil
@@ -82,18 +91,25 @@ func newFaultInjector(cfg FaultConfig, seed int64) *faultInjector {
 	if !cfg.enabled() {
 		return nil
 	}
-	return &faultInjector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return &faultInjector{seed: seed, cfg: cfg, rngs: make(map[string]*rand.Rand)}
 }
 
-// decide draws the fault (if any) for one request. The 503 band is
-// checked first so it fires before processing; drop and truncate stack
-// after it.
-func (f *faultInjector) decide() faultKind {
+// decide draws the fault (if any) for one request against the session
+// key's private stream. The 503 band is checked first so it fires before
+// processing; drop and truncate stack after it.
+func (f *faultInjector) decide(key string) faultKind {
 	if f == nil {
 		return faultNone
 	}
 	f.mu.Lock()
-	u := f.rng.Float64()
+	rng := f.rngs[key]
+	if rng == nil {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		rng = rand.New(rand.NewSource(f.seed ^ int64(h.Sum64())))
+		f.rngs[key] = rng
+	}
+	u := rng.Float64()
 	f.mu.Unlock()
 	switch {
 	case u < f.cfg.Error503Prob:
@@ -105,6 +121,16 @@ func (f *faultInjector) decide() faultKind {
 	default:
 		return faultNone
 	}
+}
+
+// forget releases the stream of a closed or expired session.
+func (f *faultInjector) forget(key string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	delete(f.rngs, key)
+	f.mu.Unlock()
 }
 
 // abortConnection severs the client connection without completing the

@@ -55,6 +55,9 @@ type ingestCreateRequest struct {
 }
 
 func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfSaturated(w) {
+		return
+	}
 	var req ingestCreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -112,7 +115,7 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 		hasSeq = true
 	}
 
-	fault := s.faults.decide()
+	fault := s.faults.decide(sess.id)
 	if fault == fault503 {
 		s.countFault(fault)
 		httpError(w, http.StatusServiceUnavailable, "injected fault: service unavailable")
@@ -220,6 +223,7 @@ func (s *Server) handleIngestClose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such ingest session")
 		return
 	}
+	s.faults.forget(id)
 	s.logf("ingest %s closed after %d tuples", id, sess.tuples)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(map[string]int{"tuples": sess.tuples}); err != nil {

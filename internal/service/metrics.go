@@ -14,6 +14,7 @@ type serviceMetrics struct {
 	tuplesServed   *metrics.Counter
 	blocksReplayed *metrics.Counter
 	encodeFailures *metrics.Counter
+	sessionsShed   *metrics.Counter
 
 	blocksIngested *metrics.Counter
 	tuplesIngested *metrics.Counter
@@ -36,6 +37,7 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 		blocksServed:   reg.Counter("wsopt_service_blocks_served_total", "Block responses fully written to clients (replays included)."),
 		tuplesServed:   reg.Counter("wsopt_service_tuples_served_total", "Tuples in fully written block responses."),
 		blocksReplayed: reg.Counter("wsopt_service_blocks_replayed_total", "Blocks served verbatim from a session's replay buffer."),
+		sessionsShed:   reg.Counter("wsopt_service_sessions_shed_total", "Session creations refused by admission control (503 + Retry-After)."),
 		encodeFailures: reg.Counter("wsopt_service_encode_failures_total", "Blocks whose codec encoding failed."),
 		blocksIngested: reg.Counter("wsopt_service_blocks_ingested_total", "Blocks received from uploading clients."),
 		tuplesIngested: reg.Counter("wsopt_service_tuples_ingested_total", "Tuples received from uploading clients."),

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -74,6 +75,15 @@ type Config struct {
 	// Faults injects transport failures on the block endpoints for
 	// chaos testing; the zero value injects nothing.
 	Faults FaultConfig
+	// MaxSessions bounds concurrently open cursors (downloads + uploads).
+	// When the bound is reached, session creation is shed with 503 and a
+	// Retry-After header before any query executes, so an overloaded
+	// server degrades into fast, explicit refusals instead of a timeout
+	// pile-up. Zero means unlimited.
+	MaxSessions int
+	// RetryAfter is the backoff hint sent with shed requests
+	// (default 1s; rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
 	// Metrics receives the service's counters and histograms; nil uses a
 	// private registry so recording is always safe. Pass the registry
 	// that backs /metrics to expose them.
@@ -114,6 +124,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBlockSize <= 0 {
 		cfg.MaxBlockSize = 1_000_000
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("service: max sessions %d must be non-negative", cfg.MaxSessions)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -166,6 +182,9 @@ type Stats struct {
 	// BlocksIngestReplayed counts duplicate upload blocks acknowledged
 	// without re-applying (client retried a seq).
 	BlocksIngestReplayed int64 `json:"blocks_ingest_replayed"`
+	// SessionsShed counts session creations refused by admission control
+	// (503 + Retry-After) because MaxSessions cursors were already open.
+	SessionsShed int64 `json:"sessions_shed"`
 	// FaultsInjected counts transport faults fired by the chaos layer,
 	// by kind.
 	FaultsInjected FaultStats `json:"faults_injected"`
@@ -233,12 +252,14 @@ func (s *Server) ExpireIdle(now time.Time) int {
 	for id, sess := range s.sessions {
 		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
+			s.faults.forget(id)
 			n++
 		}
 	}
 	for id, ing := range s.ingests {
 		if now.Sub(ing.lastUsed) > s.cfg.SessionTTL {
 			delete(s.ingests, id)
+			s.faults.forget(id)
 			n++
 		}
 	}
@@ -281,6 +302,33 @@ type replayBlock struct {
 	delayMS float64
 }
 
+// shedIfSaturated applies admission control for a new cursor: when
+// MaxSessions cursors are open it refuses with 503 + Retry-After — before
+// any query executes, so shedding is cheap — and reports true.
+func (s *Server) shedIfSaturated(w http.ResponseWriter) bool {
+	if s.cfg.MaxSessions <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	saturated := len(s.sessions)+len(s.ingests) >= s.cfg.MaxSessions
+	if saturated {
+		s.stats.SessionsShed++
+	}
+	s.mu.Unlock()
+	if !saturated {
+		return false
+	}
+	s.metrics.sessionsShed.Inc()
+	secs := int(s.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusServiceUnavailable,
+		"session limit reached (%d open)", s.cfg.MaxSessions)
+	return true
+}
+
 // createRequest is the body of POST /sessions.
 type createRequest struct {
 	Table    string   `json:"table"`
@@ -288,15 +336,24 @@ type createRequest struct {
 	Where    string   `json:"where,omitempty"`
 	Distinct bool     `json:"distinct,omitempty"`
 	Limit    int      `json:"limit,omitempty"`
+	// Offset skips the first Offset result tuples before the first block.
+	// A failed-over client uses it to resume a query on another replica
+	// from its committed cursor.
+	Offset int `json:"offset,omitempty"`
 }
 
 // createResponse is the body of a successful session creation.
 type createResponse struct {
 	Session string   `json:"session"`
 	Columns []string `json:"columns"`
+	// Offset echoes how many result tuples were skipped.
+	Offset int `json:"offset,omitempty"`
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfSaturated(w) {
+		return
+	}
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -304,6 +361,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Table == "" {
 		httpError(w, http.StatusBadRequest, "missing table")
+		return
+	}
+	if req.Offset < 0 {
+		httpError(w, http.StatusBadRequest, "offset must be non-negative")
 		return
 	}
 	q := minidb.Query{Table: req.Table, Columns: req.Columns, Distinct: req.Distinct, Limit: req.Limit}
@@ -320,6 +381,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	if err := skipRows(it, req.Offset); err != nil {
+		httpError(w, http.StatusInternalServerError, "skip to offset %d: %v", req.Offset, err)
+		return
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%08x", s.nextID)
@@ -327,13 +392,28 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.stats.SessionsOpened++
 	s.mu.Unlock()
 	s.metrics.sessionsOpened.Inc()
-	s.logf("session %s opened: table=%s cols=%v", id, req.Table, req.Columns)
+	s.logf("session %s opened: table=%s cols=%v offset=%d", id, req.Table, req.Columns, req.Offset)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	if err := json.NewEncoder(w).Encode(createResponse{Session: id, Columns: it.Schema().Names()}); err != nil {
+	if err := json.NewEncoder(w).Encode(createResponse{Session: id, Columns: it.Schema().Names(), Offset: req.Offset}); err != nil {
 		s.logf("session %s: encode response: %v", id, err)
 	}
+}
+
+// skipRows advances the iterator past n rows. Running off the end is not
+// an error: the session simply starts exhausted, and the first pull
+// returns an empty done-block.
+func skipRows(it minidb.Iterator, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := it.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Server) lookup(id string) *session {
@@ -368,7 +448,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		hasSeq = true
 	}
 
-	fault := s.faults.decide()
+	fault := s.faults.decide(sess.id)
 	if fault == fault503 {
 		// Refused before touching any session state: a clean retry.
 		s.countFault(fault)
@@ -506,6 +586,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	s.faults.forget(id)
 	s.logf("session %s closed", id)
 	w.WriteHeader(http.StatusNoContent)
 }
