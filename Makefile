@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds verify chaos bench clean
+.PHONY: all build vet test race fuzzseeds stress verify chaos bench bench-contention clean
 
 all: verify
 
@@ -22,9 +22,16 @@ race:
 fuzzseeds:
 	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb
 
+# stress runs the concurrency gate: the hot-path stress tests (sharded
+# session store, atomic stats, expiry janitor vs pulls) under -race,
+# plus the e2e run that drives a race-built wsblockd with wsload.
+stress:
+	$(GO) test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# under the race detector, and survive the fuzz seed corpora.
-verify: build vet race fuzzseeds
+# under the race detector, survive the fuzz seed corpora, and hold up
+# under the concurrency stress gate.
+verify: build vet race fuzzseeds stress
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -32,6 +39,12 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-contention records raw server-side block throughput at 1, 4 and
+# 8 parallel clients (no injected delays) into BENCH_contention.json —
+# the number that moves when hot-path locking changes.
+bench-contention:
+	$(GO) run ./cmd/wsbench -contention 1,4,8 -sf 0.01 -json BENCH_contention.json
 
 clean:
 	$(GO) clean ./...

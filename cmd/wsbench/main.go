@@ -8,10 +8,17 @@
 //	wsbench -conf conf1.3 -runs 5
 //	wsbench -codec binary -sf 0.2
 //	wsbench -json BENCH_transfer.json   # machine-readable transfer report
+//	wsbench -clients 8                  # 8 concurrent streams per controller run
+//	wsbench -contention 1,4,8 -json BENCH_contention.json
 //
 // With -json, wsbench also writes a per-controller transfer report
 // (blocks/sec, bytes/sec, p50/p95 block RTT) built from the client's
 // metrics histograms, for tracking data-plane throughput across commits.
+//
+// -contention switches to the server-contention sweep: no injected
+// delays, fixed block size, N concurrent clients hammering one shared
+// in-process service — a pure measurement of the block hot path's lock
+// behaviour. `make bench-contention` records it as BENCH_contention.json.
 package main
 
 import (
@@ -22,13 +29,18 @@ import (
 	"log"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"wsopt/internal/client"
 	"wsopt/internal/core"
 	"wsopt/internal/metrics"
+	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
 	"wsopt/internal/service"
@@ -42,6 +54,7 @@ import (
 type transferReport struct {
 	Controller   string  `json:"controller"`
 	Runs         int     `json:"runs"`
+	Clients      int     `json:"clients,omitempty"`
 	MeanSimMS    float64 `json:"mean_simulated_ms"`
 	Blocks       int64   `json:"blocks"`
 	Tuples       int64   `json:"tuples"`
@@ -66,6 +79,11 @@ func main() {
 		jsonOut   = flag.String("json", "", "write a machine-readable transfer report (e.g. BENCH_transfer.json)")
 		replicas  = flag.Int("replicas", 1, "serve the bench from this many identical in-process replicas (exercises hedging and failover)")
 		hedge     = flag.Float64("hedge", 0.9, "hedge a straggling pull after this fraction of its deadline (multi-replica runs; 0 disables)")
+		clients   = flag.Int("clients", 1, "concurrent query streams per controller run (server concurrency under the full controller matrix)")
+		contention = flag.String("contention", "",
+			"run the server-contention sweep instead of the controller matrix: comma-separated client counts, e.g. 1,4,8")
+		contentionDur  = flag.Duration("contention-duration", 2*time.Second, "how long each contention level runs")
+		contentionSize = flag.Int("contention-size", 256, "fixed block size of the contention sweep")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -84,6 +102,17 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+
+	if *contention != "" {
+		if err := runContentionSweep(logger, cat, codec, *contention, *contentionDur, *contentionSize, *sf, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	if *clients < 1 {
+		*clients = 1
+	}
+
 	// Scale the link so the (smaller) live dataset sees the same
 	// block-count dynamics as the paper's full-size runs.
 	scale := float64(profile.CustomerTuples) / float64(tpch.CustomerCount(*sf))
@@ -165,17 +194,42 @@ func main() {
 		blocks := 0
 		wallStart := time.Now()
 		for r := 0; r < *runs; r++ {
-			ctl, err := mk(*seed + int64(r)*101)
-			if err != nil {
-				logger.Fatal(err)
+			// Each run launches -clients concurrent streams, every stream a
+			// fresh controller instance with a decorrelated seed; mean
+			// simulated time then averages across all streams of all runs.
+			var (
+				wg       sync.WaitGroup
+				mu       sync.Mutex
+				firstErr error
+			)
+			for g := 0; g < *clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ctl, err := mk(*seed + int64(r)*101 + int64(g)*10007)
+					if err == nil {
+						var res *client.RunResult
+						res, err = c.Run(ctx, client.Query{Table: "customer", Columns: []string{"c_custkey", "c_acctbal"}},
+							ctl, client.MetricPerTuple, true)
+						if err == nil {
+							mu.Lock()
+							totals = append(totals, res.SimulatedMS)
+							blocks = res.Blocks
+							mu.Unlock()
+							return
+						}
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}(g)
 			}
-			res, err := c.Run(ctx, client.Query{Table: "customer", Columns: []string{"c_custkey", "c_acctbal"}},
-				ctl, client.MetricPerTuple, true)
-			if err != nil {
-				logger.Fatalf("%s: %v", name, err)
+			wg.Wait()
+			if firstErr != nil {
+				logger.Fatalf("%s: %v", name, firstErr)
 			}
-			totals = append(totals, res.SimulatedMS)
-			blocks = res.Blocks
 		}
 		wall := time.Since(wallStart).Seconds()
 		snap := reg.Snapshot()
@@ -183,6 +237,7 @@ func main() {
 		rep := transferReport{
 			Controller:  name,
 			Runs:        *runs,
+			Clients:     *clients,
 			MeanSimMS:   stats.Mean(totals),
 			Blocks:      snap.Counter("wsopt_client_blocks_total"),
 			Tuples:      snap.Counter("wsopt_client_tuples_total"),
@@ -240,6 +295,129 @@ func main() {
 		}
 		logger.Printf("transfer report written to %s", *jsonOut)
 	}
+}
+
+// contentionLevel is one client count's entry in the contention report.
+type contentionLevel struct {
+	Clients      int     `json:"clients"`
+	Queries      int64   `json:"queries"`
+	Blocks       int64   `json:"blocks"`
+	Tuples       int64   `json:"tuples"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// runContentionSweep measures raw server-side block throughput at each
+// client count: one shared in-process server per level (no cost model,
+// no injected sleeps), N concurrent streams running full-table static
+// queries for the duration. Because transport and delays are out of the
+// picture, blocks/sec here is dominated by the service's own hot path —
+// the number that moves when session-store or stats locking changes.
+func runContentionSweep(logger *log.Logger, cat *minidb.Catalog, codec wire.Codec,
+	levelsCSV string, dur time.Duration, blockSize int, sf float64, jsonOut string) error {
+	var levels []int
+	for _, part := range strings.Split(levelsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -contention level %q: want a positive client count", part)
+		}
+		levels = append(levels, n)
+	}
+
+	results := make([]contentionLevel, 0, len(levels))
+	for _, n := range levels {
+		srv, err := service.New(service.Config{Catalog: cat, Codec: codec, Seed: 1})
+		if err != nil {
+			return err
+		}
+		c, err := client.New("http://wsbench.inprocess", codec, service.InProcessClient(srv))
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), dur)
+		lvl := contentionLevel{Clients: n}
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		start := time.Now()
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					res, err := c.Run(ctx, client.Query{Table: "customer"},
+						core.NewStatic(blockSize), client.MetricPerTuple, false)
+					mu.Lock()
+					if res != nil {
+						lvl.Blocks += int64(res.Blocks)
+						lvl.Tuples += int64(res.Tuples)
+					}
+					if err == nil {
+						lvl.Queries++
+					}
+					mu.Unlock()
+					if err != nil {
+						if ctx.Err() == nil {
+							logger.Printf("contention %d clients: %v", n, err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+		lvl.WallSeconds = time.Since(start).Seconds()
+		if lvl.WallSeconds > 0 {
+			lvl.BlocksPerSec = float64(lvl.Blocks) / lvl.WallSeconds
+		}
+		results = append(results, lvl)
+		logger.Printf("contention: %d clients -> %.0f blocks/s", n, lvl.BlocksPerSec)
+	}
+
+	fmt.Printf("contention sweep: %d customers, block size %d, %v per level, GOMAXPROCS=%d (%d CPUs)\n\n",
+		tpch.CustomerCount(sf), blockSize, dur, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tqueries\tblocks\tblocks/sec\tvs 1 client")
+	base := results[0].BlocksPerSec
+	for _, r := range results {
+		scaleUp := 0.0
+		if base > 0 {
+			scaleUp = r.BlocksPerSec / base
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%.2fx\n", r.Clients, r.Queries, r.Blocks, r.BlocksPerSec, scaleUp)
+	}
+	w.Flush()
+
+	if jsonOut != "" {
+		doc := struct {
+			Codec        string            `json:"codec"`
+			SF           float64           `json:"sf"`
+			BlockSize    int               `json:"block_size"`
+			DurationSecs float64           `json:"duration_seconds"`
+			GoMaxProcs   int               `json:"gomaxprocs"`
+			NumCPU       int               `json:"num_cpu"`
+			Levels       []contentionLevel `json:"levels"`
+		}{
+			Codec: codec.Name(), SF: sf, BlockSize: blockSize, DurationSecs: dur.Seconds(),
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Levels: results,
+		}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("contention report written to %s", jsonOut)
+	}
+	return nil
 }
 
 // scaleModel shrinks the cost model's tuple axis by the given factor so a

@@ -7,7 +7,13 @@
 // Usage:
 //
 //	wsload -url http://localhost:8080 -streams 3 -table customer -size 2000 -duration 30s
+//	wsload -streams 8 -size 400 -max-queries 2      # bounded stress run
 //	wsload -set-load 2:1:0.5          # just set the simulated load knob
+//
+// With -max-queries each stream stops after that many completed queries
+// (instead of running until -duration), which gives stress tests a
+// deterministic amount of work to assert against. Any stream error makes
+// wsload exit nonzero, so a harness can gate on a clean run.
 package main
 
 import (
@@ -31,8 +37,10 @@ func main() {
 		size      = flag.Int("size", 2000, "fixed block size of the load streams")
 		streams   = flag.Int("streams", 3, "concurrent query streams")
 		duration  = flag.Duration("duration", 30*time.Second, "how long to run")
-		codecName = flag.String("codec", "xml", "block codec (must match the server)")
-		setLoad   = flag.String("set-load", "", "set the simulated load knob as jobs:queries:memory and exit")
+		codecName  = flag.String("codec", "xml", "block codec (must match the server)")
+		setLoad    = flag.String("set-load", "", "set the simulated load knob as jobs:queries:memory and exit")
+		maxQueries = flag.Int("max-queries", 0, "queries per stream before it stops early (0 = run until -duration)")
+		retries    = flag.Int("retries", 3, "pull attempts per block before a stream gives up")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsload: ", 0)
@@ -45,7 +53,7 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	c.SetRetry(client.RetryPolicy{MaxAttempts: 3})
+	c.SetRetry(client.RetryPolicy{MaxAttempts: *retries})
 
 	if *setLoad != "" {
 		var jobs, queries int
@@ -67,6 +75,7 @@ func main() {
 		queries int
 		tuples  int
 		blocks  int
+		errors  int
 	}
 	stats := make([]streamStats, *streams)
 	var wg sync.WaitGroup
@@ -75,7 +84,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			for ctx.Err() == nil && (*maxQueries == 0 || stats[i].queries < *maxQueries) {
 				res, err := c.Run(ctx, client.Query{Table: *table},
 					core.NewStatic(*size), client.MetricPerTuple, false)
 				if res != nil {
@@ -86,6 +95,7 @@ func main() {
 					if ctx.Err() != nil {
 						return // deadline: expected
 					}
+					stats[i].errors++
 					logger.Printf("stream %d: %v", i, err)
 					return
 				}
@@ -102,8 +112,12 @@ func main() {
 		total.queries += s.queries
 		total.blocks += s.blocks
 		total.tuples += s.tuples
+		total.errors += s.errors
 	}
 	fmt.Printf("total: %d queries, %d tuples in %v (%.0f tuples/s)\n",
 		total.queries, total.tuples, elapsed.Round(time.Millisecond),
 		float64(total.tuples)/elapsed.Seconds())
+	if total.errors > 0 {
+		logger.Fatalf("%d stream(s) failed", total.errors)
+	}
 }

@@ -1,0 +1,98 @@
+package e2e
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"wsopt/internal/tpch"
+)
+
+// The concurrency stress gate: a race-instrumented wsblockd serving many
+// concurrent wsload streams over real TCP. The session store, stats, and
+// admission paths all run unserialized; if any of them race, the daemon's
+// race runtime reports it and the process exits nonzero, which d.stop
+// turns into a test failure.
+
+// buildStressBinaries compiles wsblockd with the race detector enabled,
+// plus wsload to drive it, into a temp dir.
+func buildStressBinaries(t *testing.T) (wsblockd, wsload string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-race", "-o", dir+string(os.PathSeparator), "./cmd/wsblockd", "./cmd/wsload")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build -race cmd binaries: %v\n%s", err, out)
+	}
+	return filepath.Join(dir, "wsblockd"), filepath.Join(dir, "wsload")
+}
+
+var loadTotalRE = regexp.MustCompile(`total:\s+(\d+) queries, (\d+) tuples`)
+
+// TestStressDaemonUnderConcurrentLoad floods a race-built daemon with 8
+// concurrent full-table query streams and then checks three things: the
+// load generator saw every tuple, the server accounted for exactly one
+// session per query, and the daemon shuts down with exit 0 — the race
+// runtime makes a detected race fail that last step.
+func TestStressDaemonUnderConcurrentLoad(t *testing.T) {
+	wsblockd, wsload := buildStressBinaries(t)
+	d := startDaemon(t, wsblockd)
+
+	const (
+		streams          = 8
+		queriesPerStream = 2
+	)
+	wantQueries := streams * queriesPerStream
+	wantTuples := wantQueries * tpch.CustomerCount(scaleFactor)
+
+	cmd := exec.Command(wsload,
+		"-url", d.baseURL, "-table", "customer",
+		"-streams", strconv.Itoa(streams), "-size", "400",
+		"-max-queries", strconv.Itoa(queriesPerStream),
+		"-duration", "120s")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("wsload under stress: %v\n%s", err, out)
+	}
+	m := loadTotalRE.FindStringSubmatch(string(out))
+	if m == nil {
+		t.Fatalf("wsload output has no total line:\n%s", out)
+	}
+	queries, _ := strconv.Atoi(m[1])
+	tuples, _ := strconv.Atoi(m[2])
+	if queries != wantQueries {
+		t.Errorf("wsload completed %d queries, want %d\n%s", queries, wantQueries, out)
+	}
+	if tuples != wantTuples {
+		t.Errorf("wsload saw %d tuples, want %d\n%s", tuples, wantTuples, out)
+	}
+
+	// The server's own accounting must agree with the client's: one
+	// session per completed query, every tuple served exactly once.
+	_, body := httpGet(t, d.baseURL+"/stats")
+	var st struct {
+		SessionsOpened int64 `json:"sessions_opened"`
+		TuplesServed   int64 `json:"tuples_served"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("parse /stats: %v\n%s", err, body)
+	}
+	if st.SessionsOpened != int64(wantQueries) {
+		t.Errorf("/stats sessions_opened = %d, want %d", st.SessionsOpened, wantQueries)
+	}
+	if st.TuplesServed < int64(wantTuples) {
+		t.Errorf("/stats tuples_served = %d, want >= %d", st.TuplesServed, wantTuples)
+	}
+
+	// Exit 0 is the race verdict: a daemon whose race runtime reported
+	// anything terminates nonzero.
+	d.stop(t)
+}

@@ -16,6 +16,9 @@ func RegisterRuntime(r *Registry) {
 	r.GaugeFunc("wsopt_go_goroutines", "Current number of goroutines.", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
+	r.GaugeFunc("wsopt_go_gomaxprocs", "Effective GOMAXPROCS — the parallelism behind any throughput series.", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
 	r.GaugeFunc("wsopt_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)

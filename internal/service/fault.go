@@ -78,11 +78,16 @@ const (
 // per-stream RNG — rather than a pure hash of (session, seq) — also means
 // a retry of the same seq draws a fresh decision instead of
 // deterministically re-faulting forever.)
+//
+// The stream map is sharded like the session store, so concurrent
+// sessions never contend on one injector mutex.
 type faultInjector struct {
-	mu   sync.Mutex
-	seed int64
-	cfg  FaultConfig
-	rngs map[string]*rand.Rand
+	seed   int64
+	cfg    FaultConfig
+	shards [sessionShardCount]struct {
+		mu   sync.Mutex
+		rngs map[string]*rand.Rand
+	}
 }
 
 // newFaultInjector returns nil when no fault is configured; a nil
@@ -91,7 +96,11 @@ func newFaultInjector(cfg FaultConfig, seed int64) *faultInjector {
 	if !cfg.enabled() {
 		return nil
 	}
-	return &faultInjector{seed: seed, cfg: cfg, rngs: make(map[string]*rand.Rand)}
+	f := &faultInjector{seed: seed, cfg: cfg}
+	for i := range f.shards {
+		f.shards[i].rngs = make(map[string]*rand.Rand)
+	}
+	return f
 }
 
 // decide draws the fault (if any) for one request against the session
@@ -101,16 +110,17 @@ func (f *faultInjector) decide(key string) faultKind {
 	if f == nil {
 		return faultNone
 	}
-	f.mu.Lock()
-	rng := f.rngs[key]
+	sh := &f.shards[shardIndex(key)]
+	sh.mu.Lock()
+	rng := sh.rngs[key]
 	if rng == nil {
 		h := fnv.New64a()
 		h.Write([]byte(key))
 		rng = rand.New(rand.NewSource(f.seed ^ int64(h.Sum64())))
-		f.rngs[key] = rng
+		sh.rngs[key] = rng
 	}
 	u := rng.Float64()
-	f.mu.Unlock()
+	sh.mu.Unlock()
 	switch {
 	case u < f.cfg.Error503Prob:
 		return fault503
@@ -128,9 +138,10 @@ func (f *faultInjector) forget(key string) {
 	if f == nil {
 		return
 	}
-	f.mu.Lock()
-	delete(f.rngs, key)
-	f.mu.Unlock()
+	sh := &f.shards[shardIndex(key)]
+	sh.mu.Lock()
+	delete(sh.rngs, key)
+	sh.mu.Unlock()
 }
 
 // abortConnection severs the client connection without completing the

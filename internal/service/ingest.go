@@ -3,9 +3,11 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsopt/internal/minidb"
@@ -30,11 +32,15 @@ import (
 // and acknowledges a re-sent seq==lastSeq without loading it again, so
 // a lost 204 cannot duplicate rows.
 type ingestSession struct {
-	mu       sync.Mutex
-	id       string
-	table    *minidb.Table
-	tuples   int
-	lastUsed time.Time
+	mu     sync.Mutex
+	id     string
+	table  *minidb.Table
+	tuples int
+	// rng draws this session's delay noise; guarded by mu.
+	rng *rand.Rand
+	// lastUsed is the unix-nano timestamp of the last touch, atomic so
+	// the expiry janitor reads it without racing an in-flight block.
+	lastUsed atomic.Int64
 
 	// lastSeq is the seq of the most recently applied block (0 = none);
 	// lastTuples/lastDelayMS reproduce its acknowledgement on replay.
@@ -42,6 +48,9 @@ type ingestSession struct {
 	lastTuples  int
 	lastDelayMS float64
 }
+
+// touch records activity for the expiry janitor.
+func (ing *ingestSession) touch() { ing.lastUsed.Store(time.Now().UnixNano()) }
 
 // registerIngestRoutes wires the upload endpoints into the mux.
 func (s *Server) registerIngestRoutes(mux *http.ServeMux) {
@@ -55,9 +64,15 @@ type ingestCreateRequest struct {
 }
 
 func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
-	if s.shedIfSaturated(w) {
+	if !s.admitCursor(w) {
 		return
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			s.releaseCursor()
+		}
+	}()
 	var req ingestCreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -72,12 +87,13 @@ func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("i%08x", s.nextID)
-	s.ingests[id] = &ingestSession{id: id, table: tbl, lastUsed: time.Now()}
-	s.stats.IngestsOpened++
-	s.mu.Unlock()
+	n := s.nextID.Add(1)
+	id := fmt.Sprintf("i%08x", n)
+	ing := &ingestSession{id: id, table: tbl, rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	ing.touch()
+	s.ingests.put(id, ing)
+	committed = true
+	s.stats.ingestsOpened.Add(1)
 	s.metrics.ingestsOpened.Inc()
 	s.logf("ingest %s opened: table=%s", id, req.Table)
 
@@ -91,15 +107,9 @@ func (s *Server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) lookupIngest(id string) *ingestSession {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ingests[id]
-}
-
 func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookupIngest(r.PathValue("id"))
-	if sess == nil {
+	sess, ok := s.ingests.get(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "no such ingest session")
 		return
 	}
@@ -149,17 +159,15 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	sess.lastUsed = time.Now()
 	if hasSeq {
 		switch {
 		case seq == sess.lastSeq && sess.lastSeq > 0:
 			// Duplicate of the last applied block (the client never saw
 			// our acknowledgement): ack again without loading it.
-			s.mu.Lock()
-			s.stats.BlocksIngestReplayed++
-			s.mu.Unlock()
+			s.stats.blocksIngestReplayed.Add(1)
 			s.metrics.ingestReplays.Inc()
 			s.ackIngestBlock(w, sess.id, sess.lastTuples, sess.lastDelayMS, true, fault)
 			return
@@ -176,17 +184,20 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.tuples += len(rows)
-	s.mu.Lock()
-	s.stats.BlocksIngested++
-	s.stats.TuplesIngested += int64(len(rows))
-	s.mu.Unlock()
+	s.stats.blocksIngested.Add(1)
+	s.stats.tuplesIngested.Add(int64(len(rows)))
 	s.metrics.blocksIngested.Inc()
 	s.metrics.tuplesIngested.Add(int64(len(rows)))
 	s.metrics.blockSize.Observe(float64(len(rows)))
 
-	delayMS := s.priceBlock(len(rows))
+	delayMS := s.priceBlock(len(rows), sess.rng)
 	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
-		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
+		// The rows are already applied, so even when the client vanishes
+		// mid-delay the seq must still advance below — its retry of the
+		// same seq is then a recognized duplicate, not a double-load. The
+		// interruptible sleep only stops pinning the session for the rest
+		// of the simulated delay.
+		sleepInterruptible(r.Context(), time.Duration(delayMS*scale*float64(time.Millisecond)))
 	}
 	// Commit the seq before acknowledging: if the ack is lost (or the
 	// fault layer severs the connection) the client's retry of the same
@@ -215,18 +226,21 @@ func (s *Server) ackIngestBlock(w http.ResponseWriter, id string, tuples int, de
 
 func (s *Server) handleIngestClose(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess, ok := s.ingests[id]
-	delete(s.ingests, id)
-	s.mu.Unlock()
+	sess, ok := s.ingests.remove(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such ingest session")
 		return
 	}
+	s.releaseCursor()
 	s.faults.forget(id)
-	s.logf("ingest %s closed after %d tuples", id, sess.tuples)
+	// An in-flight block (looked up before the remove) may still be
+	// loading; take the session lock so the tuple count read is sound.
+	sess.mu.Lock()
+	tuples := sess.tuples
+	sess.mu.Unlock()
+	s.logf("ingest %s closed after %d tuples", id, tuples)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(map[string]int{"tuples": sess.tuples}); err != nil {
+	if err := json.NewEncoder(w).Encode(map[string]int{"tuples": tuples}); err != nil {
 		s.logf("ingest %s: encode close response: %v", id, err)
 	}
 }

@@ -58,22 +58,15 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 
 // countFault records an injected fault in both Stats and metrics.
 func (s *Server) countFault(k faultKind) {
-	s.mu.Lock()
 	switch k {
 	case faultDrop:
-		s.stats.FaultsInjected.Dropped++
-	case faultTruncate:
-		s.stats.FaultsInjected.Truncated++
-	case fault503:
-		s.stats.FaultsInjected.Refused++
-	}
-	s.mu.Unlock()
-	switch k {
-	case faultDrop:
+		s.stats.faultsDropped.Add(1)
 		s.metrics.faultsDropped.Inc()
 	case faultTruncate:
+		s.stats.faultsTruncated.Add(1)
 		s.metrics.faultsTruncated.Inc()
 	case fault503:
+		s.stats.faultsRefused.Add(1)
 		s.metrics.faultsRefused.Inc()
 	}
 }

@@ -14,10 +14,17 @@
 // scaled by the configured load, so a single laptop reproduces the WAN and
 // loaded-server conditions of the paper's testbed at a configurable time
 // scale.
+//
+// The per-block hot path is lock-free across sessions: the session maps
+// are sharded (shard.go), the Stats counters are atomics (stats.go), the
+// load knob is an atomic pointer, and the delay-noise RNG is per-session
+// — so concurrent sessions only synchronize on their own session mutex
+// and throughput scales with cores (see DESIGN.md §9).
 package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsopt/internal/metrics"
@@ -70,7 +78,10 @@ type Config struct {
 	MaxBlockSize int
 	// Logger receives request-level diagnostics; nil disables logging.
 	Logger *log.Logger
-	// Seed seeds the delay-noise RNG (and, offset, the fault RNG).
+	// Seed seeds the delay-noise RNG (and, offset, the fault RNG). The
+	// first cursor opened against the server draws its delay noise from
+	// exactly this seed; later cursors get decorrelated streams derived
+	// from it (see sessionSeed).
 	Seed int64
 	// Faults injects transport failures on the block endpoints for
 	// chaos testing; the zero value injects nothing.
@@ -91,20 +102,26 @@ type Config struct {
 }
 
 // Server is the block-pull web service.
+//
+// There is no global mutex on the request path: sessions and ingests are
+// sharded stores, stats are atomic counters, load is an atomic pointer,
+// and cursor admission is an atomic reservation counter. A request
+// synchronizes only with other requests for the same session.
 type Server struct {
 	cfg    Config
 	codec  wire.Codec
 	mux    *http.ServeMux
 	faults *faultInjector
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	load     netsim.Load
-	sessions map[string]*session
-	ingests  map[string]*ingestSession
-	nextID   uint64
+	load     atomic.Pointer[netsim.Load]
+	sessions *shardedStore[*session]
+	ingests  *shardedStore[*ingestSession]
+	nextID   atomic.Uint64
+	// cursors counts reserved admission slots (open cursors plus creates
+	// in flight), giving MaxSessions a hard bound without a global lock.
+	cursors atomic.Int64
 
-	stats   Stats
+	stats   serverStats
 	metrics *serviceMetrics
 }
 
@@ -135,9 +152,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		codec:    cfg.Codec,
 		faults:   newFaultInjector(cfg.Faults, cfg.Seed+1),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		sessions: make(map[string]*session),
-		ingests:  make(map[string]*ingestSession),
+		sessions: newShardedStore[*session](),
+		ingests:  newShardedStore[*ingestSession](),
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -158,6 +174,7 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Stats aggregates service-level counters, exposed at GET /stats.
+// The snapshot method lives in stats.go next to the atomic backing store.
 type Stats struct {
 	// SessionsOpened counts download sessions ever created.
 	SessionsOpened int64 `json:"sessions_opened"`
@@ -197,13 +214,6 @@ type FaultStats struct {
 	Refused   int64 `json:"refused"`
 }
 
-// Stats returns a snapshot of the service counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
@@ -216,52 +226,49 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // SetLoad updates the simulated load shaping future blocks.
 func (s *Server) SetLoad(l netsim.Load) {
-	s.mu.Lock()
-	s.load = l
-	s.mu.Unlock()
+	s.load.Store(&l)
 }
 
 // Load returns the current simulated load.
 func (s *Server) Load() netsim.Load {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.load
+	if l := s.load.Load(); l != nil {
+		return *l
+	}
+	return netsim.Load{}
 }
 
 // SessionCount reports live download sessions, for tests and monitoring.
 func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.sessions.size()
 }
 
 // liveSessions counts all open cursors (downloads + uploads) for the
 // sessions-live gauge.
 func (s *Server) liveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions) + len(s.ingests)
+	return s.sessions.size() + s.ingests.size()
 }
 
 // ExpireIdle drops sessions idle longer than the TTL and returns how many
-// were dropped. Call it periodically (cmd/wsblockd runs a janitor).
+// were dropped. Call it periodically (cmd/wsblockd runs a janitor). The
+// sweep takes each shard lock briefly and reads lastUsed atomically, so
+// it never races or blocks an in-flight pull — a session expired mid-pull
+// finishes its block normally and the next pull gets a clean 404.
 func (s *Server) ExpireIdle(now time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	cut := now.Add(-s.cfg.SessionTTL).UnixNano()
 	n := 0
-	for id, sess := range s.sessions {
-		if now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
-			delete(s.sessions, id)
-			s.faults.forget(id)
-			n++
-		}
+	for _, id := range s.sessions.removeIf(func(_ string, sess *session) bool {
+		return sess.lastUsed.Load() < cut
+	}) {
+		s.faults.forget(id)
+		s.releaseCursor()
+		n++
 	}
-	for id, ing := range s.ingests {
-		if now.Sub(ing.lastUsed) > s.cfg.SessionTTL {
-			delete(s.ingests, id)
-			s.faults.forget(id)
-			n++
-		}
+	for _, id := range s.ingests.removeIf(func(_ string, ing *ingestSession) bool {
+		return ing.lastUsed.Load() < cut
+	}) {
+		s.faults.forget(id)
+		s.releaseCursor()
+		n++
 	}
 	return n
 }
@@ -276,23 +283,31 @@ func (s *Server) ExpireIdle(now time.Time) int {
 // duplicated. Legacy pulls without seq advance unconditionally, exactly
 // as before.
 type session struct {
-	mu       sync.Mutex
-	id       string
-	iter     minidb.Iterator
-	done     bool
-	lastUsed time.Time
+	mu   sync.Mutex
+	id   string
+	iter minidb.Iterator
+	done bool
+	// rng draws this session's delay noise; guarded by mu (priceBlock is
+	// only called with the session lock held), never by any global lock.
+	rng *rand.Rand
+	// lastUsed is the unix-nano timestamp of the last touch, atomic so
+	// the expiry janitor reads it without racing an in-flight pull.
+	lastUsed atomic.Int64
 
 	// lastSeq is the sequence number of the most recent fresh block
 	// (0 = none served yet); replay buffers that block's response.
 	lastSeq uint64
 	replay  *replayBlock
 	// pendingRows parks rows already pulled from the iterator whose
-	// encoding failed, so a same-seq retry re-encodes instead of
-	// losing them.
+	// encoding failed (or whose pull was cancelled mid-delay), so a
+	// same-seq retry re-serves instead of losing them.
 	pendingRows []minidb.Row
 	pendingDone bool
 	hasPending  bool
 }
+
+// touch records activity for the expiry janitor.
+func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // replayBlock is the buffered response of the last served block.
 type replayBlock struct {
@@ -302,32 +317,58 @@ type replayBlock struct {
 	delayMS float64
 }
 
-// shedIfSaturated applies admission control for a new cursor: when
-// MaxSessions cursors are open it refuses with 503 + Retry-After — before
-// any query executes, so shedding is cheap — and reports true.
-func (s *Server) shedIfSaturated(w http.ResponseWriter) bool {
-	if s.cfg.MaxSessions <= 0 {
-		return false
+// sessionSeed derives the delay-noise seed for cursor number n. Cursor 1
+// uses Config.Seed verbatim, so a single-session run draws exactly the
+// sequence the old server-global RNG produced — labrunner and the
+// experiments suites are byte-for-byte unchanged. Later cursors mix
+// their number through splitmix64 so concurrent sessions draw
+// decorrelated streams without sharing (or locking) anything.
+func (s *Server) sessionSeed(n uint64) int64 {
+	if n == 1 {
+		return s.cfg.Seed
 	}
-	s.mu.Lock()
-	saturated := len(s.sessions)+len(s.ingests) >= s.cfg.MaxSessions
-	if saturated {
-		s.stats.SessionsShed++
-	}
-	s.mu.Unlock()
-	if !saturated {
-		return false
-	}
-	s.metrics.sessionsShed.Inc()
-	secs := int(s.cfg.RetryAfter.Seconds())
+	z := uint64(s.cfg.Seed) + n*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// retryAfterSeconds converts the configured hint to wire format: whole
+// seconds, rounded up (a 1500ms hint must not tell clients to come back
+// after 1s), minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	httpError(w, http.StatusServiceUnavailable,
-		"session limit reached (%d open)", s.cfg.MaxSessions)
+	return secs
+}
+
+// admitCursor reserves an admission slot for a new cursor. With no
+// MaxSessions bound it only counts; with a bound it refuses with
+// 503 + Retry-After once the bound is reached — before any query
+// executes, so shedding is cheap. The reservation is a single atomic
+// add, giving a hard bound even under concurrent creates; the caller
+// must releaseCursor when the cursor closes (or when creation fails).
+func (s *Server) admitCursor(w http.ResponseWriter) bool {
+	n := s.cursors.Add(1)
+	if max := int64(s.cfg.MaxSessions); max > 0 && n > max {
+		s.cursors.Add(-1)
+		s.stats.sessionsShed.Add(1)
+		s.metrics.sessionsShed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		httpError(w, http.StatusServiceUnavailable,
+			"session limit reached (%d open)", s.cfg.MaxSessions)
+		return false
+	}
 	return true
 }
+
+// releaseCursor returns an admission slot.
+func (s *Server) releaseCursor() { s.cursors.Add(-1) }
 
 // createRequest is the body of POST /sessions.
 type createRequest struct {
@@ -351,9 +392,15 @@ type createResponse struct {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.shedIfSaturated(w) {
+	if !s.admitCursor(w) {
 		return
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			s.releaseCursor()
+		}
+	}()
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -385,12 +432,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "skip to offset %d: %v", req.Offset, err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%08x", s.nextID)
-	s.sessions[id] = &session{id: id, iter: it, lastUsed: time.Now()}
-	s.stats.SessionsOpened++
-	s.mu.Unlock()
+	n := s.nextID.Add(1)
+	id := fmt.Sprintf("s%08x", n)
+	sess := &session{id: id, iter: it, rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	sess.touch()
+	s.sessions.put(id, sess)
+	committed = true
+	s.stats.sessionsOpened.Add(1)
 	s.metrics.sessionsOpened.Inc()
 	s.logf("session %s opened: table=%s cols=%v offset=%d", id, req.Table, req.Columns, req.Offset)
 
@@ -416,15 +464,9 @@ func skipRows(it minidb.Iterator, n int) error {
 	return nil
 }
 
-func (s *Server) lookup(id string) *session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
-}
-
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(r.PathValue("id"))
-	if sess == nil {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
@@ -456,9 +498,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	sess.lastUsed = time.Now()
 
 	if hasSeq {
 		switch {
@@ -491,9 +533,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		// Park the rows: the iterator has advanced, so losing them here
 		// would skip tuples. A retry of the same seq re-encodes.
 		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
-		s.mu.Lock()
-		s.stats.EncodeFailures++
-		s.mu.Unlock()
+		s.stats.encodeFailures.Add(1)
 		s.metrics.encodeFailures.Inc()
 		s.logf("session %s: encode block: %v", sess.id, err)
 		httpError(w, http.StatusInternalServerError, "encode block: %v", err)
@@ -501,9 +541,17 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.pendingRows, sess.hasPending = nil, false
 
-	delayMS := s.priceBlock(len(rows))
+	delayMS := s.priceBlock(len(rows), sess.rng)
 	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
-		time.Sleep(time.Duration(delayMS * scale * float64(time.Millisecond)))
+		if !sleepInterruptible(r.Context(), time.Duration(delayMS*scale*float64(time.Millisecond))) {
+			// The client is gone mid-delay: park the rows and release the
+			// session immediately instead of pinning it for the full
+			// simulated delay. Nothing is committed, so a same-seq retry
+			// re-serves these exact rows.
+			sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
+			s.logf("session %s: pull cancelled mid-delay, %d rows parked", sess.id, len(rows))
+			return
+		}
 	}
 
 	// Commit the block before attempting to write it: from here on the
@@ -516,11 +564,25 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault)
 }
 
+// sleepInterruptible sleeps for d unless the context is cancelled first;
+// it reports whether the full delay elapsed.
+func sleepInterruptible(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // serveReplay re-sends the buffered block verbatim.
 func (s *Server) serveReplay(w http.ResponseWriter, sess *session, fault faultKind) {
-	s.mu.Lock()
-	s.stats.BlocksReplayed++
-	s.mu.Unlock()
+	s.stats.blocksReplayed.Add(1)
 	s.metrics.blocksReplayed.Inc()
 	s.writeBlock(w, sess, sess.replay, true, true, fault)
 }
@@ -555,37 +617,32 @@ func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBloc
 		s.logf("session %s: write block: %v", sess.id, err)
 		return
 	}
-	s.mu.Lock()
-	s.stats.BlocksServed++
-	s.stats.TuplesServed += int64(rb.tuples)
-	s.mu.Unlock()
+	s.stats.blocksServed.Add(1)
+	s.stats.tuplesServed.Add(int64(rb.tuples))
 	s.metrics.blocksServed.Inc()
 	s.metrics.tuplesServed.Add(int64(rb.tuples))
 	s.metrics.blockSize.Observe(float64(rb.tuples))
 	s.metrics.blockDelay.Observe(rb.delayMS)
 }
 
-// priceBlock draws the simulated delay for a block under the current load.
-func (s *Server) priceBlock(size int) float64 {
+// priceBlock draws the simulated delay for a block under the current
+// load, using the caller's per-session RNG — no global lock is taken, so
+// concurrent sessions price blocks fully in parallel.
+func (s *Server) priceBlock(size int, rng *rand.Rand) float64 {
 	m := s.cfg.CostModel
 	if m.LatencyMS == 0 && m.PerTupleMS == 0 {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return m.Apply(s.load).BlockMS(size, s.rng)
+	return m.Apply(s.Load()).BlockMS(size, rng)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
+	if _, ok := s.sessions.remove(id); !ok {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	s.releaseCursor()
 	s.faults.forget(id)
 	s.logf("session %s closed", id)
 	w.WriteHeader(http.StatusNoContent)

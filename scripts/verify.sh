@@ -10,3 +10,6 @@ go vet ./...
 go test -race ./...
 # Replay the checked-in fuzz seed corpora (deterministic, no generation).
 go test -run '^Fuzz' ./internal/wire ./internal/minidb
+# Concurrency stress gate: hot-path stress tests under -race, including
+# the e2e run that drives a race-built wsblockd with concurrent wsload.
+go test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
