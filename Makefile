@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress verify chaos bench bench-contention clean
+.PHONY: all build vet test race fuzzseeds stress allocgate verify chaos bench bench-contention bench-wire clean
 
 all: verify
 
@@ -28,10 +28,17 @@ fuzzseeds:
 stress:
 	$(GO) test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
 
+# allocgate runs the wire allocation regression gate WITHOUT the race
+# detector (instrumentation would inflate the counts): a binary-codec
+# block round-trip must stay within its per-block allocation budget.
+allocgate:
+	$(GO) test -count=1 -run '^TestBinaryRoundTripAllocGate$$' ./internal/wire
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# under the race detector, survive the fuzz seed corpora, and hold up
-# under the concurrency stress gate.
-verify: build vet race fuzzseeds stress
+# under the race detector, survive the fuzz seed corpora, hold up under
+# the concurrency stress gate, and keep the wire hot path within its
+# allocation budget.
+verify: build vet race fuzzseeds stress allocgate
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -45,6 +52,15 @@ bench:
 # the number that moves when hot-path locking changes.
 bench-contention:
 	$(GO) run ./cmd/wsbench -contention 1,4,8 -sf 0.01 -json BENCH_contention.json
+
+# bench-wire records raw codec throughput (encode + scratch-decode, no
+# transport) for every codec at three block sizes into BENCH_wire.json,
+# and runs the Go codec benchmarks with allocation reporting — the
+# numbers that move when the wire hot path's allocation behaviour
+# changes.
+bench-wire:
+	$(GO) run ./cmd/wsbench -wire 64,512,4096 -sf 0.1 -json BENCH_wire.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCodecRoundTrip|BenchmarkBinaryDecodeScratch' -benchmem ./internal/wire
 
 clean:
 	$(GO) clean ./...

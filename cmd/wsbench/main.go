@@ -19,9 +19,17 @@
 // delays, fixed block size, N concurrent clients hammering one shared
 // in-process service — a pure measurement of the block hot path's lock
 // behaviour. `make bench-contention` records it as BENCH_contention.json.
+//
+// -wire switches to the wire-codec sweep: encode + scratch-decode
+// round-trips of live table blocks at the given sizes, for every codec
+// name, with no transport in the loop — the pure CPU/allocation cost of
+// the wire formats. `make bench-wire` records it as BENCH_wire.json.
+//
+//	wsbench -wire 64,512,4096 -json BENCH_wire.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -84,6 +92,9 @@ func main() {
 			"run the server-contention sweep instead of the controller matrix: comma-separated client counts, e.g. 1,4,8")
 		contentionDur  = flag.Duration("contention-duration", 2*time.Second, "how long each contention level runs")
 		contentionSize = flag.Int("contention-size", 256, "fixed block size of the contention sweep")
+		wireCSV        = flag.String("wire", "",
+			"run the wire-codec sweep instead of the controller matrix: comma-separated block sizes (rows), e.g. 64,512,4096")
+		wireDur = flag.Duration("wire-duration", time.Second, "how long each codec/size cell of the wire sweep runs")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -105,6 +116,12 @@ func main() {
 
 	if *contention != "" {
 		if err := runContentionSweep(logger, cat, codec, *contention, *contentionDur, *contentionSize, *sf, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	if *wireCSV != "" {
+		if err := runWireSweep(logger, cat, *wireCSV, *wireDur, *sf, *jsonOut); err != nil {
 			logger.Fatal(err)
 		}
 		return
@@ -416,6 +433,146 @@ func runContentionSweep(logger *log.Logger, cat *minidb.Catalog, codec wire.Code
 			return err
 		}
 		logger.Printf("contention report written to %s", jsonOut)
+	}
+	return nil
+}
+
+// wireCell is one codec/block-size entry in the wire-sweep report.
+type wireCell struct {
+	Codec         string  `json:"codec"`
+	BlockRows     int     `json:"block_rows"`
+	WireBytes     int     `json:"wire_bytes_per_block"`
+	BytesPerRow   float64 `json:"wire_bytes_per_row"`
+	RoundTrips    int64   `json:"round_trips"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	BlocksPerSec  float64 `json:"blocks_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	AllocsPerTrip float64 `json:"allocs_per_round_trip"`
+}
+
+// runWireSweep measures raw codec throughput with no transport or query
+// execution in the loop: one block of live customer rows per size,
+// encode+scratch-decode round-trips for the duration, every codec name
+// the service accepts. Blocks/sec here is the pure CPU cost of the wire
+// format — the number the allocation-lean hot path work moves — and
+// MB/s is measured over the encoded wire bytes, so it also reflects each
+// codec's density. `make bench-wire` records it as BENCH_wire.json.
+func runWireSweep(logger *log.Logger, cat *minidb.Catalog, sizesCSV string, dur time.Duration, sf float64, jsonOut string) error {
+	var sizes []int
+	for _, part := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -wire block size %q: want a positive row count", part)
+		}
+		sizes = append(sizes, n)
+	}
+	maxSize := 0
+	for _, n := range sizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+
+	// One pass over the customer table yields the largest block; smaller
+	// sizes are prefixes, so every cell serializes the same leading rows.
+	it, err := cat.Execute(minidb.Query{Table: "customer"})
+	if err != nil {
+		return err
+	}
+	var rows []minidb.Row
+	for len(rows) < maxSize {
+		batch, done, err := minidb.NextBlock(it, maxSize-len(rows))
+		if err != nil {
+			return err
+		}
+		rows = append(rows, batch...)
+		if done {
+			break
+		}
+	}
+	if len(rows) < maxSize {
+		// Small scale factors can't fill the largest block; cycle the rows
+		// so throughput per row stays comparable across sizes.
+		for i := 0; len(rows) < maxSize; i++ {
+			rows = append(rows, rows[i%len(rows)])
+		}
+	}
+	schema := it.Schema()
+
+	codecNames := []string{"xml", "binary", "json", "xml+gzip", "binary+gzip", "json+gzip"}
+	results := make([]wireCell, 0, len(codecNames)*len(sizes))
+	for _, name := range codecNames {
+		c, err := wire.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, n := range sizes {
+			block := rows[:n]
+			var enc bytes.Buffer
+			if err := c.Encode(&enc, schema, block); err != nil {
+				return fmt.Errorf("%s: encode: %v", name, err)
+			}
+			cell := wireCell{Codec: name, BlockRows: n, WireBytes: enc.Len(), BytesPerRow: float64(enc.Len()) / float64(n)}
+			rd := bytes.NewReader(nil)
+			scratch := new(wire.Scratch)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for time.Since(start) < dur {
+				enc.Reset()
+				if err := c.Encode(&enc, schema, block); err != nil {
+					return fmt.Errorf("%s: encode: %v", name, err)
+				}
+				rd.Reset(enc.Bytes())
+				if _, _, err := wire.DecodeBlock(c, rd, scratch); err != nil {
+					return fmt.Errorf("%s: decode: %v", name, err)
+				}
+				cell.RoundTrips++
+			}
+			cell.WallSeconds = time.Since(start).Seconds()
+			runtime.ReadMemStats(&m1)
+			if cell.RoundTrips > 0 {
+				cell.AllocsPerTrip = float64(m1.Mallocs-m0.Mallocs) / float64(cell.RoundTrips)
+			}
+			if cell.WallSeconds > 0 {
+				cell.BlocksPerSec = float64(cell.RoundTrips) / cell.WallSeconds
+				cell.MBPerSec = float64(cell.RoundTrips) * float64(cell.WireBytes) / cell.WallSeconds / 1e6
+			}
+			results = append(results, cell)
+			logger.Printf("wire: %s rows=%d -> %.0f blocks/s, %.1f MB/s", name, n, cell.BlocksPerSec, cell.MBPerSec)
+		}
+	}
+
+	fmt.Printf("wire-codec sweep: %d-row source table, %v per cell, GOMAXPROCS=%d\n\n",
+		tpch.CustomerCount(sf), dur, runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "codec\trows/block\twire bytes/row\tblocks/sec\tMB/sec\tallocs/round-trip")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%.1f\t%.1f\n",
+			r.Codec, r.BlockRows, r.BytesPerRow, r.BlocksPerSec, r.MBPerSec, r.AllocsPerTrip)
+	}
+	w.Flush()
+
+	if jsonOut != "" {
+		doc := struct {
+			SF           float64    `json:"sf"`
+			DurationSecs float64    `json:"duration_seconds_per_cell"`
+			GoMaxProcs   int        `json:"gomaxprocs"`
+			Results      []wireCell `json:"results"`
+		}{SF: sf, DurationSecs: dur.Seconds(), GoMaxProcs: runtime.GOMAXPROCS(0), Results: results}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("wire report written to %s", jsonOut)
 	}
 	return nil
 }

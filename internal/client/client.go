@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"wsopt/internal/core"
@@ -143,6 +144,10 @@ type Session struct {
 	committed int
 	failovers int
 	hedgeWins int
+	// scratch is the decode scratch backing the most recently adopted
+	// block's rows. It is recycled into scratchPool when the next block is
+	// adopted — the moment the previous block's rows become invalid.
+	scratch *wire.Scratch
 
 	// OnDisturbance, when set, is invoked after a session failover or a
 	// hedge adoption with a human-readable reason — the hook Run uses to
@@ -233,8 +238,16 @@ func (s *Session) Failovers() int { return s.failovers }
 func (s *Session) HedgeWins() int { return s.hedgeWins }
 
 // Block is one pulled block with its client-side timing.
+//
+// Rows (and Schema) may be backed by a per-session decode scratch that
+// is reused on the next pull: they are valid until the session's next
+// Next call, and must not be retained past it. The string cells
+// themselves live in an immutable per-block arena, so copying the Values
+// (e.g. minidb.Row.Clone, or Block.Clone for the whole block) is all a
+// handler that retains rows needs to do — no deep string copy.
 type Block struct {
-	// Rows are the decoded tuples.
+	// Rows are the decoded tuples. Valid until the next pull on the same
+	// session; use Clone to retain them longer.
 	Rows []minidb.Row
 	// Schema describes the rows.
 	Schema minidb.Schema
@@ -261,6 +274,49 @@ type Block struct {
 	// Failovers counts session failovers that happened while pulling this
 	// block.
 	Failovers int
+
+	// scratch is the decode scratch backing Rows (nil when the codec has
+	// no scratch path). The session recycles it when the next block is
+	// adopted; a block that is never adopted (an abandoned hedge or
+	// cancelled primary) just drops it to the GC — a scratch is never
+	// pooled while its rows may still be read.
+	scratch *wire.Scratch
+}
+
+// Clone returns a copy of the block whose rows are independent of the
+// session's reusable decode scratch, so they stay valid across later
+// pulls. Values are copied shallowly; string cells share the immutable
+// per-block arena, which is never reused, so no byte copying is needed.
+func (b *Block) Clone() *Block {
+	nb := *b
+	nb.scratch = nil
+	nb.Schema = append(minidb.Schema(nil), b.Schema...)
+	if b.Rows != nil {
+		vals := make([]minidb.Value, 0, len(b.Rows)*len(b.Schema))
+		rows := make([]minidb.Row, len(b.Rows))
+		for i, r := range b.Rows {
+			start := len(vals)
+			vals = append(vals, r...)
+			rows[i] = minidb.Row(vals[start:len(vals):len(vals)])
+		}
+		nb.Rows = rows
+	}
+	return &nb
+}
+
+// scratchPool recycles decode scratches across pulls (and sessions). A
+// scratch enters the pool only from Session.adopt — when the block it
+// backed has been superseded — never from an abandoned in-flight pull.
+var scratchPool = sync.Pool{New: func() any { return new(wire.Scratch) }}
+
+// adopt makes blk the session's current block: the previous block's
+// rows are now invalid per the Block contract, so its scratch goes back
+// to the pool.
+func (s *Session) adopt(blk *Block) {
+	if s.scratch != nil {
+		scratchPool.Put(s.scratch)
+	}
+	s.scratch = blk.scratch
 }
 
 // Next pulls one block of up to size tuples and times it. Transient
@@ -288,6 +344,7 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 		if err == nil {
 			blk.Attempts = attempt
 			blk.Failovers = failovers
+			s.adopt(blk)
 			s.seq = seqAfter
 			s.done = blk.Done
 			s.committed += len(blk.Rows)
@@ -481,20 +538,25 @@ func (c *Client) pullOnce(cctx, parent context.Context, u string) (*Block, error
 		return nil, err
 	}
 	body := &countingReader{r: resp.Body}
-	schema, rows, err := c.codec.Decode(body)
+	sc := scratchPool.Get().(*wire.Scratch)
+	schema, rows, err := wire.DecodeBlock(c.codec, body, sc)
 	if err != nil {
 		// Usually a body truncated by a dying connection or a deadline
-		// expiry mid-body: retry and let the server replay the block.
+		// expiry mid-body: retry and let the server replay the block. The
+		// failed decode's rows never escape, so the scratch can be pooled
+		// right away.
+		scratchPool.Put(sc)
 		return nil, c.classifyPullErr(cctx, parent, fmt.Errorf("client: decode block: %w", err))
 	}
 	elapsed := time.Since(t1)
 
-	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed, Bytes: body.n}
+	blk := &Block{Rows: rows, Schema: schema, Elapsed: elapsed, Bytes: body.n, scratch: sc}
 	blk.Done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
 	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
 	blk.Replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
 	if want := resp.Header.Get(service.HeaderBlockTuples); want != "" {
 		if n, err := strconv.Atoi(want); err == nil && n != len(rows) {
+			scratchPool.Put(sc)
 			return nil, markTransient(fmt.Errorf("client: server announced %d tuples but block decoded %d", n, len(rows)))
 		}
 	}
@@ -696,13 +758,23 @@ func joinURL(base string, segments ...string) (string, error) {
 	return joined, nil
 }
 
+// drainLimit bounds how much of a leftover body the client reads to
+// reach EOF. net/http only returns a keep-alive connection to its pool
+// when the body was read to EOF before Close; a body abandoned short of
+// EOF forces a fresh dial for the next pull, which on the hot path turns
+// every block into a connection setup.
+const drainLimit = 4 << 20
+
 func httpFailure(op string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	// Drain the rest of the error body so the keep-alive connection
+	// stays reusable (callers Close the body afterwards).
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 	return fmt.Errorf("client: %s: server returned %s: %s", op, resp.Status, bytes.TrimSpace(msg))
 }
 
 func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 	resp.Body.Close()
 }
 

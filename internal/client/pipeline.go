@@ -107,8 +107,12 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 		// Launch the prefetch of the next block (if any) while this one
 		// is being processed. The session is only touched by this one
 		// outstanding goroutine; the loop joins it before the next round.
+		// The prefetch is a pull, and a pull invalidates the previous
+		// block's scratch-backed rows — so when the handler will run
+		// concurrently with one, it gets its own copy of the block.
 		var next chan prefetched
 		if !sess.Done() {
+			blk = blk.Clone()
 			next = make(chan prefetched, 1)
 			go func() { next <- fetch() }()
 		}

@@ -196,6 +196,15 @@ func (c *Client) doManagement(ctx context.Context, method, url string, body []by
 			}
 			lastErr = markTransientRetryAfter(httpFailure(method+" "+url, resp), parseRetryAfter(resp.Header))
 			drain(resp)
+		} else if ctx.Err() != nil {
+			// The attempt died of the caller's deadline, not a new server
+			// failure. Keep the last real failure in the message — it says
+			// why the retries were happening — instead of letting the
+			// transport's context error overwrite it.
+			if lastErr != nil {
+				return nil, fmt.Errorf("client: %w (interrupted while retrying after: %v)", ctx.Err(), lastErr)
+			}
+			return nil, fmt.Errorf("client: %s %s: %w", method, url, err)
 		} else {
 			lastErr = err
 		}

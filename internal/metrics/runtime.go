@@ -2,14 +2,40 @@ package metrics
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
-// RegisterRuntime adds process-level gauges (uptime, goroutines, heap)
-// to the registry, evaluated lazily at scrape time. Call once at
-// startup from long-running binaries.
+// memStatsReader caches runtime.MemStats briefly so one scrape of the
+// several heap/GC gauges triggers a single ReadMemStats stop-the-world,
+// not one per series.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	once bool
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.once || time.Since(m.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&m.ms)
+		m.at = time.Now()
+		m.once = true
+	}
+	return m.ms
+}
+
+// RegisterRuntime adds process-level gauges (uptime, goroutines,
+// heap/GC) to the registry, evaluated lazily at scrape time. Call once
+// at startup from long-running binaries. The heap and GC series exist to
+// make allocation discipline visible: the wire hot path is supposed to
+// run allocation-lean, and a regression shows up here as a climbing
+// total-alloc rate and GC pause count under steady load.
 func RegisterRuntime(r *Registry) {
 	start := time.Now()
+	var msr memStatsReader
 	r.GaugeFunc("wsopt_process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
 		return time.Since(start).Seconds()
 	})
@@ -20,13 +46,15 @@ func RegisterRuntime(r *Registry) {
 		return float64(runtime.GOMAXPROCS(0))
 	})
 	r.GaugeFunc("wsopt_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapAlloc)
+		return float64(msr.read().HeapAlloc)
+	})
+	r.GaugeFunc("wsopt_go_total_alloc_bytes", "Cumulative bytes allocated for heap objects since process start (monotone; its rate is the allocation pressure of the workload).", func() float64 {
+		return float64(msr.read().TotalAlloc)
 	})
 	r.GaugeFunc("wsopt_go_gc_cycles", "Completed GC cycles.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.NumGC)
+		return float64(msr.read().NumGC)
+	})
+	r.GaugeFunc("wsopt_go_gc_pauses_total", "Cumulative stop-the-world GC pause time in seconds.", func() float64 {
+		return float64(msr.read().PauseTotalNs) / 1e9
 	})
 }

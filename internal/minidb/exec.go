@@ -170,10 +170,23 @@ func (c *Catalog) Execute(q Query) (Iterator, error) {
 // is exhausted (the returned rows may still be non-empty for the final
 // partial block).
 func NextBlock(it Iterator, size int) (rows []Row, done bool, err error) {
+	return NextBlockAppend(it, size, nil)
+}
+
+// NextBlockAppend is NextBlock with a caller-supplied batch: up to size
+// rows are appended to batch[:0], so a reused batch makes the per-block
+// row-header allocation O(1) amortized. The returned slice aliases batch
+// (when its capacity sufficed) — callers that reuse the batch must be
+// done with the previous block's rows first. The Row values themselves
+// are produced by the iterator and are not recycled.
+func NextBlockAppend(it Iterator, size int, batch []Row) (rows []Row, done bool, err error) {
 	if size < 1 {
 		return nil, false, fmt.Errorf("minidb: block size %d must be positive", size)
 	}
-	rows = make([]Row, 0, size)
+	rows = batch[:0]
+	if cap(rows) < size {
+		rows = make([]Row, 0, size)
+	}
 	for len(rows) < size {
 		r, err := it.Next()
 		if err == io.EOF {

@@ -50,9 +50,17 @@ func TestShardedStore(t *testing.T) {
 	if _, ok := st.remove("s00000000"); ok {
 		t.Fatal("second remove reported present")
 	}
-	removed := st.removeIf(func(_ string, v int) bool { return v%2 == 1 })
-	if len(removed) != n/2 {
-		t.Fatalf("removeIf removed %d, want %d", len(removed), n/2)
+	removed, vals := st.removeIf(func(_ string, v int) bool { return v%2 == 1 })
+	if len(removed) != n/2 || len(vals) != n/2 {
+		t.Fatalf("removeIf removed %d ids / %d values, want %d", len(removed), len(vals), n/2)
+	}
+	for i, id := range removed {
+		if want, ok := st.get(id); ok {
+			t.Fatalf("removed id %s still present with value %d", id, want)
+		}
+		if vals[i]%2 != 1 {
+			t.Fatalf("removeIf returned value %d for %s, want odd", vals[i], id)
+		}
 	}
 	if got := st.size(); got != n/2-1 {
 		t.Fatalf("size after removes = %d, want %d", got, n/2-1)

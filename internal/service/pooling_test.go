@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPooledBufferNotReusedWhileReplayLive is the liveness proof for the
+// encode-buffer pool: a block's pooled buffer must go back to the pool
+// only when its replayBlock is superseded by the next committed block or
+// the session closes — never while a same-seq retry could still be
+// served from it.
+func TestPooledBufferNotReusedWhileReplayLive(t *testing.T) {
+	var released []*replayBlock
+	testReplayRelease = func(rb *replayBlock) { released = append(released, rb) }
+	defer func() { testReplayRelease = nil }()
+
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 200)})
+	id, _ := openSession(t, ts, `{"table":"items"}`)
+
+	seqOf := map[*replayBlock]int{}
+	payloads := map[int][]byte{}
+	const blocks = 8
+	for seq := 1; seq <= blocks; seq++ {
+		// Fresh pull commits block seq; the previous block (and only it)
+		// must have been released by the time the response is back.
+		resp := pullSeq(t, ts, id, 10, seq)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: %s, %v", seq, resp.Status, err)
+		}
+		payloads[seq] = body
+
+		sess, ok := srv.sessions.get(id)
+		if !ok {
+			t.Fatalf("seq %d: session vanished", seq)
+		}
+		sess.mu.Lock()
+		rb := sess.replay
+		sess.mu.Unlock()
+		if rb == nil || rb.buf == nil {
+			t.Fatalf("seq %d: live replay has no pooled buffer", seq)
+		}
+		if !bytes.Equal(rb.payload, body) {
+			t.Fatalf("seq %d: replay buffer differs from served body", seq)
+		}
+		seqOf[rb] = seq
+
+		if want := seq - 1; len(released) != want {
+			t.Fatalf("after committing seq %d: %d buffers released, want %d (release must happen exactly at supersede)",
+				seq, len(released), want)
+		}
+
+		// A replay retry must not release anything and must serve the
+		// exact committed bytes even though other buffers have cycled
+		// through the pool.
+		resp = pullSeq(t, ts, id, 10, seq)
+		replayed, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d replay: %s, %v", seq, resp.Status, err)
+		}
+		if !bytes.Equal(replayed, body) {
+			t.Fatalf("seq %d: replay bytes differ from fresh block", seq)
+		}
+		if len(released) != seq-1 {
+			t.Fatalf("seq %d: replay released a buffer", seq)
+		}
+	}
+
+	// Releases happened oldest-first, one per supersede.
+	for i, rb := range released {
+		if seqOf[rb] != i+1 {
+			t.Fatalf("release %d was block seq %d, want %d", i, seqOf[rb], i+1)
+		}
+	}
+
+	// Closing the session releases the final live block's buffer.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%s", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(released) != blocks {
+		t.Fatalf("after close: %d buffers released, want %d", len(released), blocks)
+	}
+	if seqOf[released[blocks-1]] != blocks {
+		t.Fatalf("close released block seq %d, want %d", seqOf[released[blocks-1]], blocks)
+	}
+}
+
+// TestReplayByteIdenticalUnderPoolReuse interleaves two sessions so
+// pooled buffers cycle between them, and checks every replay still
+// serves the exact bytes of its fresh block.
+func TestReplayByteIdenticalUnderPoolReuse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 500)})
+	idA, _ := openSession(t, ts, `{"table":"items"}`)
+	idB, _ := openSession(t, ts, `{"table":"items","where":"id >= 100"}`)
+
+	fetch := func(id string, size, seq int) []byte {
+		t.Helper()
+		resp := pullSeq(t, ts, id, size, seq)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s seq %d: %s, %v", id, seq, resp.Status, err)
+		}
+		return body
+	}
+
+	for seq := 1; seq <= 12; seq++ {
+		// Fresh A, then fresh B (which plausibly adopts A's recycled
+		// buffer), then replays of both.
+		a := fetch(idA, 7, seq)
+		b := fetch(idB, 13, seq)
+		if ra := fetch(idA, 7, seq); !bytes.Equal(ra, a) {
+			t.Fatalf("seq %d: session A replay corrupted by pool reuse", seq)
+		}
+		if rb := fetch(idB, 13, seq); !bytes.Equal(rb, b) {
+			t.Fatalf("seq %d: session B replay corrupted by pool reuse", seq)
+		}
+	}
+}
+
+// TestExpireIdleReleasesReplayBuffers checks the janitor path returns
+// buffers too (when no pull holds the session lock).
+func TestExpireIdleReleasesReplayBuffers(t *testing.T) {
+	var released int
+	testReplayRelease = func(*replayBlock) { released++ }
+	defer func() { testReplayRelease = nil }()
+
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 50), SessionTTL: time.Nanosecond})
+	id, _ := openSession(t, ts, `{"table":"items"}`)
+	resp := pullSeq(t, ts, id, 10, 1)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if n := srv.ExpireIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if released != 1 {
+		t.Fatalf("janitor released %d buffers, want 1", released)
+	}
+}

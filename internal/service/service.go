@@ -256,16 +256,19 @@ func (s *Server) liveSessions() int {
 func (s *Server) ExpireIdle(now time.Time) int {
 	cut := now.Add(-s.cfg.SessionTTL).UnixNano()
 	n := 0
-	for _, id := range s.sessions.removeIf(func(_ string, sess *session) bool {
+	ids, vals := s.sessions.removeIf(func(_ string, sess *session) bool {
 		return sess.lastUsed.Load() < cut
-	}) {
+	})
+	for i, id := range ids {
+		closeSession(vals[i])
 		s.faults.forget(id)
 		s.releaseCursor()
 		n++
 	}
-	for _, id := range s.ingests.removeIf(func(_ string, ing *ingestSession) bool {
+	expired, _ := s.ingests.removeIf(func(_ string, ing *ingestSession) bool {
 		return ing.lastUsed.Load() < cut
-	}) {
+	})
+	for _, id := range expired {
 		s.faults.forget(id)
 		s.releaseCursor()
 		n++
@@ -293,11 +296,19 @@ type session struct {
 	// lastUsed is the unix-nano timestamp of the last touch, atomic so
 	// the expiry janitor reads it without racing an in-flight pull.
 	lastUsed atomic.Int64
+	// closed flips when the session is deleted or expired; a pull that
+	// raced the close observes it after locking mu and backs out without
+	// touching the (possibly released) replay buffer.
+	closed atomic.Bool
 
 	// lastSeq is the sequence number of the most recent fresh block
 	// (0 = none served yet); replay buffers that block's response.
 	lastSeq uint64
 	replay  *replayBlock
+	// batch is the reusable row slice NextBlockAppend fills each pull;
+	// safe to reuse because the previous block's rows are fully encoded
+	// into the replay buffer before the next pull starts.
+	batch []minidb.Row
 	// pendingRows parks rows already pulled from the iterator whose
 	// encoding failed (or whose pull was cancelled mid-delay), so a
 	// same-seq retry re-serves instead of losing them.
@@ -309,12 +320,57 @@ type session struct {
 // touch records activity for the expiry janitor.
 func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
-// replayBlock is the buffered response of the last served block.
+// replayBlock is the buffered response of the last served block. Its
+// payload is backed by a pooled encode buffer: the buffer is returned to
+// blockBufPool only when the block is superseded by the next committed
+// block or the session closes — never while a retry could still request
+// this seq — so replays serve the exact committed bytes.
 type replayBlock struct {
+	buf     *bytes.Buffer
 	payload []byte
 	tuples  int
 	done    bool
 	delayMS float64
+}
+
+// blockBufPool pools the per-pull encode buffers. Ownership rule: a
+// buffer obtained for a pull either travels into the committed
+// replayBlock (released later via releaseReplay) or is returned to the
+// pool on the spot when the pull aborts before commit.
+var blockBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// testReplayRelease, when non-nil (set only by tests, before traffic),
+// observes every replay-buffer release.
+var testReplayRelease func(rb *replayBlock)
+
+// releaseReplay returns rb's encode buffer to the pool. The caller must
+// guarantee rb can no longer be served: it was superseded under the
+// session lock, or the closed session is unreachable to new pulls.
+func releaseReplay(rb *replayBlock) {
+	if rb == nil || rb.buf == nil {
+		return
+	}
+	if testReplayRelease != nil {
+		testReplayRelease(rb)
+	}
+	buf := rb.buf
+	rb.buf, rb.payload = nil, nil
+	buf.Reset()
+	blockBufPool.Put(buf)
+}
+
+// closeSession releases a removed session's pooled resources. If a pull
+// still holds the session lock, the buffers are deliberately NOT pooled
+// (the pull may be writing those bytes); they go to the GC instead —
+// losing a buffer to the GC is always safe, reusing a live one never is.
+func closeSession(sess *session) {
+	sess.closed.Store(true)
+	if sess.mu.TryLock() {
+		releaseReplay(sess.replay)
+		sess.replay = nil
+		sess.pendingRows, sess.batch = nil, nil
+		sess.mu.Unlock()
+	}
 }
 
 // sessionSeed derives the delay-noise seed for cursor number n. Cursor 1
@@ -502,6 +558,14 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
+	if sess.closed.Load() {
+		// The session was deleted or expired while this pull was between
+		// the store lookup and the lock; its replay buffer may already be
+		// pooled, so back out before touching it.
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+
 	if hasSeq {
 		switch {
 		case seq == sess.lastSeq && sess.replay != nil:
@@ -522,16 +586,22 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 
 	rows, done := sess.pendingRows, sess.pendingDone
 	if !sess.hasPending {
-		rows, done, err = minidb.NextBlock(sess.iter, size)
+		rows, done, err = minidb.NextBlockAppend(sess.iter, size, sess.batch)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		// The batch is reusable next pull: by then these rows are either
+		// encoded into the committed replay buffer or parked as pending.
+		sess.batch = rows
 	}
-	var buf bytes.Buffer
-	if err := s.codec.Encode(&buf, sess.iter.Schema(), rows); err != nil {
+	buf := blockBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := s.codec.Encode(buf, sess.iter.Schema(), rows); err != nil {
 		// Park the rows: the iterator has advanced, so losing them here
 		// would skip tuples. A retry of the same seq re-encodes.
+		buf.Reset()
+		blockBufPool.Put(buf)
 		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
 		s.stats.encodeFailures.Add(1)
 		s.metrics.encodeFailures.Inc()
@@ -547,7 +617,10 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			// The client is gone mid-delay: park the rows and release the
 			// session immediately instead of pinning it for the full
 			// simulated delay. Nothing is committed, so a same-seq retry
-			// re-serves these exact rows.
+			// re-serves these exact rows (and this pull's buffer is free to
+			// pool again).
+			buf.Reset()
+			blockBufPool.Put(buf)
 			sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
 			s.logf("session %s: pull cancelled mid-delay, %d rows parked", sess.id, len(rows))
 			return
@@ -556,10 +629,13 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 
 	// Commit the block before attempting to write it: from here on the
 	// session state says "seq N was produced", and any delivery failure
-	// is recovered by replaying the buffer.
+	// is recovered by replaying the buffer. Committing supersedes the
+	// previous block — only then may its pooled buffer be reused.
+	superseded := sess.replay
 	sess.lastSeq++
-	sess.replay = &replayBlock{payload: buf.Bytes(), tuples: len(rows), done: done, delayMS: delayMS}
+	sess.replay = &replayBlock{buf: buf, payload: buf.Bytes(), tuples: len(rows), done: done, delayMS: delayMS}
 	sess.done = done
+	releaseReplay(superseded)
 
 	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault)
 }
@@ -638,10 +714,12 @@ func (s *Server) priceBlock(size int, rng *rand.Rand) float64 {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := s.sessions.remove(id); !ok {
+	sess, ok := s.sessions.remove(id)
+	if !ok {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	closeSession(sess)
 	s.releaseCursor()
 	s.faults.forget(id)
 	s.logf("session %s closed", id)

@@ -91,10 +91,12 @@ func (st *shardedStore[V]) size() int {
 }
 
 // removeIf deletes every entry the predicate selects and returns the
-// removed ids. Each shard is swept under its own write lock, so the
-// janitor never blocks requests on other shards.
-func (st *shardedStore[V]) removeIf(pred func(id string, v V) bool) []string {
+// removed ids and values (positionally paired). Each shard is swept
+// under its own write lock, so the janitor never blocks requests on
+// other shards.
+func (st *shardedStore[V]) removeIf(pred func(id string, v V) bool) ([]string, []V) {
 	var removed []string
+	var vals []V
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
@@ -102,9 +104,10 @@ func (st *shardedStore[V]) removeIf(pred func(id string, v V) bool) []string {
 			if pred(id, v) {
 				delete(sh.m, id)
 				removed = append(removed, id)
+				vals = append(vals, v)
 			}
 		}
 		sh.mu.Unlock()
 	}
-	return removed
+	return removed, vals
 }

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wsopt/internal/minidb"
+)
+
+// Benchmarks and allocation gates for the wire hot path. The round-trip
+// benchmark is the codec half of the paper's transfer-cost model: for a
+// given block size, the per-block CPU cost is encode + decode, and the
+// adaptive controller's gains evaporate if that cost is dominated by
+// allocator churn. Run via `make bench-wire`, which also snapshots the
+// numbers into BENCH_wire.json.
+
+// benchBlockSizes are the block sizes (rows per block) the round-trip
+// benchmark sweeps. They bracket the sizes the runtime controller
+// actually chooses: small probing blocks, the mid-range steady state,
+// and large blocks on clean links.
+var benchBlockSizes = []int{64, 512, 4096}
+
+// benchBlock builds a deterministic sample block of n rows over the
+// standard 4-column schema.
+func benchBlock(n int) (minidb.Schema, []minidb.Row) {
+	rng := rand.New(rand.NewSource(42))
+	return sampleSchema(), sampleRows(n, rng)
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	for _, c := range codecs() {
+		for _, n := range benchBlockSizes {
+			b.Run(fmt.Sprintf("%s/rows=%d", c.Name(), n), func(b *testing.B) {
+				schema, rows := benchBlock(n)
+				var enc bytes.Buffer
+				if err := c.Encode(&enc, schema, rows); err != nil {
+					b.Fatal(err)
+				}
+				wireBytes := enc.Len()
+				rd := bytes.NewReader(nil)
+				scratch := new(Scratch)
+				b.SetBytes(int64(wireBytes))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					enc.Reset()
+					if err := c.Encode(&enc, schema, rows); err != nil {
+						b.Fatal(err)
+					}
+					rd.Reset(enc.Bytes())
+					_, got, err := DecodeBlock(c, rd, scratch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != n {
+						b.Fatalf("decoded %d rows, want %d", len(got), n)
+					}
+				}
+				b.ReportMetric(float64(wireBytes)/float64(n), "wireB/row")
+			})
+		}
+	}
+}
+
+// BenchmarkBinaryDecodeScratch isolates the decode half: the server
+// encodes once, the client decodes every block — this is the per-pull
+// client cost.
+func BenchmarkBinaryDecodeScratch(b *testing.B) {
+	for _, n := range benchBlockSizes {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			schema, rows := benchBlock(n)
+			var enc bytes.Buffer
+			if err := (Binary{}).Encode(&enc, schema, rows); err != nil {
+				b.Fatal(err)
+			}
+			payload := enc.Bytes()
+			rd := bytes.NewReader(nil)
+			scratch := new(Scratch)
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rd.Reset(payload)
+				if _, _, err := (Binary{}).DecodeScratch(rd, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// binaryRoundTripAllocLimit is the verify gate: one binary-codec block
+// round-trip (encode into a reused buffer + scratch decode) must stay
+// within this many allocations, steady state. The budget covers the one
+// string-arena conversion per block plus small strconv/interface spill;
+// a regression here means the hot path started allocating per row or
+// per cell again.
+const binaryRoundTripAllocLimit = 8
+
+// TestBinaryRoundTripAllocGate is the allocation regression gate for
+// the binary codec (satellite of the allocation-lean hot path work).
+// It is asserted per *block*, not per row, at several block sizes: a
+// per-row allocation would scale the count with the block size and trip
+// the gate immediately.
+func TestBinaryRoundTripAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state timing")
+	}
+	for _, n := range benchBlockSizes {
+		t.Run(fmt.Sprintf("rows=%d", n), func(t *testing.T) {
+			schema, rows := benchBlock(n)
+			var enc bytes.Buffer
+			rd := bytes.NewReader(nil)
+			scratch := new(Scratch)
+			// Warm up: first decode sizes the scratch, first encode sizes
+			// the buffer and primes the pools. Steady state is what the
+			// session hot loop sees from block 2 on.
+			for i := 0; i < 3; i++ {
+				enc.Reset()
+				if err := (Binary{}).Encode(&enc, schema, rows); err != nil {
+					t.Fatal(err)
+				}
+				rd.Reset(enc.Bytes())
+				if _, _, err := (Binary{}).DecodeScratch(rd, scratch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				enc.Reset()
+				if err := (Binary{}).Encode(&enc, schema, rows); err != nil {
+					t.Fatal(err)
+				}
+				rd.Reset(enc.Bytes())
+				_, got, err := (Binary{}).DecodeScratch(rd, scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != n {
+					t.Fatalf("decoded %d rows, want %d", len(got), n)
+				}
+			})
+			if allocs > binaryRoundTripAllocLimit {
+				t.Fatalf("binary round-trip of a %d-row block costs %.1f allocs, gate is %d — the wire hot path regressed",
+					n, allocs, binaryRoundTripAllocLimit)
+			}
+			t.Logf("binary round-trip, %d rows: %.1f allocs/block (gate %d)", n, allocs, binaryRoundTripAllocLimit)
+		})
+	}
+}

@@ -1,11 +1,12 @@
 package wire
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"wsopt/internal/minidb"
 )
@@ -20,6 +21,12 @@ import (
 //
 // It exists to quantify the XML/SOAP overhead the paper attributes to web
 // services; the service can be switched to it at construction time.
+//
+// It is also the allocation-lean codec: AppendBlock encodes into a
+// caller-supplied byte slice, and DecodeScratch decodes a whole block
+// with O(1) allocations — the raw payload, row headers and value cells
+// live in a reusable Scratch, and every string cell of a block is sliced
+// zero-copy out of one immutable per-block arena.
 type Binary struct{}
 
 // Name implements Codec.
@@ -35,138 +42,187 @@ const (
 	flagNull  byte = 1
 )
 
-// Encode implements Codec.
-func (Binary) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putVarint := func(v int64) error {
-		n := binary.PutVarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	if err := putUvarint(uint64(len(schema))); err != nil {
-		return err
-	}
+// binEncBufs pools the append buffers behind Encode so steady-state
+// encoding does not allocate.
+var binEncBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// AppendBlock appends the encoded block to dst and returns the extended
+// slice. It is the zero-intermediate encode path: no writer, no
+// buffering, just appends.
+func (Binary) AppendBlock(dst []byte, schema minidb.Schema, rows []minidb.Row) ([]byte, error) {
+	dst = append(dst, binaryMagic[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(schema)))
 	for _, c := range schema {
-		if err := putUvarint(uint64(len(c.Name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(c.Name); err != nil {
-			return err
-		}
-		if err := bw.WriteByte(byte(c.Type)); err != nil {
-			return err
-		}
+		dst = binary.AppendUvarint(dst, uint64(len(c.Name)))
+		dst = append(dst, c.Name...)
+		dst = append(dst, byte(c.Type))
 	}
-	if err := putUvarint(uint64(len(rows))); err != nil {
-		return err
-	}
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
 	for i, r := range rows {
 		if len(r) != len(schema) {
-			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
+			return dst, fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
 		}
 		for j, v := range r {
 			if v.Null {
-				if err := bw.WriteByte(flagNull); err != nil {
-					return err
-				}
+				dst = append(dst, flagNull)
 				continue
 			}
-			if err := bw.WriteByte(flagValue); err != nil {
-				return err
-			}
+			dst = append(dst, flagValue)
 			switch schema[j].Type {
 			case minidb.Int64, minidb.Date:
-				if err := putVarint(v.I); err != nil {
-					return err
-				}
+				dst = binary.AppendVarint(dst, v.I)
 			case minidb.Float64:
-				var buf [8]byte
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
-				if _, err := bw.Write(buf[:]); err != nil {
-					return err
-				}
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
 			case minidb.String:
-				if err := putUvarint(uint64(len(v.S))); err != nil {
-					return err
-				}
-				if _, err := bw.WriteString(v.S); err != nil {
-					return err
-				}
+				dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+				dst = append(dst, v.S...)
 			default:
-				return fmt.Errorf("wire: cannot encode type %v", schema[j].Type)
+				return dst, fmt.Errorf("wire: cannot encode type %v", schema[j].Type)
 			}
 		}
 	}
-	return bw.Flush()
+	return dst, nil
+}
+
+// Encode implements Codec via AppendBlock and a pooled buffer: one
+// Write to w per block, no per-value overhead.
+func (bc Binary) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
+	bufp := binEncBufs.Get().(*[]byte)
+	defer func() {
+		binEncBufs.Put(bufp)
+	}()
+	b, err := bc.AppendBlock((*bufp)[:0], schema, rows)
+	*bufp = b[:0] // keep the grown capacity pooled
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }
 
 // maxBlockStrings caps string and count lengths during decode as a defence
 // against corrupt or hostile payloads.
 const maxBlockStrings = 1 << 26
 
-// Decode implements Codec.
-func (Binary) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+// Decode implements Codec. It is DecodeScratch with a throwaway scratch,
+// so the returned rows own fresh memory.
+func (bc Binary) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
+	var s Scratch
+	return bc.DecodeScratch(r, &s)
+}
+
+// byteParser walks an in-memory payload.
+type byteParser struct {
+	b   []byte
+	off int
+}
+
+func (p *byteParser) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	p.off += n
+	return v, true
+}
+
+func (p *byteParser) varint() (int64, bool) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	p.off += n
+	return v, true
+}
+
+func (p *byteParser) byte() (byte, bool) {
+	if p.off >= len(p.b) {
+		return 0, false
+	}
+	b := p.b[p.off]
+	p.off++
+	return b, true
+}
+
+func (p *byteParser) take(n int) ([]byte, bool) {
+	if n < 0 || p.off+n > len(p.b) {
+		return nil, false
+	}
+	b := p.b[p.off : p.off+n]
+	p.off += n
+	return b, true
+}
+
+// DecodeScratch implements ScratchDecoder: it reads the whole payload
+// into the scratch's raw buffer, parses it in place, and returns rows
+// backed by the scratch's reusable arrays. String cells are sliced out
+// of one immutable per-block arena string, so they (unlike the row and
+// value slices themselves) remain valid even after the scratch is
+// reused; a shallow Value copy retains a cell forever. Column names are
+// only materialized when the header differs from the previous block's —
+// the blocks of a session share their schema allocation.
+func (bc Binary) DecodeScratch(r io.Reader, s *Scratch) (minidb.Schema, []minidb.Row, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	raw, err := readAllReuse(r, s.raw[:0])
+	s.raw = raw
+	if err != nil {
 		return nil, nil, fmt.Errorf("wire: binary decode: %w", err)
 	}
-	if magic != binaryMagic {
-		return nil, nil, fmt.Errorf("wire: bad magic %q", magic[:])
+	p := &byteParser{b: raw}
+	magic, ok := p.take(4)
+	if !ok {
+		return nil, nil, fmt.Errorf("wire: binary decode: %w", io.ErrUnexpectedEOF)
 	}
-	ncols, err := binary.ReadUvarint(br)
+	if !bytes.Equal(magic, binaryMagic[:]) {
+		return nil, nil, fmt.Errorf("wire: bad magic %q", magic)
+	}
+
+	schema, err := bc.decodeSchema(p, s)
 	if err != nil {
-		return nil, nil, fmt.Errorf("wire: binary decode column count: %w", err)
+		return nil, nil, err
 	}
-	if ncols == 0 || ncols > 4096 {
-		return nil, nil, fmt.Errorf("wire: implausible column count %d", ncols)
-	}
-	schema := make(minidb.Schema, ncols)
-	for i := range schema {
-		nameLen, err := binary.ReadUvarint(br)
-		if err != nil || nameLen > 4096 {
-			return nil, nil, fmt.Errorf("wire: binary decode column name length: %v", err)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, nil, fmt.Errorf("wire: binary decode column name: %w", err)
-		}
-		tb, err := br.ReadByte()
-		if err != nil {
-			return nil, nil, fmt.Errorf("wire: binary decode column type: %w", err)
-		}
-		t := minidb.Type(tb)
-		if t < minidb.Int64 || t > minidb.Date {
-			return nil, nil, fmt.Errorf("wire: bad column type byte %d", tb)
-		}
-		schema[i] = minidb.Column{Name: string(name), Type: t}
-	}
-	nrows, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, nil, fmt.Errorf("wire: binary decode row count: %w", err)
+	ncols := len(schema)
+
+	nrows, ok := p.uvarint()
+	if !ok {
+		return nil, nil, fmt.Errorf("wire: binary decode row count: %w", io.ErrUnexpectedEOF)
 	}
 	if nrows > maxBlockStrings {
 		return nil, nil, fmt.Errorf("wire: implausible row count %d", nrows)
 	}
-	rows := make([]minidb.Row, nrows)
+	// Every cell costs at least its flag byte, so a payload shorter than
+	// nrows*ncols cannot be valid — reject before sizing any array by
+	// attacker-controlled counts.
+	ncells := nrows * uint64(ncols)
+	if ncells > uint64(len(raw)-p.off) {
+		return nil, nil, fmt.Errorf("wire: row count %d exceeds payload", nrows)
+	}
+
+	vals := s.vals
+	if uint64(cap(vals)) < ncells {
+		vals = make([]minidb.Value, ncells)
+	}
+	vals = vals[:ncells]
+	rows := s.rows
+	if uint64(cap(rows)) < nrows {
+		rows = make([]minidb.Row, nrows)
+	}
+	rows = rows[:nrows]
+	strbuf := s.strbuf[:0]
+	spans := s.spans[:0]
+
 	for i := range rows {
-		row := make(minidb.Row, ncols)
-		for j := range row {
-			flag, err := br.ReadByte()
-			if err != nil {
-				return nil, nil, fmt.Errorf("wire: binary decode row %d: %w", i, err)
+		rows[i] = minidb.Row(vals[uint64(i)*uint64(ncols) : uint64(i+1)*uint64(ncols) : uint64(i+1)*uint64(ncols)])
+		for j := 0; j < ncols; j++ {
+			k := uint64(i)*uint64(ncols) + uint64(j)
+			flag, ok := p.byte()
+			if !ok {
+				return nil, nil, fmt.Errorf("wire: binary decode row %d: %w", i, io.ErrUnexpectedEOF)
 			}
 			if flag == flagNull {
-				row[j] = minidb.Null(schema[j].Type)
+				vals[k] = minidb.Null(schema[j].Type)
 				continue
 			}
 			if flag != flagValue {
@@ -174,36 +230,102 @@ func (Binary) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
 			}
 			switch schema[j].Type {
 			case minidb.Int64:
-				v, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, nil, fmt.Errorf("wire: binary decode int at row %d: %w", i, err)
+				v, ok := p.varint()
+				if !ok {
+					return nil, nil, fmt.Errorf("wire: binary decode int at row %d: %w", i, io.ErrUnexpectedEOF)
 				}
-				row[j] = minidb.NewInt(v)
+				vals[k] = minidb.NewInt(v)
 			case minidb.Date:
-				v, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, nil, fmt.Errorf("wire: binary decode date at row %d: %w", i, err)
+				v, ok := p.varint()
+				if !ok {
+					return nil, nil, fmt.Errorf("wire: binary decode date at row %d: %w", i, io.ErrUnexpectedEOF)
 				}
-				row[j] = minidb.NewDate(v)
+				vals[k] = minidb.NewDate(v)
 			case minidb.Float64:
-				var buf [8]byte
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
-					return nil, nil, fmt.Errorf("wire: binary decode float at row %d: %w", i, err)
+				b, ok := p.take(8)
+				if !ok {
+					return nil, nil, fmt.Errorf("wire: binary decode float at row %d: %w", i, io.ErrUnexpectedEOF)
 				}
-				row[j] = minidb.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+				vals[k] = minidb.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b)))
 			case minidb.String:
-				sl, err := binary.ReadUvarint(br)
-				if err != nil || sl > maxBlockStrings {
-					return nil, nil, fmt.Errorf("wire: binary decode string length at row %d: %v", i, err)
+				sl, ok := p.uvarint()
+				if !ok || sl > maxBlockStrings {
+					return nil, nil, fmt.Errorf("wire: binary decode string length at row %d: invalid", i)
 				}
-				b := make([]byte, sl)
-				if _, err := io.ReadFull(br, b); err != nil {
-					return nil, nil, fmt.Errorf("wire: binary decode string at row %d: %w", i, err)
+				b, ok := p.take(int(sl))
+				if !ok {
+					return nil, nil, fmt.Errorf("wire: binary decode string at row %d: %w", i, io.ErrUnexpectedEOF)
 				}
-				row[j] = minidb.NewString(string(b))
+				spans = append(spans, len(strbuf), int(sl))
+				strbuf = append(strbuf, b...)
+				vals[k] = minidb.Value{Kind: minidb.String}
 			}
 		}
-		rows[i] = row
 	}
+
+	// One arena per block: a single immutable string holding every string
+	// cell's bytes. The fix-up pass slices the cells out of it; nothing
+	// ever mutates or reuses it, so retained cells stay intact.
+	arena := string(strbuf)
+	si := 0
+	for k := range vals {
+		v := &vals[k]
+		if v.Kind == minidb.String && !v.Null {
+			off, ln := spans[si], spans[si+1]
+			si += 2
+			v.S = arena[off : off+ln]
+		}
+	}
+
+	s.vals, s.rows, s.strbuf, s.spans = vals, rows, strbuf, spans
 	return schema, rows, nil
+}
+
+// decodeSchema parses the column header, reusing the cached schema when
+// the raw header bytes are identical to the previous block's.
+func (Binary) decodeSchema(p *byteParser, s *Scratch) (minidb.Schema, error) {
+	keyStart := p.off
+	ncols, ok := p.uvarint()
+	if !ok {
+		return nil, fmt.Errorf("wire: binary decode column count: %w", io.ErrUnexpectedEOF)
+	}
+	if ncols == 0 || ncols > 4096 {
+		return nil, fmt.Errorf("wire: implausible column count %d", ncols)
+	}
+	// First pass: validate and find the header end without materializing
+	// any name.
+	savedOff := p.off
+	for i := uint64(0); i < ncols; i++ {
+		nameLen, ok := p.uvarint()
+		if !ok || nameLen > 4096 {
+			return nil, fmt.Errorf("wire: binary decode column name length: invalid")
+		}
+		if _, ok := p.take(int(nameLen)); !ok {
+			return nil, fmt.Errorf("wire: binary decode column name: %w", io.ErrUnexpectedEOF)
+		}
+		tb, ok := p.byte()
+		if !ok {
+			return nil, fmt.Errorf("wire: binary decode column type: %w", io.ErrUnexpectedEOF)
+		}
+		t := minidb.Type(tb)
+		if t < minidb.Int64 || t > minidb.Date {
+			return nil, fmt.Errorf("wire: bad column type byte %d", tb)
+		}
+	}
+	key := p.b[keyStart:p.off]
+	if len(s.schema) > 0 && bytes.Equal(key, s.schemaRaw) {
+		return s.schema, nil
+	}
+	// Schema changed (or first block): materialize it once and cache.
+	q := &byteParser{b: p.b, off: savedOff}
+	schema := make(minidb.Schema, ncols)
+	for i := range schema {
+		nameLen, _ := q.uvarint()
+		name, _ := q.take(int(nameLen))
+		tb, _ := q.byte()
+		schema[i] = minidb.Column{Name: string(name), Type: minidb.Type(tb)}
+	}
+	s.schema = schema
+	s.schemaRaw = append(s.schemaRaw[:0], key...)
+	return schema, nil
 }

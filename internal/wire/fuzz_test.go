@@ -2,13 +2,19 @@ package wire
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
+
+	"wsopt/internal/minidb"
 )
 
 // Fuzz targets hardening the decoders against corrupt or hostile
 // payloads: whatever the bytes, Decode must return an error or a valid
-// block, never panic or over-allocate.
+// block, never panic or over-allocate. The scratch (arena) decode path
+// is fuzzed differentially against the plain path, and retained cells
+// are re-checked after the scratch is reused — a decoded value must
+// never alias memory a later decode recycles.
 
 func fuzzSeed(f *testing.F) {
 	rng := rand.New(rand.NewSource(1))
@@ -25,15 +31,135 @@ func fuzzSeed(f *testing.F) {
 	f.Add([]byte("WSB1"))
 	f.Add([]byte(`{"columns":[{"name":"x","type":"INT64"}],"rows":[["1"]]}`))
 	f.Add([]byte("<Envelope><Body><rowset></rowset></Body></Envelope>"))
+
+	// Arena-path nasties: zero-length strings and NULL-heavy rows stress
+	// the span fix-up pass (spans of length 0, cells skipped entirely),
+	// and corrupted length prefixes probe the decoder's plausibility
+	// bounds before it sizes any buffer.
+	nastySchema := minidb.Schema{
+		{Name: "a", Type: minidb.String},
+		{Name: "b", Type: minidb.String},
+		{Name: "n", Type: minidb.Int64},
+	}
+	nastyRows := make([]minidb.Row, 30)
+	for i := range nastyRows {
+		row := minidb.Row{minidb.NewString(""), minidb.NewString("x"), minidb.NewInt(int64(i))}
+		switch i % 3 {
+		case 0:
+			row[0] = minidb.Null(minidb.String)
+			row[1] = minidb.NewString("")
+		case 1:
+			row[1] = minidb.Null(minidb.String)
+			row[2] = minidb.Null(minidb.Int64)
+		}
+		nastyRows[i] = row
+	}
+	for _, c := range []Codec{XML{}, Binary{}, JSON{}} {
+		var buf bytes.Buffer
+		if err := c.Encode(&buf, nastySchema, nastyRows); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Corrupt the length-prefix region right after the binary magic
+		// (a huge varint), and a prefix somewhere mid-payload.
+		if _, ok := c.(Binary); ok {
+			raw := buf.Bytes()
+			headCorrupt := append([]byte(nil), raw...)
+			for i := 4; i < 13 && i < len(headCorrupt); i++ {
+				headCorrupt[i] = 0xff
+			}
+			f.Add(headCorrupt)
+			midCorrupt := append([]byte(nil), raw...)
+			midCorrupt[len(midCorrupt)/2] ^= 0xff
+			f.Add(midCorrupt)
+		}
+	}
+}
+
+// retainRows makes the retention copy the Block contract promises is
+// sufficient: fresh row and value slices (the scratch recycles its
+// backing arrays on the next decode) with shallow Value copies — string
+// cells keep pointing at the block's arena, which must be immutable.
+func retainRows(rows []minidb.Row) []minidb.Row {
+	out := make([]minidb.Row, len(rows))
+	for i, r := range rows {
+		out[i] = append(minidb.Row(nil), r...)
+	}
+	return out
+}
+
+func sameValue(a, b minidb.Value) bool {
+	if a.Kind != b.Kind || a.Null != b.Null {
+		return false
+	}
+	if a.Null {
+		return true
+	}
+	return a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func sameBlock(t *testing.T, label string, wantSchema minidb.Schema, want []minidb.Row, gotSchema minidb.Schema, got []minidb.Row) {
+	t.Helper()
+	if len(gotSchema) != len(wantSchema) {
+		t.Fatalf("%s: schema arity %d != %d", label, len(gotSchema), len(wantSchema))
+	}
+	for i := range wantSchema {
+		if gotSchema[i] != wantSchema[i] {
+			t.Fatalf("%s: schema col %d: %v != %v", label, i, gotSchema[i], wantSchema[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d arity differs", label, i)
+		}
+		for j := range want[i] {
+			if !sameValue(got[i][j], want[i][j]) {
+				t.Fatalf("%s: row %d col %d: %+v != %+v", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// poisonScratch decodes an unrelated all-strings block into the scratch,
+// overwriting its reused buffers. Any retained cell that aliased scratch
+// memory (rather than the immutable arena) is corrupted by this.
+func poisonScratch(t *testing.T, codec Codec, s *Scratch) {
+	schema := minidb.Schema{{Name: "p", Type: minidb.String}, {Name: "q", Type: minidb.String}}
+	rows := make([]minidb.Row, 40)
+	filler := minidb.NewString("ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ")
+	for i := range rows {
+		rows[i] = minidb.Row{filler, filler}
+	}
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, schema, rows); err != nil {
+		t.Fatalf("poison encode: %v", err)
+	}
+	if _, _, err := DecodeBlock(codec, &buf, s); err != nil {
+		t.Fatalf("poison decode: %v", err)
+	}
 }
 
 func fuzzDecode(f *testing.F, codec Codec) {
 	fuzzSeed(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		schema, rows, err := codec.Decode(bytes.NewReader(data))
+
+		// Differential: the scratch path must accept exactly the inputs
+		// the plain path accepts, and produce the same block.
+		scratch := new(Scratch)
+		sSchema, sRows, sErr := DecodeBlock(codec, bytes.NewReader(data), scratch)
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("plain/scratch disagree on validity: plain=%v scratch=%v", err, sErr)
+		}
 		if err != nil {
 			return
 		}
+		sameBlock(t, "scratch vs plain", schema, rows, sSchema, sRows)
+
 		// A successful decode must be internally consistent and must
 		// re-encode cleanly.
 		for i, r := range rows {
@@ -45,6 +171,14 @@ func fuzzDecode(f *testing.F, codec Codec) {
 		if err := codec.Encode(&buf, schema, rows); err != nil {
 			t.Fatalf("re-encode of a decoded block failed: %v", err)
 		}
+
+		// Retention: shallow-copied cells must survive scratch reuse —
+		// string values decoded through the arena path may never alias
+		// memory a later decode overwrites.
+		retainedSchema := append(minidb.Schema(nil), sSchema...)
+		retained := retainRows(sRows)
+		poisonScratch(t, codec, scratch)
+		sameBlock(t, "retained after scratch reuse", schema, rows, retainedSchema, retained)
 	})
 }
 
@@ -53,3 +187,8 @@ func FuzzBinaryDecode(f *testing.F) { fuzzDecode(f, Binary{}) }
 func FuzzJSONDecode(f *testing.F) { fuzzDecode(f, JSON{}) }
 
 func FuzzXMLDecode(f *testing.F) { fuzzDecode(f, XML{}) }
+
+// FuzzGzipBinaryDecode runs the differential + retention fuzz through
+// the pooled-gzip wrapper around the arena decoder, so the inflate path
+// and reader pooling see hostile inputs too.
+func FuzzGzipBinaryDecode(f *testing.F) { fuzzDecode(f, Gzip(Binary{})) }

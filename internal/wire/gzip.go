@@ -4,12 +4,18 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"sync"
 
 	"wsopt/internal/minidb"
 )
 
 // Gzipped wraps any codec with gzip compression — trading CPU for
 // bandwidth, the classic WAN optimization knob next to block sizing.
+//
+// The gzip.Writer and gzip.Reader behind Encode/Decode are pooled (a
+// deflate writer alone is ~1.4 MB of window state), so steady-state
+// compression reuses the same state machines instead of rebuilding them
+// every block.
 type Gzipped struct {
 	// Inner is the wrapped codec (required).
 	Inner Codec
@@ -27,16 +33,37 @@ func (g Gzipped) Name() string { return g.Inner.Name() + "+gzip" }
 // compression is signalled out of band (the service sets the header).
 func (g Gzipped) ContentType() string { return g.Inner.ContentType() }
 
+// gzipWriterPools holds one pool per compression level, indexed by
+// level - gzip.HuffmanOnly (HuffmanOnly is the lowest valid level, -2).
+var gzipWriterPools [gzip.BestCompression - gzip.HuffmanOnly + 1]sync.Pool
+
+func getGzipWriter(w io.Writer, level int) (*gzip.Writer, *sync.Pool, error) {
+	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
+		_, err := gzip.NewWriterLevel(w, level) // borrow the stdlib error
+		return nil, nil, err
+	}
+	pool := &gzipWriterPools[level-gzip.HuffmanOnly]
+	if zw, ok := pool.Get().(*gzip.Writer); ok {
+		zw.Reset(w)
+		return zw, pool, nil
+	}
+	zw, err := gzip.NewWriterLevel(w, level)
+	return zw, pool, err
+}
+
+var gzipReaderPool sync.Pool
+
 // Encode implements Codec.
 func (g Gzipped) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
 	level := g.Level
 	if level == 0 {
 		level = gzip.DefaultCompression
 	}
-	zw, err := gzip.NewWriterLevel(w, level)
+	zw, pool, err := getGzipWriter(w, level)
 	if err != nil {
 		return fmt.Errorf("wire: gzip writer: %w", err)
 	}
+	defer pool.Put(zw)
 	if err := g.Inner.Encode(zw, schema, rows); err != nil {
 		zw.Close()
 		return err
@@ -46,10 +73,33 @@ func (g Gzipped) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) er
 
 // Decode implements Codec.
 func (g Gzipped) Decode(r io.Reader) (minidb.Schema, []minidb.Row, error) {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("wire: gzip reader: %w", err)
+	return g.decode(r, nil)
+}
+
+// DecodeScratch implements ScratchDecoder by inflating into the inner
+// codec's scratch path (when it has one).
+func (g Gzipped) DecodeScratch(r io.Reader, s *Scratch) (minidb.Schema, []minidb.Row, error) {
+	return g.decode(r, s)
+}
+
+func (g Gzipped) decode(r io.Reader, s *Scratch) (minidb.Schema, []minidb.Row, error) {
+	var zr *gzip.Reader
+	if pooled, ok := gzipReaderPool.Get().(*gzip.Reader); ok {
+		if err := pooled.Reset(r); err != nil {
+			gzipReaderPool.Put(pooled)
+			return nil, nil, fmt.Errorf("wire: gzip reader: %w", err)
+		}
+		zr = pooled
+	} else {
+		fresh, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: gzip reader: %w", err)
+		}
+		zr = fresh
 	}
-	defer zr.Close()
-	return g.Inner.Decode(zr)
+	defer func() {
+		zr.Close()
+		gzipReaderPool.Put(zr)
+	}()
+	return DecodeBlock(g.Inner, zr, s)
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"unicode/utf8"
 
 	"wsopt/internal/minidb"
 )
@@ -19,6 +21,12 @@ import (
 //
 // Values travel as strings (NULL as JSON null) so that Int64 precision
 // survives; type information lives in the column header.
+//
+// Encode streams the document — rows are written as they are visited,
+// numbers rendered with strconv.Append* into a per-encode scratch, no
+// intermediate document or per-cell string is materialized. The bytes
+// produced are identical to what encoding/json emitted for the old
+// document structs (TestJSONStreamMatchesMarshal pins this).
 type JSON struct{}
 
 // Name implements Codec.
@@ -37,30 +45,119 @@ type jsonRowset struct {
 	Rows    [][]*string  `json:"rows"`
 }
 
-// Encode implements Codec.
+// Encode implements Codec, streaming rows as they are visited.
 func (JSON) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
-	doc := jsonRowset{
-		Columns: make([]jsonColumn, len(schema)),
-		Rows:    make([][]*string, len(rows)),
-	}
+	e := newEncodeBuf(w)
+	defer e.release()
+	var scratch [40]byte
+	e.str(`{"columns":[`)
 	for i, c := range schema {
-		doc.Columns[i] = jsonColumn{Name: c.Name, Type: typeName(c.Type)}
+		if i > 0 {
+			e.byte(',')
+		}
+		e.str(`{"name":`)
+		jsonEscape(e, c.Name)
+		e.str(`,"type":"`)
+		e.str(typeName(c.Type))
+		e.str(`"}`)
 	}
+	e.str(`],"rows":[`)
 	for i, r := range rows {
 		if len(r) != len(schema) {
+			e.finish()
 			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
 		}
-		cells := make([]*string, len(r))
-		for j, v := range r {
-			if v.Null {
-				continue // nil pointer encodes as JSON null
-			}
-			s := v.String()
-			cells[j] = &s
+		if i > 0 {
+			e.byte(',')
 		}
-		doc.Rows[i] = cells
+		e.byte('[')
+		for j, v := range r {
+			if j > 0 {
+				e.byte(',')
+			}
+			if v.Null {
+				e.str("null")
+				continue
+			}
+			switch v.Kind {
+			case minidb.Int64, minidb.Date:
+				e.byte('"')
+				e.raw(strconv.AppendInt(scratch[:0], v.I, 10))
+				e.byte('"')
+			case minidb.Float64:
+				e.byte('"')
+				e.raw(strconv.AppendFloat(scratch[:0], v.F, 'f', -1, 64))
+				e.byte('"')
+			default:
+				jsonEscape(e, v.String())
+			}
+		}
+		e.byte(']')
+		e.maybeFlush()
 	}
-	return json.NewEncoder(w).Encode(doc)
+	e.str("]}\n")
+	return e.finish()
+}
+
+const hexDigits = "0123456789abcdef"
+
+// jsonEscape appends s as a JSON string, matching encoding/json's
+// default (HTML-escaping) encoder byte for byte: `"` `\` and control
+// characters escaped (with \b, \f, \n, \r, \t mnemonics), `<` `>` `&` as
+// \u00XX, invalid UTF-8 as �, and U+2028/U+2029 escaped.
+func jsonEscape(e *encodeBuf, s string) {
+	e.byte('"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			e.str(s[start:i])
+			switch b {
+			case '\\', '"':
+				e.byte('\\')
+				e.byte(b)
+			case '\b':
+				e.str(`\b`)
+			case '\f':
+				e.str(`\f`)
+			case '\n':
+				e.str(`\n`)
+			case '\r':
+				e.str(`\r`)
+			case '\t':
+				e.str(`\t`)
+			default:
+				e.str(`\u00`)
+				e.byte(hexDigits[b>>4])
+				e.byte(hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			e.str(s[start:i])
+			e.str("\\ufffd")
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			e.str(s[start:i])
+			e.str(`\u202`)
+			e.byte(hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	e.str(s[start:])
+	e.byte('"')
 }
 
 // Decode implements Codec.

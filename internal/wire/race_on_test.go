@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation gates skip under -race: instrumentation adds allocations
+// that have nothing to do with the codec hot path.
+const raceEnabled = true

@@ -4,6 +4,8 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"strconv"
+	"unicode/utf8"
 
 	"wsopt/internal/minidb"
 )
@@ -17,6 +19,12 @@ import (
 //
 // NULL values carry a null="true" attribute so they survive the
 // round-trip distinct from empty strings.
+//
+// Encode streams the document instead of materializing envelope structs:
+// rows are written as they are visited, numbers rendered with
+// strconv.Append* into a per-encode scratch. The output is byte-identical
+// to what encoding/xml produced for the old structs
+// (TestXMLStreamMatchesMarshal pins this).
 type XML struct{}
 
 // Name implements Codec.
@@ -54,28 +62,100 @@ type xmlEnvelope struct {
 	Body    xmlBody  `xml:"Body"`
 }
 
-// Encode implements Codec.
+// Encode implements Codec, streaming rows as they are visited.
 func (XML) Encode(w io.Writer, schema minidb.Schema, rows []minidb.Row) error {
-	env := xmlEnvelope{}
-	env.Body.Rowset.Columns = make([]xmlColumn, len(schema))
-	for i, c := range schema {
-		env.Body.Rowset.Columns[i] = xmlColumn{Name: c.Name, Type: typeName(c.Type)}
+	e := newEncodeBuf(w)
+	defer e.release()
+	var scratch [40]byte
+	e.str(xml.Header)
+	e.str("<Envelope><Body><rowset><metadata>")
+	for _, c := range schema {
+		e.str(`<column name="`)
+		xmlEscape(e, c.Name)
+		e.str(`" type="`)
+		e.str(typeName(c.Type))
+		e.str(`"></column>`)
 	}
-	env.Body.Rowset.Rows = make([]xmlRow, len(rows))
+	e.str("</metadata><rows>")
 	for i, r := range rows {
 		if len(r) != len(schema) {
+			e.finish()
 			return fmt.Errorf("wire: row %d has %d values, schema has %d columns", i, len(r), len(schema))
 		}
-		vals := make([]xmlValue, len(r))
-		for j, v := range r {
-			vals[j] = xmlValue{Null: v.Null, Data: v.String()}
+		e.str("<row>")
+		for _, v := range r {
+			if v.Null {
+				e.str(`<v null="true"></v>`)
+				continue
+			}
+			e.str("<v>")
+			switch v.Kind {
+			case minidb.Int64, minidb.Date:
+				e.raw(strconv.AppendInt(scratch[:0], v.I, 10))
+			case minidb.Float64:
+				e.raw(strconv.AppendFloat(scratch[:0], v.F, 'f', -1, 64))
+			default:
+				xmlEscape(e, v.String())
+			}
+			e.str("</v>")
 		}
-		env.Body.Rowset.Rows[i] = xmlRow{V: vals}
+		e.str("</row>")
+		e.maybeFlush()
 	}
-	if _, err := io.WriteString(w, xml.Header); err != nil {
-		return err
+	e.str("</rows></rowset></Body></Envelope>")
+	return e.finish()
+}
+
+// xmlEscape appends s escaped exactly as encoding/xml's EscapeText does
+// for both chardata and attribute values: the five XML specials plus
+// tab/newline/carriage-return as character references, and invalid UTF-8
+// or out-of-character-range runes replaced by U+FFFD.
+func xmlEscape(e *encodeBuf, s string) {
+	start := 0
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		var esc string
+		switch r {
+		case '"':
+			esc = "&#34;"
+		case '\'':
+			esc = "&#39;"
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '\t':
+			esc = "&#x9;"
+		case '\n':
+			esc = "&#xA;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			if (r != utf8.RuneError || size != 1) && xmlCharOK(r) {
+				i += size
+				continue
+			}
+			esc = "�"
+		}
+		e.str(s[start:i])
+		e.str(esc)
+		i += size
+		start = i
 	}
-	return xml.NewEncoder(w).Encode(env)
+	e.str(s[start:])
+}
+
+// xmlCharOK reports whether r is in the XML character range (the same
+// predicate encoding/xml applies before escaping).
+func xmlCharOK(r rune) bool {
+	return r == 0x09 ||
+		r == 0x0A ||
+		r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
 }
 
 // Decode implements Codec.

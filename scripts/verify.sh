@@ -13,3 +13,6 @@ go test -run '^Fuzz' ./internal/wire ./internal/minidb
 # Concurrency stress gate: hot-path stress tests under -race, including
 # the e2e run that drives a race-built wsblockd with concurrent wsload.
 go test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
+# Wire allocation gate (no -race: instrumentation inflates the counts):
+# a binary-codec block round-trip must stay within its allocation budget.
+go test -count=1 -run '^TestBinaryRoundTripAllocGate$' ./internal/wire
