@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress allocgate verify chaos bench bench-contention bench-wire clean
+.PHONY: all build vet test race fuzzseeds stress allocgate verify chaos bench bench-contention bench-wire bench-vector clean
 
 all: verify
 
@@ -61,6 +61,14 @@ bench-contention:
 bench-wire:
 	$(GO) run ./cmd/wsbench -wire 64,512,4096 -sf 0.1 -json BENCH_wire.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCodecRoundTrip|BenchmarkBinaryDecodeScratch' -benchmem ./internal/wire
+
+# bench-vector records the multi-dimensional controller sweep into
+# BENCH_vector.json: the coordinate-descent vector controller against
+# the single-knob hybrid, plus warm-started and cold-started variants,
+# on scenarios whose optima live in different dimensions — the numbers
+# that move when the vector control loop or the profile store changes.
+bench-vector:
+	$(GO) run ./cmd/wsbench -vector -json BENCH_vector.json
 
 clean:
 	$(GO) clean ./...

@@ -52,6 +52,7 @@ import (
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
 	"wsopt/internal/service"
+	"wsopt/internal/sim"
 	"wsopt/internal/stats"
 	"wsopt/internal/sysid"
 	"wsopt/internal/tpch"
@@ -94,10 +95,20 @@ func main() {
 		contentionSize = flag.Int("contention-size", 256, "fixed block size of the contention sweep")
 		wireCSV        = flag.String("wire", "",
 			"run the wire-codec sweep instead of the controller matrix: comma-separated block sizes (rows), e.g. 64,512,4096")
-		wireDur = flag.Duration("wire-duration", time.Second, "how long each codec/size cell of the wire sweep runs")
+		wireDur     = flag.Duration("wire-duration", time.Second, "how long each codec/size cell of the wire sweep runs")
+		vectorSweep = flag.Bool("vector", false,
+			"run the multi-dimensional controller sweep instead of the controller matrix: vector vs single-knob vs warm/cold start on the reference vector scenarios")
+		vectorRounds = flag.Int("vector-rounds", 400, "simulated transfer rounds per vector-sweep cell")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
+
+	if *vectorSweep {
+		if err := runVectorSweep(logger, *vectorRounds, *seed, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
 
 	spec, err := profile.SpecByName(*confName)
 	if err != nil {
@@ -573,6 +584,111 @@ func runWireSweep(logger *log.Logger, cat *minidb.Catalog, sizesCSV string, dur 
 			return err
 		}
 		logger.Printf("wire report written to %s", jsonOut)
+	}
+	return nil
+}
+
+// runVectorSweep simulates the multi-dimensional transfer loop on the
+// reference vector scenarios (bandwidth-, latency-, and server-load-bound)
+// and compares four drivers per scenario: the vector controller, the
+// single-knob hybrid pinned at one stream (structurally unable to exploit
+// two of the profiles), the vector controller warm-started from a stored
+// workload optimum, and the cold 6-sample identification path. The report
+// records, per cell, the ground-truth optimum, the first round the driver
+// sustained the 5% band around it, and the mean per-tuple cost — the
+// acceptance evidence for the vector controller. `make bench-vector`
+// records it as BENCH_vector.json.
+func runVectorSweep(logger *log.Logger, rounds int, seed int64, jsonOut string) error {
+	opt := sim.VectorOptions{Rounds: rounds, Seed: seed}
+	lims := netsim.DefaultVectorLimits()
+	vecCfg := func() core.VectorConfig {
+		cfg := core.DefaultVectorConfig()
+		cfg.Dims[core.DimSize].B1 = 1200
+		cfg.Dims[core.DimSize].DitherFactor = 25
+		cfg.Seed = seed
+		return cfg
+	}
+
+	var results []sim.VectorResult
+	for _, sc := range sim.VectorScenarios() {
+		vctl, err := core.NewVector(vecCfg())
+		if err != nil {
+			return err
+		}
+		results = append(results, sim.RunVector(sc, vctl, opt))
+
+		hcfg := core.DefaultConfig()
+		hcfg.Seed = seed
+		hctl, err := core.NewHybrid(hcfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, sim.RunVector(sc, &sim.ScalarVector{Ctl: hctl, Streams: 1, Depth: 1}, opt))
+
+		wctl, err := core.NewVector(vecCfg())
+		if err != nil {
+			return err
+		}
+		store, err := sysid.OpenStore("")
+		if err != nil {
+			return err
+		}
+		w := sysid.WorkloadDescriptor{TupleBytes: 64, ScaleFactor: 1}
+		optVec, optY := sc.Model.OptimalVector(lims, 100)
+		if err := store.Put(sysid.ProfileRecord{Workload: w, Optimum: optVec, PerTupleMS: optY, Rounds: rounds}); err != nil {
+			return err
+		}
+		if !store.WarmStart(wctl, w, 0) {
+			return fmt.Errorf("vector sweep: store refused an exact-match warm start")
+		}
+		warm := sim.RunVector(sc, wctl, opt)
+		warm.Controller += "+warm-start"
+		results = append(results, warm)
+
+		cctl, err := core.NewVector(vecCfg())
+		if err != nil {
+			return err
+		}
+		cold, err := sysid.NewVectorColdStart(cctl, lims.Size, 0)
+		if err != nil {
+			return err
+		}
+		results = append(results, sim.RunVector(sc, cold, opt))
+	}
+
+	fmt.Printf("vector-controller sweep: %d rounds per cell, 5%% convergence band\n\n", rounds)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tcontroller\toptimum\tconverged@\tfinal\tmean ms/tuple")
+	for _, r := range results {
+		conv := "never"
+		if r.Converged() {
+			conv = fmt.Sprintf("round %d", r.ConvergedRound)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%v (%.4f)\t%s\t%v (%.4f)\t%.4f\n",
+			r.Scenario, r.Controller, r.Optimum, r.OptimumPerTupleMS, conv, r.Final, r.FinalPerTupleMS, r.MeanPerTupleMS)
+	}
+	w.Flush()
+
+	if jsonOut != "" {
+		doc := struct {
+			Rounds    int                `json:"rounds"`
+			Seed      int64              `json:"seed"`
+			Tolerance float64            `json:"tolerance"`
+			Results   []sim.VectorResult `json:"results"`
+		}{Rounds: rounds, Seed: seed, Tolerance: 0.05, Results: results}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("vector report written to %s", jsonOut)
 	}
 	return nil
 }

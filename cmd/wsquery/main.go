@@ -9,11 +9,19 @@
 //	wsquery -table customer -controller constant -b1 800 -trace
 //	wsquery -table customer -events transfer.jsonl   # structured per-block trace
 //	wsquery -endpoints http://a:8080,http://b:8080 -table customer
+//	wsquery -table customer -controller vector -streams 8 -pipeline-depth 4
+//	wsquery -table customer -streams 8 -profile-store profiles.json
 //
 // With -endpoints, the client spreads resilience across the listed
 // replicas: per-endpoint circuit breakers, adaptive per-block deadlines,
 // hedged pulls for stragglers, and mid-query session failover that
 // resumes from the committed tuple cursor.
+//
+// With -controller vector (or -streams/-pipeline-depth above 1), the
+// query runs as an adaptive parallel-stream transfer: the
+// multi-dimensional controller tunes block size, stream count, and
+// per-stream pipeline depth together, and -profile-store warm-starts it
+// from the nearest stored workload optimum.
 package main
 
 import (
@@ -52,6 +60,13 @@ func main() {
 		retries   = flag.Int("retries", 5, "attempts per request; block transfers replay safely via the seq protocol (1 = no retry)")
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt, full jitter)")
 
+		streams      = flag.Int("streams", 1, "max parallel streams; >1 (or -controller vector) runs the multi-dimensional vector controller")
+		pipeDepth    = flag.Int("pipeline-depth", 1, "max per-stream pipeline depth (blocks in flight ahead of processing; vector runs only)")
+		profileStore = flag.String("profile-store", "", "JSON profile store; warm-starts the vector controller from the nearest stored workload optimum and records this run's outcome")
+		chunkTuples  = flag.Int("chunk-tuples", 4096, "cursor-range lease size per stream chunk (vector runs only)")
+		tupleBytes   = flag.Int("workload-bytes", 0, "average tuple width of the workload, for profile-store matching (0 = unknown)")
+		workloadSF   = flag.Float64("workload-sf", 0, "dataset scale factor of the workload, for profile-store matching (0 = unknown)")
+
 		endpoints       = flag.String("endpoints", "", "comma-separated replica base URLs (overrides -url; enables hedging and failover)")
 		breakerThresh   = flag.Int("breaker-threshold", 5, "consecutive failures before an endpoint's circuit breaker opens")
 		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker refuses traffic before probing")
@@ -69,14 +84,22 @@ func main() {
 		logger.Fatalf("bad -limits %q: %v", *limitsArg, err)
 	}
 
-	ctl, err := buildController(*ctlName, *size, *b1, *b2, limits)
-	if err != nil {
-		logger.Fatal(err)
-	}
+	// -controller vector (or any multi-stream/pipelined request) switches
+	// to the multi-dimensional runner; the scalar controllers keep the
+	// original single-session path.
+	vectorMode := *ctlName == "vector" || *streams > 1 || *pipeDepth > 1
+	var ctl core.Controller
 	var tracer *core.Tracer
-	if *traceCSV != "" {
-		tracer = core.NewTracer(ctl, 0)
-		ctl = tracer
+	if !vectorMode {
+		var err error
+		ctl, err = buildController(*ctlName, *size, *b1, *b2, limits)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if *traceCSV != "" {
+			tracer = core.NewTracer(ctl, 0)
+			ctl = tracer
+		}
 	}
 	codec, err := wire.ByName(*codecName)
 	if err != nil {
@@ -134,6 +157,30 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if vectorMode {
+		if err := runVectorQuery(ctx, logger, c, q, vectorOpts{
+			size: *size, b1: *b1, b2: *b2, limits: limits,
+			streams: *streams, depth: *pipeDepth, chunk: *chunkTuples,
+			storePath: *profileStore, tupleBytes: *tupleBytes, sf: *workloadSF,
+			useInjected: *useInj,
+		}); err != nil {
+			logger.Fatal(err)
+		}
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			if err := reg.WritePrometheus(f); err != nil {
+				logger.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("metrics written to %s", *metricsOut)
+		}
+		return
+	}
 	start := time.Now()
 	var res *client.RunResult
 	if *trace {
@@ -197,6 +244,97 @@ func main() {
 	if len(res.Sizes) > 0 {
 		fmt.Printf("final size:      %d tuples\n", res.Sizes[len(res.Sizes)-1])
 	}
+}
+
+// vectorOpts bundles the flag values driving one vector-controller run.
+type vectorOpts struct {
+	size        int
+	b1, b2      float64
+	limits      core.Limits
+	streams     int
+	depth       int
+	chunk       int
+	storePath   string
+	tupleBytes  int
+	sf          float64
+	useInjected bool
+}
+
+// runVectorQuery executes the query with the multi-dimensional controller
+// (block size × parallel streams × pipeline depth). With -profile-store,
+// the controller warm-starts from the nearest stored workload optimum and
+// the run's outcome is recorded back, so later runs of similar workloads
+// skip the search.
+func runVectorQuery(ctx context.Context, logger *log.Logger, c *client.Client, q client.Query, o vectorOpts) error {
+	cfg := core.DefaultVectorConfig()
+	cfg.Dims[core.DimSize].Initial = o.size
+	cfg.Dims[core.DimSize].Limits = o.limits
+	cfg.Dims[core.DimSize].B1 = o.b1
+	cfg.Dims[core.DimSize].B2 = o.b2
+	if o.streams > 0 {
+		cfg.Dims[core.DimStreams].Limits = core.Limits{Min: 1, Max: o.streams}
+	}
+	if o.depth > 0 {
+		cfg.Dims[core.DimDepth].Limits = core.Limits{Min: 1, Max: o.depth}
+	}
+	cfg.Seed = time.Now().UnixNano()
+	ctl, err := core.NewVector(cfg)
+	if err != nil {
+		return err
+	}
+
+	var store *sysid.Store
+	w := sysid.WorkloadDescriptor{TupleBytes: o.tupleBytes, ScaleFactor: o.sf}
+	if o.storePath != "" {
+		store, err = sysid.OpenStore(o.storePath)
+		if err != nil {
+			return err
+		}
+		if store.WarmStart(ctl, w, 0) {
+			logger.Printf("warm-started from profile store at %v", ctl.Vector())
+		} else {
+			logger.Printf("no stored profile within range; starting cold at %v", ctl.Vector())
+		}
+	}
+
+	res, err := c.RunVector(ctx, q, ctl, client.VectorRunConfig{
+		Metric:      client.MetricPerTuple,
+		UseInjected: o.useInjected,
+		ChunkTuples: o.chunk,
+		MaxStreams:  o.streams,
+	})
+	if err != nil {
+		return err
+	}
+
+	perTuple := 0.0
+	if res.Tuples > 0 {
+		if o.useInjected && res.SimulatedMS > 0 {
+			perTuple = res.SimulatedMS / float64(res.Tuples)
+		} else {
+			perTuple = float64(res.Elapsed.Milliseconds()) / float64(res.Tuples)
+		}
+	}
+	if store != nil && res.Tuples > 0 {
+		rec := sysid.ProfileRecord{Workload: w, Optimum: res.Final, PerTupleMS: perTuple, Rounds: res.Blocks}
+		if err := store.Put(rec); err != nil {
+			return err
+		}
+		logger.Printf("profile store updated: %v (%.4f ms/tuple over %d blocks)", res.Final, perTuple, res.Blocks)
+	}
+
+	fmt.Printf("controller:      %s\n", ctl.Name())
+	fmt.Printf("tuples:          %d in %d blocks over %d chunks\n", res.Tuples, res.Blocks, res.Chunks)
+	fmt.Printf("wall time:       %v\n", res.WallTime.Round(time.Millisecond))
+	fmt.Printf("peak streams:    %d\n", res.PeakStreams)
+	if res.Retries > 0 || res.Replays > 0 {
+		fmt.Printf("retries:         %d (%d blocks replayed by the server)\n", res.Retries, res.Replays)
+	}
+	if res.SimulatedMS > 0 {
+		fmt.Printf("simulated time:  %.1f s\n", res.SimulatedMS/1000)
+	}
+	fmt.Printf("final vector:    %v\n", res.Final)
+	return nil
 }
 
 // runTraced mirrors client.Run while printing each decision (and, when

@@ -123,6 +123,10 @@ type Query struct {
 	// or failed-over session resumes from the committed cursor on a
 	// different replica.
 	Offset int `json:"offset,omitempty"`
+	// StreamGroup tags the session as one parallel stream of a larger
+	// logical query, for the service's stream accounting. RunVector sets
+	// it automatically; standalone sessions leave it empty.
+	StreamGroup string `json:"stream_group,omitempty"`
 }
 
 // Session is an open pull cursor. Not safe for concurrent use.

@@ -32,10 +32,14 @@ type PipelinedResult struct {
 	WallTime time.Duration
 }
 
-// prefetched carries one pulled block or the error that ended the stream.
+// prefetched carries one pulled block (plus the size it was requested at)
+// or the error that ended the stream. It is raw: no accounting has been
+// done on it yet — a prefetched block that is never handed to the handler
+// (because the handler aborted the run) must not appear in the result.
 type prefetched struct {
-	blk *Block
-	err error
+	blk  *Block
+	size int
+	err  error
 }
 
 // RunPipelined executes Algorithm 1 with single-block prefetch: while the
@@ -58,26 +62,45 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 	start := time.Now()
 	res := &PipelinedResult{}
 
-	// fetch pulls one block at the controller's current size and performs
-	// the bookkeeping + controller feedback.
+	// fetch pulls one block at the controller's current size. It performs
+	// no bookkeeping and no controller feedback: both happen on the main
+	// loop when the block is handed off, so a prefetched block that an
+	// aborting handler never receives is not counted into the result.
 	fetch := func() prefetched {
 		size := ctl.Size()
 		blk, err := sess.Next(ctx, size)
 		if err != nil {
 			return prefetched{err: err}
 		}
+		return prefetched{blk: blk, size: size}
+	}
+
+	cur := fetch()
+	for {
+		res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
+		if cur.err != nil {
+			res.WallTime = time.Since(start)
+			return res, cur.err
+		}
+		blk := cur.blk
 		if len(blk.Rows) == 0 && !blk.Done {
 			// A correct server only sends an empty block as the done
 			// marker; treating one as end-of-stream would report a
 			// truncated result as success.
-			return prefetched{err: fmt.Errorf("client: server returned an empty block without the done flag (after %d tuples)", res.Tuples)}
+			res.WallTime = time.Since(start)
+			return res, fmt.Errorf("client: server returned an empty block without the done flag (after %d tuples)", res.Tuples)
 		}
+
+		// Account the block and feed the controller at handoff. Observing
+		// here, before the next prefetch is launched, preserves the one
+		// block of decision latency the prefetch costs: block n+1's size is
+		// still chosen from the measurements through block n.
 		if len(blk.Rows) > 0 {
 			res.Tuples += len(blk.Rows)
 			res.Blocks++
 			res.Elapsed += blk.Elapsed
 			res.SimulatedMS += blk.InjectedMS
-			res.Sizes = append(res.Sizes, size)
+			res.Sizes = append(res.Sizes, cur.size)
 			res.Retries += blk.Attempts - 1
 			if blk.Replayed {
 				res.Replays++
@@ -92,17 +115,6 @@ func (c *Client) RunPipelined(ctx context.Context, q Query, ctl core.Controller,
 			}
 			ctl.Observe(y)
 		}
-		return prefetched{blk: blk}
-	}
-
-	cur := fetch()
-	for {
-		res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
-		if cur.err != nil {
-			res.WallTime = time.Since(start)
-			return res, cur.err
-		}
-		blk := cur.blk
 
 		// Launch the prefetch of the next block (if any) while this one
 		// is being processed. The session is only touched by this one

@@ -142,6 +142,45 @@ func TestRunPipelinedHandlerErrorAborts(t *testing.T) {
 	}
 }
 
+// Regression: the prefetch goroutine used to account its block into the
+// result (and feed the controller) as soon as the pull finished — so when
+// the handler aborted the run, the joined-but-never-delivered prefetched
+// block inflated res.Tuples/Blocks/Sizes past what the handler saw.
+func TestRunPipelinedAbortAccountingMatchesHandler(t *testing.T) {
+	c := pipelineStack(t, 300, 0)
+	boom := errors.New("boom")
+	for abortOn := 1; abortOn <= 3; abortOn++ {
+		handled, calls := 0, 0
+		ctl := core.NewStatic(50)
+		res, err := c.RunPipelined(context.Background(), Query{Table: "data"},
+			ctl, MetricPerTuple, true,
+			func(_ minidb.Schema, rows []minidb.Row) error {
+				calls++
+				if calls == abortOn {
+					return boom
+				}
+				handled += len(rows)
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("abortOn=%d: err = %v, want the handler's error", abortOn, err)
+		}
+		// The aborting call itself received one block the handler observed
+		// before failing; everything the result reports must have been
+		// handed off, the in-flight prefetch must not leak into it.
+		wantTuples := handled + 50
+		if res.Tuples != wantTuples {
+			t.Errorf("abortOn=%d: res.Tuples = %d, handler observed %d", abortOn, res.Tuples, wantTuples)
+		}
+		if res.Blocks != calls {
+			t.Errorf("abortOn=%d: res.Blocks = %d, handler ran %d times", abortOn, res.Blocks, calls)
+		}
+		if len(res.Sizes) != calls {
+			t.Errorf("abortOn=%d: len(res.Sizes) = %d, handler ran %d times", abortOn, len(res.Sizes), calls)
+		}
+	}
+}
+
 func TestRunPipelinedNilHandler(t *testing.T) {
 	c := pipelineStack(t, 120, 0)
 	res, err := c.RunPipelined(context.Background(), Query{Table: "data"},

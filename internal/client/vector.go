@@ -1,0 +1,489 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsopt/internal/core"
+)
+
+// This file is the multi-dimensional counterpart of Run: one logical
+// query executed as N parallel streams, each stream pulling its own
+// cursor-range of the result set, all feeding one shared vector
+// controller. The controller's three knobs map onto the runner as
+// follows:
+//
+//   - block size   — requested per pull, exactly as in Run;
+//   - streams      — the number of concurrent workers; workers re-check
+//     the target at every chunk boundary, so the fan-out follows the
+//     controller between chunks without tearing down in-flight pulls;
+//   - depth        — how many blocks a worker keeps in flight ahead of
+//     the accounting/consumption point within a chunk (1 = lock-step,
+//     as Run; d>1 trades control lag for overlap, as RunPipelined).
+//
+// The result set is partitioned by a lease dispenser: workers atomically
+// lease disjoint [offset, offset+chunk) tuple ranges and open one
+// server-side session per lease (Offset/Limit resume, the same mechanism
+// failover uses), so every tuple is delivered exactly once regardless of
+// how many streams are running. All sessions of one run share a
+// stream-group tag, which the service counts in its stream accounting.
+
+// VectorRunConfig tunes one RunVector execution. The zero value is usable.
+type VectorRunConfig struct {
+	// Metric selects what the controller observes (default MetricPerTuple
+	// — the vector controller's cost model is per-tuple).
+	Metric Metric
+	// UseInjected makes the controller observe the server-reported
+	// simulated delay instead of wall time, for time-scaled experiments.
+	UseInjected bool
+	// ChunkTuples is the cursor-range lease size (default 4096). Smaller
+	// chunks adapt the stream count faster; larger chunks amortize
+	// session-open cost.
+	ChunkTuples int
+	// MaxStreams caps the worker fan-out regardless of what the
+	// controller asks for (default 16).
+	MaxStreams int
+	// Handle, when set, receives every block's rows (cloned, safe to
+	// retain). Blocks of different streams arrive concurrently and out of
+	// global order; the handler must be safe for concurrent use.
+	Handle BlockHandler
+}
+
+func (cfg VectorRunConfig) withDefaults() VectorRunConfig {
+	if cfg.ChunkTuples <= 0 {
+		cfg.ChunkTuples = 4096
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 16
+	}
+	return cfg
+}
+
+// VectorRunResult summarizes one parallel-stream adaptive execution.
+type VectorRunResult struct {
+	// Tuples and Blocks count what was transferred across all streams.
+	Tuples int
+	Blocks int
+	// Elapsed sums every block's pull time across streams; with S
+	// concurrent streams it can exceed WallTime by up to a factor of S.
+	Elapsed time.Duration
+	// WallTime is the end-to-end duration of the run.
+	WallTime time.Duration
+	// SimulatedMS sums the server-injected model delays.
+	SimulatedMS float64
+	// Retries counts extra pull attempts; Replays counts server-side
+	// replay serves.
+	Retries int
+	Replays int
+	// Chunks counts cursor-range leases actually served (empty
+	// overshoot leases included).
+	Chunks int
+	// PeakStreams is the high-water concurrent worker count.
+	PeakStreams int
+	// Final is the controller's commanded vector after the run.
+	Final core.Vector
+}
+
+// groupCounter makes stream-group IDs unique within the process; the
+// group tag is accounting-only, so cross-process collisions are harmless.
+var groupCounter atomic.Uint64
+
+// leaseDispenser hands out disjoint [start, start+chunk) tuple ranges and
+// learns the end of the result set from the first short chunk: rows are
+// totally ordered server-side, so a lease at offset o that yields got <
+// chunk tuples proves the result has exactly o+got rows, and later leases
+// at or past that point are never issued (in-flight overshoot leases just
+// drain empty sessions).
+type leaseDispenser struct {
+	chunk int
+	next  atomic.Int64
+	// total is the discovered result size; -1 while unknown.
+	total atomic.Int64
+}
+
+func newLeaseDispenser(chunk int) *leaseDispenser {
+	d := &leaseDispenser{chunk: chunk}
+	d.total.Store(-1)
+	return d
+}
+
+// take leases the next range; ok is false once the known end is reached.
+func (d *leaseDispenser) take() (start int, ok bool) {
+	for {
+		n := d.next.Load()
+		if t := d.total.Load(); t >= 0 && n >= t {
+			return 0, false
+		}
+		if d.next.CompareAndSwap(n, n+int64(d.chunk)) {
+			return int(n), true
+		}
+	}
+}
+
+// drained reports that every lease up to the known end has been handed
+// out — no new worker will ever receive work.
+func (d *leaseDispenser) drained() bool {
+	t := d.total.Load()
+	return t >= 0 && d.next.Load() >= t
+}
+
+// shorten records that the lease at start delivered only got tuples,
+// bounding the result set. Concurrent discoveries keep the tightest bound.
+func (d *leaseDispenser) shorten(start, got int) {
+	bound := int64(start + got)
+	for {
+		t := d.total.Load()
+		if t >= 0 && t <= bound {
+			return
+		}
+		if d.total.CompareAndSwap(t, bound) {
+			return
+		}
+	}
+}
+
+// vectorRun is the shared state of one RunVector execution. One mutex
+// guards the controller, the aggregate accounting, and the live-worker
+// count — all off the per-block hot path's critical section (the pull
+// itself runs without it).
+type vectorRun struct {
+	c   *Client
+	q   Query
+	ctl *core.VectorController
+	cfg VectorRunConfig
+	dis *leaseDispenser
+
+	mu   sync.Mutex
+	res  VectorRunResult
+	live int
+}
+
+// target is the worker count the controller currently asks for, clamped
+// to the configured cap.
+func (r *vectorRun) target() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.targetLocked()
+}
+
+func (r *vectorRun) targetLocked() int {
+	t := r.ctl.Streams()
+	if t < 1 {
+		t = 1
+	}
+	if t > r.cfg.MaxStreams {
+		t = r.cfg.MaxStreams
+	}
+	return t
+}
+
+// size and depth read the controller's other knobs for one pull/chunk.
+func (r *vectorRun) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctl.Size()
+}
+
+func (r *vectorRun) depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctl.Depth()
+}
+
+// pulled is the per-block record the in-chunk prefetcher hands to the
+// accounting point: the lightweight measurements always, the cloned block
+// only when a handler needs the rows.
+type pulled struct {
+	tuples     int
+	elapsed    time.Duration
+	injectedMS float64
+	attempts   int
+	replayed   bool
+	blk        *Block
+	err        error
+}
+
+// extract captures a block's measurements (and, when a handler will
+// consume the rows, a clone) before the next pull on the same session
+// invalidates the scratch-backed rows.
+func (r *vectorRun) extract(blk *Block) pulled {
+	p := pulled{
+		tuples:     len(blk.Rows),
+		elapsed:    blk.Elapsed,
+		injectedMS: blk.InjectedMS,
+		attempts:   blk.Attempts,
+		replayed:   blk.Replayed,
+	}
+	if r.cfg.Handle != nil {
+		p.blk = blk.Clone()
+	}
+	return p
+}
+
+// consume accounts one pulled block and hands its rows to the handler.
+func (r *vectorRun) consume(p pulled) error {
+	r.account(p)
+	if r.cfg.Handle != nil {
+		return r.cfg.Handle(p.blk.Schema, p.blk.Rows)
+	}
+	return nil
+}
+
+// account feeds one block's measurement to the shared controller and
+// aggregates it into the result.
+func (r *vectorRun) account(p pulled) {
+	y := float64(p.elapsed) / float64(time.Millisecond)
+	if r.cfg.UseInjected && p.injectedMS > 0 {
+		y = p.injectedMS
+	}
+	if r.cfg.Metric == MetricPerTuple {
+		y /= float64(p.tuples)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.res.Tuples += p.tuples
+	r.res.Blocks++
+	r.res.Elapsed += p.elapsed
+	r.res.SimulatedMS += p.injectedMS
+	r.res.Retries += p.attempts - 1
+	if p.replayed {
+		r.res.Replays++
+	}
+	r.ctl.Observe(y)
+}
+
+// RunVector executes one query as an adaptive parallel-stream transfer
+// driven by the vector controller. It returns when the whole result set
+// has been delivered (exactly once, across all streams) or on the first
+// stream error, whichever comes first. Failovers and hedge adoptions on
+// any stream are surfaced to the shared controller as disturbances.
+func (c *Client) RunVector(ctx context.Context, q Query, ctl *core.VectorController, cfg VectorRunConfig) (*VectorRunResult, error) {
+	if ctl == nil {
+		return nil, fmt.Errorf("client: RunVector needs a controller")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	r := &vectorRun{
+		c:   c,
+		q:   q,
+		ctl: ctl,
+		cfg: cfg,
+		dis: newLeaseDispenser(cfg.ChunkTuples),
+	}
+	r.q.StreamGroup = fmt.Sprintf("vg-%08x", groupCounter.Add(1))
+	// The outer query's own Limit bounds the result set from the start.
+	if q.Limit > 0 {
+		r.dis.total.Store(int64(q.Limit))
+	}
+
+	start := time.Now()
+	// events carries one signal per finished chunk or worker exit, so the
+	// supervisor can grow the fan-out when the controller raises its
+	// stream target mid-run. Buffered so workers never block reporting.
+	type workerEvent struct {
+		err    error
+		exited bool
+	}
+	events := make(chan workerEvent, 4*cfg.MaxStreams)
+
+	var spawn func()
+	worker := func() {
+		for {
+			r.mu.Lock()
+			over := r.live > r.targetLocked()
+			if over {
+				r.live--
+			}
+			r.mu.Unlock()
+			if over || ctx.Err() != nil {
+				events <- workerEvent{exited: true}
+				return
+			}
+			lease, ok := r.dis.take()
+			if !ok {
+				r.mu.Lock()
+				r.live--
+				r.mu.Unlock()
+				events <- workerEvent{exited: true}
+				return
+			}
+			if err := r.chunk(ctx, lease); err != nil {
+				r.mu.Lock()
+				r.live--
+				r.mu.Unlock()
+				events <- workerEvent{err: err, exited: true}
+				return
+			}
+			events <- workerEvent{}
+		}
+	}
+	spawn = func() {
+		// Called with r.mu held.
+		r.live++
+		if r.live > r.res.PeakStreams {
+			r.res.PeakStreams = r.live
+		}
+		go worker()
+	}
+
+	// outstanding counts workers this loop has spawned and not yet seen
+	// exit — the join condition; r.live is the workers' own view and can
+	// drop before the exit event is delivered.
+	outstanding := 0
+	r.mu.Lock()
+	for r.live < r.targetLocked() {
+		spawn()
+		outstanding++
+	}
+	r.mu.Unlock()
+
+	var firstErr error
+	for outstanding > 0 {
+		ev := <-events
+		if ev.exited {
+			outstanding--
+		}
+		if ev.err != nil && firstErr == nil {
+			firstErr = ev.err
+			cancel()
+		}
+		if firstErr == nil && ctx.Err() == nil && !r.dis.drained() {
+			// Top up to the controller's current target. Once the
+			// dispenser is drained, never spawn: a new worker would find
+			// no lease and exit, and its exit event would trigger another
+			// futile spawn, forever.
+			r.mu.Lock()
+			for r.live < r.targetLocked() {
+				spawn()
+				outstanding++
+			}
+			r.mu.Unlock()
+		}
+	}
+
+	r.mu.Lock()
+	res := r.res
+	r.mu.Unlock()
+	res.WallTime = time.Since(start)
+	res.Final = ctl.Vector()
+	if firstErr != nil {
+		return &res, firstErr
+	}
+	return &res, ctx.Err()
+}
+
+// chunk transfers one leased cursor range over its own server session.
+// The service applies Limit before Offset (an offset resumes *within* the
+// limited result — the failover-resume semantics), so the lease
+// [start, end) of the outer query's result maps to Offset = outer offset
+// + start and Limit = absolute end position, not the chunk size.
+func (r *vectorRun) chunk(ctx context.Context, start int) error {
+	end := start + r.dis.chunk
+	if r.q.Limit > 0 && end > r.q.Limit {
+		end = r.q.Limit
+	}
+	lease := end - start
+	q := r.q
+	q.Offset = r.q.Offset + start
+	q.Limit = r.q.Offset + end
+	sess, err := r.c.OpenSession(ctx, q)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = sess.Close(context.WithoutCancel(ctx))
+	}()
+	sess.OnDisturbance = func(reason string) {
+		r.mu.Lock()
+		core.NotifyDisturbance(r.ctl, reason)
+		r.mu.Unlock()
+	}
+
+	depth := r.depth()
+	got := 0
+	if depth <= 1 {
+		// Lock-step, as Run: every pull's size decision sees the
+		// previous block's observation.
+		for !sess.Done() {
+			blk, err := sess.Next(ctx, r.size())
+			if err != nil {
+				return err
+			}
+			if len(blk.Rows) == 0 {
+				if blk.Done {
+					continue
+				}
+				return fmt.Errorf("client: server returned an empty block without the done flag (chunk offset %d)", q.Offset)
+			}
+			got += len(blk.Rows)
+			if err := r.consume(r.extract(blk)); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Pipelined: the prefetcher keeps up to `depth` blocks ahead of
+		// the accounting point — one in flight plus depth-1 buffered. The
+		// price is control lag: a pull's size decision can be up to
+		// `depth` observations stale.
+		cctx, cstop := context.WithCancel(ctx)
+		defer cstop()
+		feed := make(chan pulled, depth-1)
+		go func() {
+			defer close(feed)
+			for !sess.Done() {
+				blk, err := sess.Next(cctx, r.size())
+				if err != nil {
+					select {
+					case feed <- pulled{err: err}:
+					case <-cctx.Done():
+					}
+					return
+				}
+				if len(blk.Rows) == 0 {
+					if blk.Done {
+						continue
+					}
+					select {
+					case feed <- pulled{err: fmt.Errorf("client: server returned an empty block without the done flag (chunk offset %d)", q.Offset)}:
+					case <-cctx.Done():
+					}
+					return
+				}
+				select {
+				case feed <- r.extract(blk):
+				case <-cctx.Done():
+					return
+				}
+			}
+		}()
+		for p := range feed {
+			if p.err != nil {
+				return p.err
+			}
+			got += p.tuples
+			if err := r.consume(p); err != nil {
+				// Stop the prefetcher and join it before the deferred
+				// Close touches the session it is still using.
+				cstop()
+				for range feed {
+				}
+				return err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if got < lease {
+		r.dis.shorten(start, got)
+	}
+	r.mu.Lock()
+	r.res.Chunks++
+	r.mu.Unlock()
+	return nil
+}

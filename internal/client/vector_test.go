@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+)
+
+// vectorTestConfig is a fast deterministic vector-controller setup for
+// the runner tests: modest block sizes, no dither.
+func vectorTestConfig() core.VectorConfig {
+	cfg := core.DefaultVectorConfig()
+	cfg.Dims[core.DimSize].Initial = 50
+	cfg.Dims[core.DimSize].Limits = core.Limits{Min: 10, Max: 200}
+	cfg.Dims[core.DimSize].B1 = 20
+	cfg.Dims[core.DimSize].DitherFactor = 0
+	cfg.Dims[core.DimStreams].Limits = core.Limits{Min: 1, Max: 4}
+	cfg.Dims[core.DimDepth].Limits = core.Limits{Min: 1, Max: 3}
+	cfg.AvgHorizon = 1
+	return cfg
+}
+
+// collectKeys returns a concurrency-safe handler that records every "k"
+// cell it sees, so tests can assert exactly-once delivery across streams.
+func collectKeys(t *testing.T) (BlockHandler, func() map[int64]int) {
+	t.Helper()
+	var mu sync.Mutex
+	seen := map[int64]int{}
+	handle := func(schema minidb.Schema, rows []minidb.Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, row := range rows {
+			seen[row[0].I]++
+		}
+		return nil
+	}
+	return handle, func() map[int64]int {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[int64]int, len(seen))
+		for k, v := range seen {
+			out[k] = v
+		}
+		return out
+	}
+}
+
+func TestRunVectorDeliversEveryTupleExactlyOnce(t *testing.T) {
+	const rows = 3000
+	c := pipelineStack(t, rows, 0)
+	ctl, err := core.NewVector(vectorTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, keys := collectKeys(t)
+	res, err := c.RunVector(context.Background(), Query{Table: "data"}, ctl, VectorRunConfig{
+		Metric:      MetricPerTuple,
+		ChunkTuples: 500,
+		Handle:      handle,
+	})
+	if err != nil {
+		t.Fatalf("RunVector: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Errorf("delivered %d tuples, want %d", res.Tuples, rows)
+	}
+	seen := keys()
+	if len(seen) != rows {
+		t.Errorf("saw %d distinct keys, want %d", len(seen), rows)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %d delivered %d times", k, n)
+		}
+	}
+	if res.Chunks < rows/500 {
+		t.Errorf("only %d chunks for %d rows at chunk size 500", res.Chunks, rows)
+	}
+	if res.PeakStreams < 1 || res.PeakStreams > 4 {
+		t.Errorf("peak streams %d outside the controller's limits", res.PeakStreams)
+	}
+	if res.Blocks == 0 || len(seen) == 0 {
+		t.Error("no blocks accounted")
+	}
+}
+
+// The runner must compose with the caller's own Offset and Limit: leases
+// are relative to the outer offset and never overrun the outer limit.
+func TestRunVectorRespectsOuterOffsetAndLimit(t *testing.T) {
+	const rows = 1000
+	c := pipelineStack(t, rows, 0)
+	ctl, err := core.NewVector(vectorTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, keys := collectKeys(t)
+	res, err := c.RunVector(context.Background(), Query{Table: "data", Offset: 100, Limit: 250}, ctl, VectorRunConfig{
+		Metric:      MetricPerTuple,
+		ChunkTuples: 60,
+		Handle:      handle,
+	})
+	if err != nil {
+		t.Fatalf("RunVector: %v", err)
+	}
+	if res.Tuples != 250 {
+		t.Errorf("delivered %d tuples, want 250", res.Tuples)
+	}
+	seen := keys()
+	if len(seen) != 250 {
+		t.Fatalf("saw %d distinct keys, want 250", len(seen))
+	}
+	for k := int64(100); k < 350; k++ {
+		if seen[k] != 1 {
+			t.Errorf("key %d delivered %d times, want exactly once", k, seen[k])
+		}
+	}
+}
+
+// A short final chunk must stop the dispenser: no session may be opened
+// at an offset past the discovered end once the bound is known, and the
+// run must still terminate promptly when overshoot leases were already
+// out (they drain empty server sessions).
+func TestRunVectorStopsAtResultEnd(t *testing.T) {
+	const rows = 777 // deliberately not a multiple of the chunk size
+	c := pipelineStack(t, rows, 0)
+	ctl, err := core.NewVector(vectorTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunVector(context.Background(), Query{Table: "data"}, ctl, VectorRunConfig{
+		Metric:      MetricPerTuple,
+		ChunkTuples: 250,
+	})
+	if err != nil {
+		t.Fatalf("RunVector: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Errorf("delivered %d tuples, want %d", res.Tuples, rows)
+	}
+	// 777 rows at chunk 250 is 4 leases (the last two short/empty); with
+	// up to 4 streams racing the discovery, a few empty overshoot chunks
+	// are legal, but the dispenser must not keep leasing past the bound.
+	if res.Chunks > 8 {
+		t.Errorf("dispenser kept leasing past the end: %d chunks", res.Chunks)
+	}
+}
+
+func TestRunVectorHandlerErrorAbortsRun(t *testing.T) {
+	const rows = 2000
+	c := pipelineStack(t, rows, 0)
+	ctl, err := core.NewVector(vectorTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := func(schema minidb.Schema, r []minidb.Row) error {
+		return context.Canceled
+	}
+	_, err = c.RunVector(context.Background(), Query{Table: "data"}, ctl, VectorRunConfig{
+		ChunkTuples: 400,
+		Handle:      boom,
+	})
+	if err == nil {
+		t.Fatal("handler error did not abort the run")
+	}
+}

@@ -117,9 +117,11 @@ func (a *AIMD) Name() string { return "aimd" }
 // Steps returns the adaptivity steps taken so far.
 func (a *AIMD) Steps() int { return a.steps }
 
-// Reset implements Resetter.
+// Reset implements Resetter. The dither RNG is rewound so a reset
+// controller replays exactly like a freshly constructed one.
 func (a *AIMD) Reset() {
 	a.avg.reset()
+	a.dith.rewind()
 	a.havePrev = false
 	a.prevX, a.prevY = 0, 0
 	a.steps = 0

@@ -224,9 +224,13 @@ type Config struct {
 	// flavor less stable.
 	AllowSwitchBack bool
 	// ResetPeriod, when positive, forces the hybrid controller back into
-	// the transient (constant-gain) phase every ResetPeriod adaptivity
-	// steps. The paper suggests this for long-lived queries whose profile
-	// switches at runtime (Fig. 8; period 50).
+	// the transient (constant-gain) phase after it has spent ResetPeriod
+	// adaptivity steps in steady state, counted from the phase transition.
+	// The paper suggests this for long-lived queries whose profile
+	// switches at runtime (Fig. 8; period 50). It never fires while the
+	// controller is still transient — clearing the criterion history
+	// mid-search would prevent steady-state detection outright whenever
+	// ResetPeriod ≤ CriterionWindow.
 	ResetPeriod int
 	// Seed seeds the controller's private dither RNG. Controllers with
 	// equal configurations and seeds behave identically.
@@ -294,11 +298,12 @@ func Sign(v float64) float64 {
 // dither produces the Gaussian probe signal d(k) = df·w(k).
 type dither struct {
 	factor float64
+	seed   int64
 	rng    *rand.Rand
 }
 
 func newDither(factor float64, seed int64) *dither {
-	return &dither{factor: factor, rng: rand.New(rand.NewSource(seed))}
+	return &dither{factor: factor, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // next returns the next dither value; zero when dithering is disabled.
@@ -307,6 +312,13 @@ func (d *dither) next() float64 {
 		return 0
 	}
 	return d.factor * d.rng.NormFloat64()
+}
+
+// rewind restarts the probe stream from its seed, so a reset controller
+// draws exactly the same dither sequence as a freshly constructed one —
+// part of the determinism contract Reset promises.
+func (d *dither) rewind() {
+	d.rng = rand.New(rand.NewSource(d.seed))
 }
 
 // averager accumulates per-block (x, y) measurements and emits their means
@@ -343,9 +355,11 @@ func (a *averager) add(x, y float64) (mx, my float64, full bool) {
 	return mx, my, true
 }
 
-// reset clears any partially filled window.
+// reset clears any partially filled window and the last emitted means, so
+// a reset averager is indistinguishable from a freshly constructed one.
 func (a *averager) reset() {
 	a.sumX, a.sumY, a.count = 0, 0, 0
+	a.lastX, a.lastY = 0, 0
 	a.ready = false
 }
 

@@ -59,32 +59,100 @@ func TestControllersAreDeterministicProperty(t *testing.T) {
 }
 
 // Property: Reset returns a controller to a state where a replay of the
-// original observations reproduces the original decisions.
+// original observations reproduces the original decisions — including the
+// dither stream, which Reset rewinds to its seed.
 func TestResetRestoresDeterminismProperty(t *testing.T) {
+	builders := map[string]func(seed int64) Controller{
+		"hybrid": func(seed int64) Controller {
+			cfg := DefaultConfig()
+			cfg.Seed = seed // DitherFactor 25: the dither stream must be rewound too
+			c, _ := NewHybrid(cfg)
+			return c
+		},
+		"hybrid-periodic-reset": func(seed int64) Controller {
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.ResetPeriod = 7
+			c, _ := NewHybrid(cfg)
+			return c
+		},
+		"aimd": func(seed int64) Controller {
+			c, _ := NewAIMD(AIMDConfig{InitialSize: 1000, Increase: 500, Decrease: 0.5,
+				Limits: DefaultLimits, AvgHorizon: 2, DitherFactor: 10, Seed: seed})
+			return c
+		},
+		"mimd": func(seed int64) Controller {
+			c, _ := NewMIMD(MIMDConfig{InitialSize: 1000, Gain: 1.5, Limits: DefaultLimits,
+				AvgHorizon: 2, ScaleWindow: 3})
+			return c
+		},
+		"vector": func(seed int64) Controller {
+			cfg := DefaultVectorConfig()
+			cfg.Seed = seed // size dim keeps DitherFactor 25: dither rewind covered
+			cfg.AvgHorizon = 1
+			c, _ := NewVector(cfg)
+			return c
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64, raw []float64) bool {
+				a := build(seed)
+				var first []int
+				for _, y := range raw {
+					if y < 0 {
+						y = -y
+					}
+					a.Observe(y)
+					first = append(first, a.Size())
+				}
+				a.(Resetter).Reset()
+				for i, y := range raw {
+					if y < 0 {
+						y = -y
+					}
+					a.Observe(y)
+					if a.Size() != first[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// A reset controller must be bit-identical to a freshly constructed one:
+// both consume the same observation stream and must agree step for step,
+// dither included.
+func TestResetMatchesFreshControllerStepForStep(t *testing.T) {
 	f := func(seed int64, raw []float64) bool {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
-		cfg.DitherFactor = 0 // the dither RNG stream is not rewound by Reset
-		a, _ := NewHybrid(cfg)
-		var first []int
+		used, _ := NewHybrid(cfg)
+		// Burn an arbitrary prefix of history into the controller.
 		for _, y := range raw {
 			if y < 0 {
 				y = -y
 			}
-			a.Observe(y)
-			first = append(first, a.Size())
+			used.Observe(y)
 		}
-		a.Reset()
-		for i, y := range raw {
+		used.Reset()
+		fresh, _ := NewHybrid(cfg)
+		for _, y := range raw {
 			if y < 0 {
 				y = -y
 			}
-			a.Observe(y)
-			if a.Size() != first[i] {
+			if used.Size() != fresh.Size() {
 				return false
 			}
+			used.Observe(y)
+			fresh.Observe(y)
 		}
-		return true
+		return used.Size() == fresh.Size()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

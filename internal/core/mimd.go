@@ -171,7 +171,9 @@ func (m *MIMD) Steps() int { return m.steps }
 // Exponent returns the current grid exponent j, for tests and reports.
 func (m *MIMD) Exponent() int { return m.j }
 
-// Reset implements Resetter.
+// Reset implements Resetter. MIMD has no dither RNG, so clearing the
+// averager, the per-grid-point history and the exponent restores the
+// freshly-constructed state exactly.
 func (m *MIMD) Reset() {
 	m.avg.reset()
 	m.hist = make(map[int]*gridStats)

@@ -51,6 +51,7 @@ type extremum struct {
 	signHist      []float64 // last CriterionWindow values of sign(Δy·Δx)
 	xbarHist      []float64 // recent averaged block sizes, for Eq. 6
 	stepCount     int       // adaptivity steps taken
+	phaseStep     int       // stepCount at which the current phase was entered
 	phaseSwitches int       // number of transient<->steady transitions
 	phaseCtr      *metrics.Counter
 }
@@ -188,11 +189,16 @@ func (e *extremum) pushXbar(x float64) {
 // queries (Fig. 8). It reports whether the transition parked the
 // controller at a new block size that should stand for the next step.
 func (e *extremum) updatePhase() bool {
-	if e.cfg.ResetPeriod > 0 && e.stepCount%e.cfg.ResetPeriod == 0 {
-		if e.ph == phaseSteady {
-			e.countPhaseSwitch()
-		}
+	// The periodic reset exists to kick a converged controller back into
+	// searching (Fig. 8's long-lived queries), so the period is counted
+	// from the moment steady state was entered — never from an absolute
+	// step count. Firing on stepCount%ResetPeriod while still transient
+	// would repeatedly clear signHist and, whenever ResetPeriod ≤
+	// CriterionWindow, make steady-state detection impossible.
+	if e.cfg.ResetPeriod > 0 && e.ph == phaseSteady && e.stepCount-e.phaseStep >= e.cfg.ResetPeriod {
+		e.countPhaseSwitch()
 		e.ph = phaseTransient
+		e.phaseStep = e.stepCount
 		e.justSwitched = false
 		e.signHist = e.signHist[:0]
 		e.xbarHist = e.xbarHist[:0]
@@ -202,6 +208,7 @@ func (e *extremum) updatePhase() bool {
 	case phaseTransient:
 		if e.steadyStateDetected() {
 			e.ph = phaseSteady
+			e.phaseStep = e.stepCount
 			e.justSwitched = true
 			e.countPhaseSwitch()
 			// The saw-tooth of the constant-gain phase straddles the
@@ -217,6 +224,7 @@ func (e *extremum) updatePhase() bool {
 	case phaseSteady:
 		if e.cfg.AllowSwitchBack && e.driftDetected() {
 			e.ph = phaseTransient
+			e.phaseStep = e.stepCount
 			e.justSwitched = false
 			e.countPhaseSwitch()
 			e.signHist = e.signHist[:0]
@@ -274,8 +282,13 @@ func (e *extremum) eq6Threshold() float64 {
 
 // Reset implements Resetter: it clears all adaptation state while keeping
 // the configuration, returning the controller to its initial block size.
+// The dither RNG is rewound to its seed, so a reset controller is
+// bit-identical to a freshly constructed one — replaying the same
+// observations reproduces the same decisions (the determinism contract
+// experiment runs rely on).
 func (e *extremum) Reset() {
 	e.avg.reset()
+	e.dith.rewind()
 	e.cur = float64(e.cfg.Limits.Clamp(e.cfg.InitialSize))
 	e.havePrev = false
 	e.prevX, e.prevY = 0, 0
@@ -284,6 +297,7 @@ func (e *extremum) Reset() {
 	e.signHist = e.signHist[:0]
 	e.xbarHist = e.xbarHist[:0]
 	e.stepCount = 0
+	e.phaseStep = 0
 	e.phaseSwitches = 0
 }
 
@@ -300,6 +314,7 @@ func (e *extremum) Disturb() {
 		e.countPhaseSwitch()
 	}
 	e.ph = phaseTransient
+	e.phaseStep = e.stepCount
 	e.justSwitched = false
 	e.signHist = e.signHist[:0]
 	e.xbarHist = e.xbarHist[:0]

@@ -210,6 +210,33 @@ func TestHybridEq6Criterion(t *testing.T) {
 	}
 }
 
+// Regression for the Eq. 6 default threshold's n'=1 edge case: the
+// published fallback b1/(n'-1) divides by zero when CriterionWindow is 1.
+// The implementation must clamp the denominator, not emit ±Inf or NaN —
+// an infinite threshold would declare steady state on any history, a NaN
+// one never.
+func TestEq6ThresholdFallbackWindowOne(t *testing.T) {
+	cfg := plainConfig()
+	cfg.Criterion = CriterionWindowedMean
+	cfg.CriterionWindow = 1
+	h, err := NewHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.eq6Threshold()
+	if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+		t.Fatalf("eq6Threshold() = %g with CriterionWindow 1, want a finite positive fallback", got)
+	}
+	if got != cfg.B1 {
+		t.Errorf("eq6Threshold() = %g, want b1 = %g (denominator clamped to 1)", got, cfg.B1)
+	}
+	// And the controller still works end to end with the degenerate window.
+	drive(h, vProfile(3000), 40)
+	if h.Steps() == 0 {
+		t.Fatal("controller stalled")
+	}
+}
+
 func TestHybridEq6ThresholdOverride(t *testing.T) {
 	cfg := plainConfig()
 	cfg.Criterion = CriterionWindowedMean
@@ -226,18 +253,80 @@ func TestHybridPeriodicReset(t *testing.T) {
 	cfg.ResetPeriod = 12
 	h, _ := NewHybrid(cfg)
 	f := vProfile(3000)
-	steady := 0
-	for i := 0; i < 60; i++ {
+	steady, steadyRun := 0, 0
+	for i := 0; i < 120; i++ {
 		h.Observe(f(h.Size()))
 		if h.InSteadyState() {
 			steady++
-		}
-		if h.Steps()%cfg.ResetPeriod == 0 && h.InSteadyState() {
-			t.Fatalf("step %d: periodic reset did not return to transient", h.Steps())
+			steadyRun++
+			// The period is counted from the phase transition: the
+			// controller may never sit in steady state longer than
+			// ResetPeriod consecutive steps.
+			if steadyRun > cfg.ResetPeriod {
+				t.Fatalf("step %d: %d consecutive steady steps exceed the reset period %d",
+					h.Steps(), steadyRun, cfg.ResetPeriod)
+			}
+		} else {
+			steadyRun = 0
 		}
 	}
 	if steady == 0 {
 		t.Fatal("controller never reached steady state between resets")
+	}
+	if h.PhaseSwitches() < 4 {
+		t.Fatalf("periodic reset should keep cycling phases, saw only %d switches", h.PhaseSwitches())
+	}
+}
+
+// Regression: the periodic reset used to fire on stepCount%ResetPeriod
+// even during the transient phase, repeatedly clearing the sign history —
+// with ResetPeriod ≤ CriterionWindow the criterion could never fill its
+// window and steady state was unreachable. The period is now counted from
+// the last phase transition and only ever ends a steady phase.
+func TestPeriodicResetDoesNotStarveSteadyDetection(t *testing.T) {
+	cases := []struct {
+		name            string
+		resetPeriod     int
+		criterionWindow int
+	}{
+		{"period below window", 3, 5},
+		{"period just below window", 4, 5},
+		{"period equals window", 5, 5},
+		{"period one above window", 6, 5},
+		{"period well above window", 20, 5},
+		{"window one", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := plainConfig()
+			cfg.ResetPeriod = tc.resetPeriod
+			cfg.CriterionWindow = tc.criterionWindow
+			if tc.criterionWindow == 1 {
+				cfg.CriterionThreshold = 1
+			}
+			h, err := NewHybrid(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := vProfile(3000)
+			reached := false
+			for i := 0; i < 200 && !reached; i++ {
+				h.Observe(f(h.Size()))
+				reached = h.InSteadyState()
+			}
+			if !reached {
+				t.Fatalf("ResetPeriod %d with CriterionWindow %d never reached steady state",
+					tc.resetPeriod, tc.criterionWindow)
+			}
+			// And the reset still does its job: steady state ends within
+			// ResetPeriod further steps.
+			for i := 0; i <= tc.resetPeriod && h.InSteadyState(); i++ {
+				h.Observe(f(h.Size()))
+			}
+			if h.InSteadyState() {
+				t.Fatal("periodic reset never returned the controller to the transient phase")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsopt/internal/metrics"
+)
+
+// The paper optimizes a single knob — the block size. Section VI notes the
+// approach "can be extended to multiple dimensions": the per-tuple cost of
+// a transfer also depends on how many parallel block streams pull from the
+// service and how deep the client pipelines its prefetching. This file
+// lifts the switching extremum controller to that vector
+//
+//	v = (block size, parallel streams, pipeline depth)
+//
+// with coordinate descent: each adaptivity step moves exactly one
+// dimension, chosen as the currently dominant one (largest measured
+// sensitivity of the objective), after an initial probe sweep through all
+// dimensions and with a periodic refresh so a dormant dimension's
+// sensitivity estimate cannot go permanently stale. The phase-transition
+// criterion (Eq. 5) is applied to the vector trajectory: the sign history
+// records sign(Δy·Δx) of whichever dimension moved, so steady state means
+// the whole vector oscillates around an optimum, not just one coordinate.
+
+// Dim indexes the controlled dimensions of a transfer vector.
+type Dim int
+
+const (
+	// DimSize is the block size in tuples — the paper's original knob.
+	DimSize Dim = iota
+	// DimStreams is the number of parallel block streams pulling disjoint
+	// cursor ranges of the same query.
+	DimStreams
+	// DimDepth is the pipeline depth: how many blocks a stream keeps in
+	// flight or buffered ahead of the consumer.
+	DimDepth
+	// NumDims is the number of controlled dimensions.
+	NumDims = 3
+)
+
+// String implements fmt.Stringer for traces and reports.
+func (d Dim) String() string {
+	switch d {
+	case DimSize:
+		return "size"
+	case DimStreams:
+		return "streams"
+	case DimDepth:
+		return "depth"
+	default:
+		return fmt.Sprintf("dim(%d)", int(d))
+	}
+}
+
+// Vector is one concrete operating point: a block size, a parallel stream
+// count and a pipeline depth.
+type Vector struct {
+	Size    int `json:"size"`
+	Streams int `json:"streams"`
+	Depth   int `json:"depth"`
+}
+
+// Get returns the named coordinate.
+func (v Vector) Get(d Dim) int {
+	switch d {
+	case DimSize:
+		return v.Size
+	case DimStreams:
+		return v.Streams
+	case DimDepth:
+		return v.Depth
+	}
+	return 0
+}
+
+// With returns a copy with the named coordinate replaced.
+func (v Vector) With(d Dim, val int) Vector {
+	switch d {
+	case DimSize:
+		v.Size = val
+	case DimStreams:
+		v.Streams = val
+	case DimDepth:
+		v.Depth = val
+	}
+	return v
+}
+
+// String implements fmt.Stringer.
+func (v Vector) String() string {
+	return fmt.Sprintf("(size=%d, streams=%d, depth=%d)", v.Size, v.Streams, v.Depth)
+}
+
+// DimConfig tunes one dimension of the vector controller. It mirrors the
+// scalar Config: a constant gain for the transient phase, an adaptive-gain
+// coefficient for steady state, optional dither, and hard limits.
+type DimConfig struct {
+	// Initial is the coordinate of the very first request.
+	Initial int
+	// Limits bound every decision in this dimension.
+	Limits Limits
+	// B1 is the constant gain (transient step) in this dimension's unit.
+	B1 float64
+	// B2 scales the adaptive gain g = b2·(Δy/y)·Δx, as in Eq. 3.
+	B2 float64
+	// DitherFactor scales the Gaussian probe added to steps in this
+	// dimension. Zero disables dithering.
+	DitherFactor float64
+}
+
+func (c DimConfig) validate(d Dim) error {
+	if c.Initial < 1 {
+		return fmt.Errorf("core: %s initial value %d must be positive", d, c.Initial)
+	}
+	if !c.Limits.Valid() {
+		return fmt.Errorf("core: %s limits [%d, %d] invalid", d, c.Limits.Min, c.Limits.Max)
+	}
+	if c.B1 <= 0 {
+		return fmt.Errorf("core: %s constant gain b1 = %g must be positive", d, c.B1)
+	}
+	if c.B2 < 0 {
+		return fmt.Errorf("core: %s adaptive gain coefficient b2 = %g must be non-negative", d, c.B2)
+	}
+	if c.DitherFactor < 0 {
+		return fmt.Errorf("core: %s dither factor %g must be non-negative", d, c.DitherFactor)
+	}
+	return nil
+}
+
+// span is the width of the admissible range, used to normalize per-dim
+// sensitivities so a 100-tuple move and a 1-stream move are comparable.
+func (c DimConfig) span() float64 {
+	max := c.Limits.Max
+	if max == 0 {
+		max = c.Initial * 10
+	}
+	s := float64(max - c.Limits.Min)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// VectorConfig collects the tuning parameters of the multi-dimensional
+// controller. The zero value is not usable; start from DefaultVectorConfig.
+type VectorConfig struct {
+	// Dims configures each controlled dimension, indexed by Dim.
+	Dims [NumDims]DimConfig
+	// AvgHorizon is n: per-round measurements averaged into one adaptivity
+	// step (Eq. 2). Values below 1 mean 1.
+	AvgHorizon int
+	// CriterionWindow is n': the number of recent adaptivity steps the
+	// phase-transition criterion examines (over the vector trajectory).
+	CriterionWindow int
+	// CriterionThreshold is s in Eq. 5.
+	CriterionThreshold int
+	// RefreshPeriod makes the coordinate-descent scheduler revisit the
+	// least-recently-stepped dimension every RefreshPeriod steps, so the
+	// sensitivity estimate of a dormant dimension cannot go permanently
+	// stale. Zero defaults to 2·NumDims.
+	RefreshPeriod int
+	// ResetPeriod, when positive, forces the controller back into the
+	// transient phase after ResetPeriod steps in steady state, counted from
+	// the transition — the vector analogue of the scalar periodic reset.
+	ResetPeriod int
+	// SensitivityGain is the EWMA coefficient folding each new normalized
+	// gradient magnitude into a dimension's sensitivity score, in (0, 1].
+	// Zero defaults to 0.5.
+	SensitivityGain float64
+	// Seed seeds the per-dimension dither RNGs. Equal configurations and
+	// seeds behave identically.
+	Seed int64
+	// Metrics, when non-nil, receives the phase-transition counter.
+	Metrics *metrics.Registry
+}
+
+// DefaultVectorConfig extends the paper's WAN parameterization to three
+// dimensions: the size dimension keeps x0=1000, limits [100, 20000],
+// b1=2000, b2=25, df=25; streams sweep 1..16 and depth 1..8 with unit-scale
+// gains.
+func DefaultVectorConfig() VectorConfig {
+	cfg := VectorConfig{
+		AvgHorizon:         3,
+		CriterionWindow:    5,
+		CriterionThreshold: 1,
+		SensitivityGain:    0.5,
+	}
+	cfg.Dims[DimSize] = DimConfig{Initial: 1000, Limits: DefaultLimits, B1: 2000, B2: 25, DitherFactor: 25}
+	cfg.Dims[DimStreams] = DimConfig{Initial: 1, Limits: Limits{Min: 1, Max: 16}, B1: 2, B2: 4, DitherFactor: 0}
+	cfg.Dims[DimDepth] = DimConfig{Initial: 1, Limits: Limits{Min: 1, Max: 8}, B1: 1, B2: 2, DitherFactor: 0}
+	return cfg
+}
+
+// Validate reports the first configuration problem found, or nil.
+func (c VectorConfig) Validate() error {
+	for d := Dim(0); d < NumDims; d++ {
+		if err := c.Dims[d].validate(d); err != nil {
+			return err
+		}
+	}
+	if c.CriterionWindow < 1 {
+		return fmt.Errorf("core: criterion window n' = %d must be positive", c.CriterionWindow)
+	}
+	if c.CriterionThreshold < 0 {
+		return fmt.Errorf("core: criterion threshold s = %d must be non-negative", c.CriterionThreshold)
+	}
+	if c.RefreshPeriod < 0 {
+		return fmt.Errorf("core: refresh period %d must be non-negative", c.RefreshPeriod)
+	}
+	if c.ResetPeriod < 0 {
+		return fmt.Errorf("core: reset period %d must be non-negative", c.ResetPeriod)
+	}
+	if c.SensitivityGain < 0 || c.SensitivityGain > 1 {
+		return fmt.Errorf("core: sensitivity gain %g must be in (0, 1]", c.SensitivityGain)
+	}
+	return nil
+}
+
+// VectorController is the coordinate-descent extremum controller over
+// (block size, streams, pipeline depth). It implements Controller — Size
+// returns the block-size coordinate and Observe consumes the per-tuple
+// cost of one transfer round at the full current vector — plus Vector,
+// Streams and Depth accessors for the runner.
+//
+// Like the scalar controllers it is not safe for concurrent use; callers
+// with parallel streams serialize Observe (one shared controller fed by
+// all streams).
+type VectorController struct {
+	cfg     VectorConfig
+	refresh int
+
+	cur     [NumDims]float64 // continuous internal state per dimension
+	initial [NumDims]float64 // restored by Reset; updated by WarmStart
+	dith    [NumDims]*dither
+	avg     *averager
+
+	havePrev bool
+	prevY    float64
+
+	lastDim   Dim              // dimension moved by the previous decision
+	lastDx    float64          // signed move applied to lastDim
+	dir       [NumDims]float64 // prevailing direction per dimension (±1)
+	probed    [NumDims]bool    // dimension has been stepped at least once
+	steppedAt [NumDims]int     // stepCount of each dimension's last step
+	sens      [NumDims]float64 // EWMA sensitivity score per dimension
+
+	ph            phase
+	justSwitched  bool
+	signHist      []float64
+	stepCount     int
+	phaseStep     int
+	phaseSwitches int
+	phaseCtr      *metrics.Counter
+}
+
+// NewVector builds the multi-dimensional controller.
+func NewVector(cfg VectorConfig) (*VectorController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SensitivityGain == 0 {
+		cfg.SensitivityGain = 0.5
+	}
+	refresh := cfg.RefreshPeriod
+	if refresh == 0 {
+		refresh = 2 * NumDims
+	}
+	v := &VectorController{
+		cfg:     cfg,
+		refresh: refresh,
+		avg:     newAverager(cfg.AvgHorizon),
+		ph:      phaseTransient,
+	}
+	for d := Dim(0); d < NumDims; d++ {
+		v.cur[d] = float64(cfg.Dims[d].Limits.Clamp(cfg.Dims[d].Initial))
+		v.initial[d] = v.cur[d]
+		// Distinct derived seeds keep the per-dimension probe streams
+		// independent while the whole controller stays a pure function of
+		// (config, seed, observations).
+		v.dith[d] = newDither(cfg.Dims[d].DitherFactor, cfg.Seed+int64(d)*1_000_003)
+		v.dir[d] = 1
+	}
+	if cfg.Metrics != nil {
+		v.phaseCtr = cfg.Metrics.Counter("wsopt_core_phase_transitions_total",
+			"Transient<->steady phase transitions across all switching controllers.")
+	}
+	return v, nil
+}
+
+// Vector returns the currently commanded operating point.
+func (v *VectorController) Vector() Vector {
+	return Vector{
+		Size:    v.coord(DimSize),
+		Streams: v.coord(DimStreams),
+		Depth:   v.coord(DimDepth),
+	}
+}
+
+func (v *VectorController) coord(d Dim) int {
+	return v.cfg.Dims[d].Limits.Clamp(round(v.cur[d]))
+}
+
+// Size implements Controller: the block-size coordinate.
+func (v *VectorController) Size() int { return v.coord(DimSize) }
+
+// Streams returns the parallel-stream coordinate.
+func (v *VectorController) Streams() int { return v.coord(DimStreams) }
+
+// Depth returns the pipeline-depth coordinate.
+func (v *VectorController) Depth() int { return v.coord(DimDepth) }
+
+// Name implements Controller.
+func (v *VectorController) Name() string { return "vector-hybrid" }
+
+// Observe implements Controller. The measurement is the objective of one
+// transfer round executed at the full current vector — typically the
+// per-tuple cost across all parallel streams.
+func (v *VectorController) Observe(y float64) {
+	if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+		return
+	}
+	_, my, full := v.avg.add(0, y)
+	if !full {
+		return
+	}
+	v.step(my)
+}
+
+func (v *VectorController) step(my float64) {
+	v.stepCount++
+	if !v.havePrev {
+		// First adaptivity step: no gradient yet. Probe the first
+		// dimension upward by its constant gain (Section III-A).
+		v.havePrev = true
+		v.prevY = my
+		v.move(DimSize, v.dir[DimSize], v.cfg.Dims[DimSize].B1)
+		return
+	}
+
+	dy := my - v.prevY
+	dx := v.lastDx
+	v.prevY = my
+
+	// Sign attribution: the measurement change is credited to the
+	// dimension that actually moved. A boundary-clamped (zero) move
+	// carries no information, so it neither enters the sign history nor
+	// updates the sensitivity.
+	if dx != 0 {
+		sg := Sign(dy * dx)
+		v.pushSign(sg)
+		// The paper's direction rule, x_{k+1} = x_k − g·sign(Δy·Δx),
+		// becomes the prevailing direction of the dimension that moved.
+		v.dir[v.lastDim] = -sg
+		v.updateSensitivity(v.lastDim, dy, dx, my)
+	}
+
+	if v.updatePhase() {
+		return
+	}
+
+	d := v.chooseDim()
+	g := v.gain(d, dy, dx, my)
+	v.move(d, v.dir[d], g)
+}
+
+// updateSensitivity folds one normalized gradient magnitude into the
+// dimension's EWMA score: relative output change per span-relative input
+// change, so dimensions with different units compete fairly.
+func (v *VectorController) updateSensitivity(d Dim, dy, dx, y float64) {
+	if y <= 0 {
+		return
+	}
+	rel := math.Abs(dy/y) / (math.Abs(dx) / v.cfg.Dims[d].span())
+	a := v.cfg.SensitivityGain
+	v.sens[d] = (1-a)*v.sens[d] + a*rel
+}
+
+// chooseDim implements the coordinate-descent schedule: first a probe
+// sweep through every dimension (so each has a sensitivity estimate), then
+// the dominant dimension, with the least-recently-stepped one revisited
+// every RefreshPeriod steps.
+func (v *VectorController) chooseDim() Dim {
+	for d := Dim(0); d < NumDims; d++ {
+		if !v.probed[d] {
+			return d
+		}
+	}
+	if v.refresh > 0 && v.stepCount%v.refresh == 0 {
+		return v.stalestDim()
+	}
+	return v.DominantDim()
+}
+
+// DominantDim returns the dimension with the highest sensitivity score —
+// the coordinate the controller currently steps outside refresh rounds.
+func (v *VectorController) DominantDim() Dim {
+	best := Dim(0)
+	for d := Dim(1); d < NumDims; d++ {
+		if v.sens[d] > v.sens[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+func (v *VectorController) stalestDim() Dim {
+	best := Dim(0)
+	for d := Dim(1); d < NumDims; d++ {
+		if v.steppedAt[d] < v.steppedAt[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+// gain returns the step magnitude for dimension d: constant gain in the
+// transient phase, adaptive gain clamped at b1 in steady state (Eq. 4).
+func (v *VectorController) gain(d Dim, dy, dx, y float64) float64 {
+	dc := v.cfg.Dims[d]
+	if v.ph != phaseSteady {
+		return dc.B1
+	}
+	if v.justSwitched {
+		// Hand-off step, as in the scalar hybrid: the last Δ still has
+		// transient magnitude; hold and let the dither restart probing.
+		v.justSwitched = false
+		return 0
+	}
+	if y <= 0 {
+		return 0
+	}
+	// The gradient was measured along lastDim; rescale its span-relative
+	// magnitude into dimension d's units so cross-dimension steps stay
+	// proportionate.
+	relDx := math.Abs(dx) / v.cfg.Dims[v.lastDim].span()
+	g := math.Abs(dc.B2 * dy / y * relDx * dc.span())
+	if g > dc.B1 {
+		return dc.B1
+	}
+	return g
+}
+
+// move applies one signed step (plus dither) to dimension d and records
+// the applied change for the next step's sign attribution.
+func (v *VectorController) move(d Dim, dir, g float64) {
+	dc := v.cfg.Dims[d]
+	before := v.cur[d]
+	next := dc.Limits.ClampF(before + dir*g + v.dith[d].next())
+	applied := next - before
+	if applied == 0 && g > 0 {
+		// Bounced off a limit: turn around so the next step in this
+		// dimension points back inside the admissible range.
+		v.dir[d] = -dir
+	}
+	v.cur[d] = next
+	v.lastDim = d
+	v.lastDx = applied
+	v.probed[d] = true
+	v.steppedAt[d] = v.stepCount
+}
+
+func (v *VectorController) pushSign(sg float64) {
+	v.signHist = append(v.signHist, sg)
+	if n := v.cfg.CriterionWindow; len(v.signHist) > n {
+		v.signHist = v.signHist[len(v.signHist)-n:]
+	}
+}
+
+// updatePhase applies Eq. 5 to the vector trajectory, plus the anchored
+// periodic reset. It reports whether a transition consumed this step.
+func (v *VectorController) updatePhase() bool {
+	if v.cfg.ResetPeriod > 0 && v.ph == phaseSteady && v.stepCount-v.phaseStep >= v.cfg.ResetPeriod {
+		v.countPhaseSwitch()
+		v.ph = phaseTransient
+		v.phaseStep = v.stepCount
+		v.justSwitched = false
+		v.signHist = v.signHist[:0]
+		return false
+	}
+	if v.ph == phaseTransient && len(v.signHist) >= v.cfg.CriterionWindow &&
+		math.Abs(sum(v.signHist)) <= float64(v.cfg.CriterionThreshold) {
+		v.ph = phaseSteady
+		v.phaseStep = v.stepCount
+		v.justSwitched = true
+		v.countPhaseSwitch()
+	}
+	return false
+}
+
+func (v *VectorController) countPhaseSwitch() {
+	v.phaseSwitches++
+	if v.phaseCtr != nil {
+		v.phaseCtr.Inc()
+	}
+}
+
+// WarmStart moves the controller's operating point (and the point Reset
+// restores) to a historical optimum before the first observation — the
+// profile store's warm start. Calling it mid-run additionally clears the
+// measurement history, like a disturbance at the new point.
+func (v *VectorController) WarmStart(vec Vector) {
+	for d := Dim(0); d < NumDims; d++ {
+		v.cur[d] = float64(v.cfg.Dims[d].Limits.Clamp(vec.Get(d)))
+		v.initial[d] = v.cur[d]
+	}
+	if v.havePrev {
+		v.Disturb()
+	}
+}
+
+// Steps returns the number of adaptivity steps taken so far.
+func (v *VectorController) Steps() int { return v.stepCount }
+
+// InSteadyState reports whether the adaptive gain is active.
+func (v *VectorController) InSteadyState() bool { return v.ph == phaseSteady }
+
+// PhaseSwitches returns how many transient<->steady transitions occurred.
+func (v *VectorController) PhaseSwitches() int { return v.phaseSwitches }
+
+// Sensitivity returns dimension d's current EWMA sensitivity score, for
+// traces and tests.
+func (v *VectorController) Sensitivity(d Dim) float64 { return v.sens[d] }
+
+// Reset implements Resetter: all adaptation state is cleared, the vector
+// returns to its initial (or warm-started) value, and every dither RNG is
+// rewound — a reset controller replays observations bit-identically to a
+// fresh one.
+func (v *VectorController) Reset() {
+	v.avg.reset()
+	v.havePrev = false
+	v.prevY = 0
+	v.lastDim = 0
+	v.lastDx = 0
+	v.ph = phaseTransient
+	v.justSwitched = false
+	v.signHist = v.signHist[:0]
+	v.stepCount = 0
+	v.phaseStep = 0
+	v.phaseSwitches = 0
+	for d := Dim(0); d < NumDims; d++ {
+		v.cur[d] = v.initial[d]
+		v.dith[d].rewind()
+		v.dir[d] = 1
+		v.probed[d] = false
+		v.steppedAt[d] = 0
+		v.sens[d] = 0
+	}
+}
+
+// Disturb implements Disturber: the measurement history is invalidated but
+// the current vector is kept — the optimum of the new regime is more
+// likely near the current operating point than near the initial one.
+func (v *VectorController) Disturb() {
+	v.avg.reset()
+	v.havePrev = false
+	v.prevY = 0
+	v.lastDx = 0
+	if v.ph == phaseSteady {
+		v.countPhaseSwitch()
+	}
+	v.ph = phaseTransient
+	v.phaseStep = v.stepCount
+	v.justSwitched = false
+	v.signHist = v.signHist[:0]
+	for d := Dim(0); d < NumDims; d++ {
+		v.probed[d] = false
+		v.sens[d] = 0
+	}
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wsopt/internal/core"
+)
+
+// VectorCostModel extends CostModel to the full transfer vector
+// (block size, parallel streams, pipeline depth). One "round" has each of
+// the s streams pull one block of x tuples concurrently while the client
+// keeps d blocks of lookahead per stream:
+//
+//   - parallel streams divide the per-tuple cost as long as the service
+//     can sustain them (up to StreamCap), then congestion makes each
+//     stream's share degrade proportionally;
+//   - extra streams are extra concurrent requests on the server, adding a
+//     quadratic load penalty — the vector analogue of Fig. 2's concurrent
+//     queries;
+//   - pipeline depth hides a fraction of the per-request latency behind
+//     processing, with diminishing returns, but deeper prefetch buffers
+//     cost server-side cursor memory, again quadratically.
+//
+// Depending on which term dominates, the optimum sits in a different
+// dimension: a bandwidth-bound profile rewards streams, a latency-bound
+// one rewards depth, and a server-load-bound one punishes both.
+type VectorCostModel struct {
+	// Base is the single-stream block cost skeleton (latency, per-tuple
+	// cost, knee, ripple, noise).
+	Base CostModel
+	// StreamCap is the number of parallel streams the service sustains at
+	// full per-stream bandwidth; beyond it, each stream's tuple cost grows
+	// by the overcommit factor s/StreamCap. Zero means 1.
+	StreamCap float64
+	// StreamPenaltyMS is the quadratic server-load penalty (s−1)² added to
+	// every round, in milliseconds.
+	StreamPenaltyMS float64
+	// DepthHide controls how much request latency pipelining hides:
+	// the effective latency is LatencyMS / (1 + DepthHide·(d−1)).
+	DepthHide float64
+	// DepthPenaltyMS is the quadratic buffering penalty (d−1)² for keeping
+	// d blocks of lookahead per stream, in milliseconds.
+	DepthPenaltyMS float64
+}
+
+// effective folds the stream share and depth hiding into a scalar cost
+// model for one block within a round at vector v.
+func (m VectorCostModel) effective(v core.Vector) CostModel {
+	eff := m.Base
+	if m.DepthHide > 0 && v.Depth > 1 {
+		eff.LatencyMS /= 1 + m.DepthHide*float64(v.Depth-1)
+	}
+	cap := m.StreamCap
+	if cap < 1 {
+		cap = 1
+	}
+	if float64(v.Streams) > cap {
+		eff.PerTupleMS *= float64(v.Streams) / cap
+	}
+	return eff
+}
+
+// penalties returns the deterministic per-round load penalties at v.
+func (m VectorCostModel) penalties(v core.Vector) float64 {
+	p := 0.0
+	if s := float64(v.Streams - 1); s > 0 {
+		p += m.StreamPenaltyMS * s * s
+	}
+	if d := float64(v.Depth - 1); d > 0 {
+		p += m.DepthPenaltyMS * d * d
+	}
+	return p
+}
+
+// ExpectedRoundMS returns the noise-free duration of one round at v: the s
+// concurrent block pulls finish together (they share the same effective
+// cost), plus the load penalties.
+func (m VectorCostModel) ExpectedRoundMS(v core.Vector) float64 {
+	if v.Size <= 0 || v.Streams <= 0 || v.Depth <= 0 {
+		return 0
+	}
+	return m.effective(v).ExpectedBlockMS(v.Size) + m.penalties(v)
+}
+
+// ExpectedPerTupleMS returns the noise-free per-tuple cost of one round at
+// v — the objective the vector controller minimizes. A round delivers
+// x·s tuples.
+func (m VectorCostModel) ExpectedPerTupleMS(v core.Vector) float64 {
+	if v.Size <= 0 || v.Streams <= 0 || v.Depth <= 0 {
+		return math.Inf(1)
+	}
+	return m.ExpectedRoundMS(v) / float64(v.Size*v.Streams)
+}
+
+// RoundMS draws a noisy round duration at v using rng, reusing the scalar
+// model's jitter and spike machinery on the effective block cost.
+func (m VectorCostModel) RoundMS(v core.Vector, rng *rand.Rand) float64 {
+	if v.Size <= 0 || v.Streams <= 0 || v.Depth <= 0 {
+		return 0
+	}
+	return m.effective(v).BlockMS(v.Size, rng) + m.penalties(v)
+}
+
+// VectorLimits bounds the brute-force search of OptimalVector.
+type VectorLimits struct {
+	Size    core.Limits
+	Streams core.Limits
+	Depth   core.Limits
+}
+
+// DefaultVectorLimits matches DefaultVectorConfig's admissible region.
+func DefaultVectorLimits() VectorLimits {
+	return VectorLimits{
+		Size:    core.DefaultLimits,
+		Streams: core.Limits{Min: 1, Max: 16},
+		Depth:   core.Limits{Min: 1, Max: 8},
+	}
+}
+
+// OptimalVector brute-forces the vector minimizing the expected per-tuple
+// cost over the limited grid, scanning sizes with the given step (min 1)
+// and every admissible stream count and depth. It is the ground truth the
+// vector experiments compare against.
+func (m VectorCostModel) OptimalVector(lim VectorLimits, sizeStep int) (core.Vector, float64) {
+	if sizeStep < 1 {
+		sizeStep = 1
+	}
+	loX := lim.Size.Min
+	if loX < 1 {
+		loX = 1
+	}
+	hiX := lim.Size.Max
+	if hiX < loX {
+		hiX = loX
+	}
+	loS, hiS := boundOrDefault(lim.Streams, 1, 16)
+	loD, hiD := boundOrDefault(lim.Depth, 1, 8)
+
+	best := core.Vector{Size: loX, Streams: loS, Depth: loD}
+	bestY := math.Inf(1)
+	try := func(v core.Vector) {
+		if y := m.ExpectedPerTupleMS(v); y < bestY {
+			best, bestY = v, y
+		}
+	}
+	for s := loS; s <= hiS; s++ {
+		for d := loD; d <= hiD; d++ {
+			for x := loX; x <= hiX; x += sizeStep {
+				try(core.Vector{Size: x, Streams: s, Depth: d})
+			}
+			// The grid may skip the exact upper size limit.
+			try(core.Vector{Size: hiX, Streams: s, Depth: d})
+		}
+	}
+	return best, bestY
+}
+
+func boundOrDefault(l core.Limits, defLo, defHi int) (lo, hi int) {
+	lo, hi = l.Min, l.Max
+	if lo < 1 {
+		lo = defLo
+	}
+	if hi < lo {
+		hi = defHi
+	}
+	return lo, hi
+}
+
+// String summarizes the model for reports.
+func (m VectorCostModel) String() string {
+	return fmt.Sprintf("vcost{%s, cap=%g, spen=%.3g, hide=%.3g, dpen=%.3g}",
+		m.Base, m.StreamCap, m.StreamPenaltyMS, m.DepthHide, m.DepthPenaltyMS)
+}

@@ -53,6 +53,10 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 	reg.GaugeFunc("wsopt_service_sessions_live", "Currently open sessions (downloads + uploads).", func() float64 {
 		return float64(s.liveSessions())
 	})
+	reg.GaugeFunc("wsopt_service_stream_groups_active", "Stream groups currently holding at least one open cursor.", func() float64 {
+		_, _, active := s.groups.snapshot()
+		return float64(active)
+	})
 	return m
 }
 

@@ -120,6 +120,9 @@ type Server struct {
 	// cursors counts reserved admission slots (open cursors plus creates
 	// in flight), giving MaxSessions a hard bound without a global lock.
 	cursors atomic.Int64
+	// groups accounts for parallel-stream clients (streams.go); touched
+	// only on session create/close, never on the block hot path.
+	groups streamGroups
 
 	stats   serverStats
 	metrics *serviceMetrics
@@ -202,6 +205,16 @@ type Stats struct {
 	// SessionsShed counts session creations refused by admission control
 	// (503 + Retry-After) because MaxSessions cursors were already open.
 	SessionsShed int64 `json:"sessions_shed"`
+	// StreamSessionsOpened counts sessions created with a stream-group
+	// tag — cursors that were one parallel stream of a larger query.
+	StreamSessionsOpened int64 `json:"stream_sessions_opened"`
+	// PeakGroupStreams is the high-water count of concurrently open
+	// cursors within any single stream group — the server-side view of
+	// the largest parallel fan-out any one client ran.
+	PeakGroupStreams int64 `json:"peak_group_streams"`
+	// StreamGroupsActive counts groups currently holding at least one
+	// open cursor.
+	StreamGroupsActive int `json:"stream_groups_active"`
 	// FaultsInjected counts transport faults fired by the chaos layer,
 	// by kind.
 	FaultsInjected FaultStats `json:"faults_injected"`
@@ -261,6 +274,7 @@ func (s *Server) ExpireIdle(now time.Time) int {
 	})
 	for i, id := range ids {
 		closeSession(vals[i])
+		s.groups.leave(vals[i].group)
 		s.faults.forget(id)
 		s.releaseCursor()
 		n++
@@ -290,6 +304,10 @@ type session struct {
 	id   string
 	iter minidb.Iterator
 	done bool
+	// group is the stream-group ID this cursor was tagged with at
+	// creation ("" for standalone sessions); immutable, so the close and
+	// expiry paths read it without the session lock.
+	group string
 	// rng draws this session's delay noise; guarded by mu (priceBlock is
 	// only called with the session lock held), never by any global lock.
 	rng *rand.Rand
@@ -437,6 +455,11 @@ type createRequest struct {
 	// A failed-over client uses it to resume a query on another replica
 	// from its committed cursor.
 	Offset int `json:"offset,omitempty"`
+	// StreamGroup tags this cursor as one parallel stream of a larger
+	// logical query. Sessions sharing a group are counted together in the
+	// service's stream accounting (Stats.PeakGroupStreams); the tag has no
+	// effect on query semantics.
+	StreamGroup string `json:"stream_group,omitempty"`
 }
 
 // createResponse is the body of a successful session creation.
@@ -490,13 +513,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	n := s.nextID.Add(1)
 	id := fmt.Sprintf("s%08x", n)
-	sess := &session{id: id, iter: it, rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	sess := &session{id: id, iter: it, group: req.StreamGroup, rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
 	sess.touch()
 	s.sessions.put(id, sess)
 	committed = true
+	s.groups.join(sess.group)
 	s.stats.sessionsOpened.Add(1)
 	s.metrics.sessionsOpened.Inc()
-	s.logf("session %s opened: table=%s cols=%v offset=%d", id, req.Table, req.Columns, req.Offset)
+	s.logf("session %s opened: table=%s cols=%v offset=%d group=%s", id, req.Table, req.Columns, req.Offset, req.StreamGroup)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -720,6 +744,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	closeSession(sess)
+	s.groups.leave(sess.group)
 	s.releaseCursor()
 	s.faults.forget(id)
 	s.logf("session %s closed", id)

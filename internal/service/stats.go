@@ -29,7 +29,11 @@ type serverStats struct {
 // individual counter is exact at its load instant under load.
 func (s *Server) Stats() Stats {
 	st := &s.stats
+	streamOpened, streamPeak, groupsActive := s.groups.snapshot()
 	return Stats{
+		StreamSessionsOpened: streamOpened,
+		PeakGroupStreams:     streamPeak,
+		StreamGroupsActive:   groupsActive,
 		SessionsOpened:       st.sessionsOpened.Load(),
 		BlocksServed:         st.blocksServed.Load(),
 		TuplesServed:         st.tuplesServed.Load(),

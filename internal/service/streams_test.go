@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStreamGroupTracker(t *testing.T) {
+	var g streamGroups
+	// Untagged sessions are invisible to the tracker.
+	g.join("")
+	g.leave("")
+	if opened, peak, active := g.snapshot(); opened != 0 || peak != 0 || active != 0 {
+		t.Fatalf("untagged joins counted: opened=%d peak=%d active=%d", opened, peak, active)
+	}
+	g.join("a")
+	g.join("a")
+	g.join("b")
+	if opened, peak, active := g.snapshot(); opened != 3 || peak != 2 || active != 2 {
+		t.Fatalf("after joins: opened=%d peak=%d active=%d", opened, peak, active)
+	}
+	g.leave("a")
+	g.leave("a")
+	g.leave("a") // over-leave must not underflow or resurrect the group
+	if _, peak, active := g.snapshot(); peak != 2 || active != 1 {
+		t.Fatalf("after leaves: peak=%d active=%d", peak, active)
+	}
+	g.leave("b")
+	if _, _, active := g.snapshot(); active != 0 {
+		t.Fatalf("group b not released")
+	}
+}
+
+// Stream-group accounting over the wire: create, delete, and expiry all
+// keep the per-group counts and the peak in step.
+func TestStreamGroupAccountingOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Catalog: testCatalog(t, 10), SessionTTL: time.Minute})
+
+	body := func(group string) string {
+		return fmt.Sprintf(`{"table":"items","stream_group":%q}`, group)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, status := openSession(t, ts, body("g1"))
+		if status != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, status)
+		}
+		ids = append(ids, id)
+	}
+	lone, _ := openSession(t, ts, `{"table":"items"}`)
+
+	st := srv.Stats()
+	if st.StreamSessionsOpened != 3 || st.PeakGroupStreams != 3 || st.StreamGroupsActive != 1 {
+		t.Fatalf("after creates: %+v", st)
+	}
+	if st.SessionsOpened != 4 {
+		t.Fatalf("untagged session not counted as a plain session: %+v", st)
+	}
+
+	// Deleting two group members shrinks the active count but not the peak.
+	for _, id := range ids[:2] {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	st = srv.Stats()
+	if st.PeakGroupStreams != 3 || st.StreamGroupsActive != 1 {
+		t.Fatalf("after deletes: %+v", st)
+	}
+
+	// Expiry releases the last member and the group with it.
+	srv.ExpireIdle(time.Now().Add(2 * time.Minute))
+	st = srv.Stats()
+	if st.StreamGroupsActive != 0 {
+		t.Fatalf("expiry leaked the group: %+v", st)
+	}
+	_ = lone
+}

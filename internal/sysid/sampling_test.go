@@ -1,0 +1,81 @@
+package sysid
+
+import (
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func TestSamplePlanEvenCoverage(t *testing.T) {
+	plan, err := SamplePlan(core.Limits{Min: 100, Max: 20000}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 6 || plan[0] != 100 || plan[5] != 20000 {
+		t.Fatalf("plan = %v", plan)
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i] <= plan[i-1] {
+			t.Fatalf("plan not strictly increasing: %v", plan)
+		}
+	}
+}
+
+func TestSamplePlanEdgeCases(t *testing.T) {
+	t.Run("too few points", func(t *testing.T) {
+		if _, err := SamplePlan(core.Limits{Min: 1, Max: 100}, 1); err == nil {
+			t.Error("k=1 accepted")
+		}
+		if _, err := SamplePlan(core.Limits{Min: 1, Max: 100}, 0); err == nil {
+			t.Error("k=0 accepted")
+		}
+	})
+	t.Run("min below one is clamped", func(t *testing.T) {
+		plan, err := SamplePlan(core.Limits{Min: 0, Max: 10}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[0] != 1 {
+			t.Errorf("plan starts at %d, the structural lower bound is 1", plan[0])
+		}
+	})
+	t.Run("empty range", func(t *testing.T) {
+		if _, err := SamplePlan(core.Limits{Min: 5, Max: 5}, 4); err == nil {
+			t.Error("max == min accepted")
+		}
+		if _, err := SamplePlan(core.Limits{Min: 10, Max: 2}, 4); err == nil {
+			t.Error("max < min accepted")
+		}
+	})
+	t.Run("k larger than range dedups", func(t *testing.T) {
+		plan, err := SamplePlan(core.Limits{Min: 1, Max: 5}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) > 5 {
+			t.Errorf("plan %v has duplicates", plan)
+		}
+		seen := map[int]bool{}
+		for _, v := range plan {
+			if seen[v] {
+				t.Fatalf("duplicate %d in %v", v, plan)
+			}
+			seen[v] = true
+			if v < 1 || v > 5 {
+				t.Fatalf("out-of-range sample %d in %v", v, plan)
+			}
+		}
+		if plan[0] != 1 || plan[len(plan)-1] != 5 {
+			t.Errorf("endpoints missing from %v", plan)
+		}
+	})
+	t.Run("near-degenerate range keeps two points", func(t *testing.T) {
+		plan, err := SamplePlan(core.Limits{Min: 7, Max: 8}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) != 2 || plan[0] != 7 || plan[1] != 8 {
+			t.Errorf("plan = %v, want [7 8]", plan)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package sysid
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"wsopt/internal/core"
+)
+
+// The paper identifies a fresh model at every query start (Section IV).
+// Long-running deployments can do better: the optimum vector found for a
+// workload is a durable fact about that workload, so the store persists
+// per-workload optima and warm-starts the vector controller from the
+// nearest historical one. Only when nothing relevant is on record does a
+// run fall back to the cold 6-sample identification sweep.
+
+// WorkloadDescriptor keys a stored profile by what the workload looks
+// like — tuple width, dataset scale and server load — rather than where
+// or when it ran, so observations transfer between runs of similar
+// queries.
+type WorkloadDescriptor struct {
+	// TupleBytes is the average width of one result tuple.
+	TupleBytes int `json:"tuple_bytes"`
+	// ScaleFactor is the dataset scale (the benchmark SF knob).
+	ScaleFactor float64 `json:"scale_factor"`
+	// Jobs, Queries and Memory describe the server load, as in
+	// netsim.Load.
+	Jobs    int     `json:"jobs"`
+	Queries int     `json:"queries"`
+	Memory  float64 `json:"memory"`
+}
+
+// Distance is a weighted workload dissimilarity: log-ratios for the
+// scale-like fields (a 2× wider tuple matters the same at every width)
+// plus absolute differences for the load fields. Zero means identical.
+func (w WorkloadDescriptor) Distance(o WorkloadDescriptor) float64 {
+	d := logRatio(float64(w.TupleBytes), float64(o.TupleBytes))
+	d += logRatio(w.ScaleFactor, o.ScaleFactor)
+	d += 0.25 * math.Abs(float64(w.Jobs-o.Jobs))
+	d += 0.4 * math.Abs(float64(w.Queries-o.Queries))
+	d += math.Abs(w.Memory - o.Memory)
+	return d
+}
+
+func logRatio(a, b float64) float64 {
+	if a <= 0 {
+		a = 1
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return math.Abs(math.Log2(a / b))
+}
+
+// ProfileRecord is one stored workload optimum.
+type ProfileRecord struct {
+	Workload WorkloadDescriptor `json:"workload"`
+	// Optimum is the best transfer vector observed for the workload.
+	Optimum core.Vector `json:"optimum"`
+	// PerTupleMS is the per-tuple cost measured at the optimum.
+	PerTupleMS float64 `json:"per_tuple_ms"`
+	// Rounds is how many transfer rounds backed the observation; a later
+	// Put with fewer rounds does not overwrite a better-backed record
+	// unless it also has a lower cost.
+	Rounds int `json:"rounds"`
+}
+
+// Store is a persisted collection of workload optima. The zero value is
+// unusable; use OpenStore. A Store with an empty path lives in memory
+// only, which the tests and the simulator use.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	recs []ProfileRecord
+}
+
+// OpenStore loads the JSON profile store at path, creating an empty one
+// if the file does not exist. An empty path opens an in-memory store.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path}
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sysid: reading profile store: %w", err)
+	}
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s.recs); err != nil {
+		return nil, fmt.Errorf("sysid: profile store %s corrupt: %w", path, err)
+	}
+	return s, nil
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a copy of all stored records.
+func (s *Store) Records() []ProfileRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ProfileRecord(nil), s.recs...)
+}
+
+// Put upserts the record keyed by its exact workload descriptor and
+// persists the store. An existing record is only replaced when the new
+// observation is at least as well backed (Rounds) or strictly cheaper.
+func (s *Store) Put(rec ProfileRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replaced := false
+	for i := range s.recs {
+		if s.recs[i].Workload == rec.Workload {
+			if rec.Rounds >= s.recs[i].Rounds || rec.PerTupleMS < s.recs[i].PerTupleMS {
+				s.recs[i] = rec
+			}
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.recs = append(s.recs, rec)
+	}
+	return s.persistLocked()
+}
+
+func (s *Store) persistLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(s.recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sysid: encoding profile store: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sysid: writing profile store: %w", err)
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Nearest returns the stored record whose workload is closest to w and
+// the distance to it. ok is false for an empty store.
+func (s *Store) Nearest(w WorkloadDescriptor) (rec ProfileRecord, dist float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dist = math.Inf(1)
+	for _, r := range s.recs {
+		if d := w.Distance(r.Workload); d < dist {
+			rec, dist, ok = r, d, true
+		}
+	}
+	return rec, dist, ok
+}
+
+// DefaultWarmStartRadius is the maximum workload distance at which a
+// stored optimum is trusted as a starting point. One unit corresponds to
+// e.g. a 2× tuple-width difference or one extra concurrent query plus
+// change — close enough that the optimum moved, but not far.
+const DefaultWarmStartRadius = 1.5
+
+// WarmStart warm-starts ctl from the nearest stored profile within
+// radius (<=0 means DefaultWarmStartRadius) and reports whether it did.
+// When it returns false the caller should fall back to cold
+// identification (VectorColdStart).
+func (s *Store) WarmStart(ctl *core.VectorController, w WorkloadDescriptor, radius float64) bool {
+	if radius <= 0 {
+		radius = DefaultWarmStartRadius
+	}
+	rec, dist, ok := s.Nearest(w)
+	if !ok || dist > radius {
+		return false
+	}
+	ctl.WarmStart(rec.Optimum)
+	return true
+}

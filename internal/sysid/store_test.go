@@ -1,0 +1,155 @@
+package sysid
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func TestStorePersistenceRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := WorkloadDescriptor{TupleBytes: 64, ScaleFactor: 1, Queries: 2}
+	rec := ProfileRecord{Workload: w, Optimum: core.Vector{Size: 4200, Streams: 6, Depth: 2}, PerTupleMS: 0.013, Rounds: 200}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, dist, ok := s2.Nearest(w)
+	if !ok || dist != 0 {
+		t.Fatalf("reloaded store: nearest ok=%v dist=%g", ok, dist)
+	}
+	if got.Optimum != rec.Optimum || got.PerTupleMS != rec.PerTupleMS {
+		t.Fatalf("reloaded record = %+v", got)
+	}
+}
+
+func TestStoreUpsertKeepsBetterBackedRecord(t *testing.T) {
+	s, _ := OpenStore("")
+	w := WorkloadDescriptor{TupleBytes: 64, ScaleFactor: 1}
+	if err := s.Put(ProfileRecord{Workload: w, Optimum: core.Vector{Size: 4000, Streams: 6, Depth: 2}, PerTupleMS: 0.012, Rounds: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Fewer rounds AND a worse cost: must not replace.
+	if err := s.Put(ProfileRecord{Workload: w, Optimum: core.Vector{Size: 100, Streams: 1, Depth: 1}, PerTupleMS: 0.09, Rounds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, _ := s.Nearest(w)
+	if rec.Optimum.Size != 4000 {
+		t.Fatalf("poorly backed observation replaced a solid one: %+v", rec)
+	}
+	// Fewer rounds but strictly cheaper: replace.
+	if err := s.Put(ProfileRecord{Workload: w, Optimum: core.Vector{Size: 5000, Streams: 7, Depth: 2}, PerTupleMS: 0.010, Rounds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, _ = s.Nearest(w)
+	if rec.Optimum.Size != 5000 {
+		t.Fatalf("cheaper observation rejected: %+v", rec)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("upsert duplicated the record: len=%d", s.Len())
+	}
+}
+
+func TestStoreNearestPrefersSimilarWorkload(t *testing.T) {
+	s, _ := OpenStore("")
+	a := WorkloadDescriptor{TupleBytes: 64, ScaleFactor: 1}
+	b := WorkloadDescriptor{TupleBytes: 1024, ScaleFactor: 10, Queries: 5}
+	_ = s.Put(ProfileRecord{Workload: a, Optimum: core.Vector{Size: 4000, Streams: 6, Depth: 2}})
+	_ = s.Put(ProfileRecord{Workload: b, Optimum: core.Vector{Size: 800, Streams: 1, Depth: 1}})
+
+	query := WorkloadDescriptor{TupleBytes: 80, ScaleFactor: 1}
+	rec, _, ok := s.Nearest(query)
+	if !ok || rec.Workload != a {
+		t.Fatalf("nearest picked %+v, want the similar workload", rec.Workload)
+	}
+}
+
+func TestStoreWarmStartRespectsRadius(t *testing.T) {
+	s, _ := OpenStore("")
+	far := WorkloadDescriptor{TupleBytes: 4096, ScaleFactor: 100, Queries: 9}
+	_ = s.Put(ProfileRecord{Workload: far, Optimum: core.Vector{Size: 300, Streams: 1, Depth: 1}})
+
+	ctl, err := core.NewVector(core.DefaultVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctl.Vector()
+	if s.WarmStart(ctl, WorkloadDescriptor{TupleBytes: 64, ScaleFactor: 1}, 0) {
+		t.Fatal("warm start accepted a record far outside the radius")
+	}
+	if ctl.Vector() != before {
+		t.Fatal("rejected warm start still moved the controller")
+	}
+	if !s.WarmStart(ctl, far, 0) {
+		t.Fatal("warm start rejected an exact match")
+	}
+	if got := ctl.Vector(); got.Size != 300 || got.Streams != 1 {
+		t.Fatalf("warm start set %v", got)
+	}
+}
+
+func TestOpenStoreCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("corrupt store opened without error")
+	}
+}
+
+func TestVectorColdStartSweepsThenWarmStarts(t *testing.T) {
+	ctl, err := core.NewVector(core.DefaultVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := core.Limits{Min: 100, Max: 20000}
+	cs, err := NewVectorColdStart(ctl, limits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := SamplePlan(limits, DefaultSampleCount)
+	// A clean convex per-tuple profile with its minimum near 5000.
+	f := func(x int) float64 {
+		fx := float64(x)
+		return 200/fx + 0.01*fx/1000
+	}
+	for i, want := range plan {
+		v := cs.Vector()
+		if v.Size != want {
+			t.Fatalf("probe %d: size %d, plan says %d", i, v.Size, want)
+		}
+		if v.Streams != 1 || v.Depth != 1 {
+			t.Fatalf("identification must run at the initial streams/depth, got %v", v)
+		}
+		cs.Observe(f(v.Size))
+	}
+	if !cs.Done() {
+		t.Fatal("sweep did not finish after the full plan")
+	}
+	fitted := cs.FittedSize()
+	if fitted < 1000 || fitted > 12000 {
+		t.Fatalf("fitted size %d far from the profile's optimum", fitted)
+	}
+	if got := cs.Vector(); got.Size != fitted {
+		t.Fatalf("controller not warm-started at the fitted size: %v", got)
+	}
+	// Subsequent observations drive the wrapped controller.
+	steps := ctl.Steps()
+	for i := 0; i < 6; i++ {
+		cs.Observe(f(cs.Vector().Size))
+	}
+	if ctl.Steps() <= steps {
+		t.Fatal("post-identification feedback never reached the controller")
+	}
+}
