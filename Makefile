@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress allocgate verify chaos bench bench-contention bench-wire bench-vector clean
+.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim verify chaos bench bench-contention bench-wire bench-vector bench-slo clean
 
 all: verify
 
@@ -34,11 +34,19 @@ stress:
 allocgate:
 	$(GO) test -count=1 -run '^TestBinaryRoundTripAllocGate$$' ./internal/wire
 
+# slo-sim runs the deterministic coupled-loop control suite under
+# -race: regulator unit behaviour (tracking, clamping, anti-windup,
+# seeded determinism) plus the coupled client-vs-admission scenarios,
+# including the mis-tuned-gain oscillation regression.
+slo-sim:
+	$(GO) test -race -count=1 ./internal/regulator
+	$(GO) test -race -count=1 -run '^TestCoupledLoop' ./internal/sim
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # under the race detector, survive the fuzz seed corpora, hold up under
-# the concurrency stress gate, and keep the wire hot path within its
-# allocation budget.
-verify: build vet race fuzzseeds stress allocgate
+# the concurrency stress gate, keep the wire hot path within its
+# allocation budget, and keep the coupled control loops stable.
+verify: build vet race fuzzseeds stress allocgate slo-sim
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -69,6 +77,13 @@ bench-wire:
 # that move when the vector control loop or the profile store changes.
 bench-vector:
 	$(GO) run ./cmd/wsbench -vector -json BENCH_vector.json
+
+# bench-slo records the SLO-regulation sweep into BENCH_slo.json: the
+# coupled-loop scenarios run under a static admission ceiling and under
+# both regulator laws — the contrast that shows the regulator holding
+# the p95 SLO where static -max-sessions misses it.
+bench-slo:
+	$(GO) run ./cmd/wsbench -slo -json BENCH_slo.json
 
 clean:
 	$(GO) clean ./...

@@ -80,15 +80,15 @@ type transferReport struct {
 
 func main() {
 	var (
-		confName  = flag.String("conf", "conf2.2", "link profile shaping the injected delays")
-		sf        = flag.Float64("sf", 0.1, "TPC-H scale factor for the served data")
-		runs      = flag.Int("runs", 3, "runs per controller (results are averaged)")
-		codecName = flag.String("codec", "xml", "block codec")
-		seed      = flag.Int64("seed", 1, "randomization seed")
-		jsonOut   = flag.String("json", "", "write a machine-readable transfer report (e.g. BENCH_transfer.json)")
-		replicas  = flag.Int("replicas", 1, "serve the bench from this many identical in-process replicas (exercises hedging and failover)")
-		hedge     = flag.Float64("hedge", 0.9, "hedge a straggling pull after this fraction of its deadline (multi-replica runs; 0 disables)")
-		clients   = flag.Int("clients", 1, "concurrent query streams per controller run (server concurrency under the full controller matrix)")
+		confName   = flag.String("conf", "conf2.2", "link profile shaping the injected delays")
+		sf         = flag.Float64("sf", 0.1, "TPC-H scale factor for the served data")
+		runs       = flag.Int("runs", 3, "runs per controller (results are averaged)")
+		codecName  = flag.String("codec", "xml", "block codec")
+		seed       = flag.Int64("seed", 1, "randomization seed")
+		jsonOut    = flag.String("json", "", "write a machine-readable transfer report (e.g. BENCH_transfer.json)")
+		replicas   = flag.Int("replicas", 1, "serve the bench from this many identical in-process replicas (exercises hedging and failover)")
+		hedge      = flag.Float64("hedge", 0.9, "hedge a straggling pull after this fraction of its deadline (multi-replica runs; 0 disables)")
+		clients    = flag.Int("clients", 1, "concurrent query streams per controller run (server concurrency under the full controller matrix)")
 		contention = flag.String("contention", "",
 			"run the server-contention sweep instead of the controller matrix: comma-separated client counts, e.g. 1,4,8")
 		contentionDur  = flag.Duration("contention-duration", 2*time.Second, "how long each contention level runs")
@@ -99,10 +99,19 @@ func main() {
 		vectorSweep = flag.Bool("vector", false,
 			"run the multi-dimensional controller sweep instead of the controller matrix: vector vs single-knob vs warm/cold start on the reference vector scenarios")
 		vectorRounds = flag.Int("vector-rounds", 400, "simulated transfer rounds per vector-sweep cell")
+		sloSweep     = flag.Bool("slo", false,
+			"run the SLO-regulation sweep instead of the controller matrix: static admission vs both regulator laws on the coupled-loop scenarios")
+		sloTicks = flag.Int("slo-ticks", 140, "regulator ticks per SLO-sweep cell")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
 
+	if *sloSweep {
+		if err := runSLOSweep(logger, *sloTicks, *seed, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
 	if *vectorSweep {
 		if err := runVectorSweep(logger, *vectorRounds, *seed, *jsonOut); err != nil {
 			logger.Fatal(err)

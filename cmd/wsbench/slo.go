@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"wsopt/internal/regulator"
+	"wsopt/internal/sim"
+)
+
+// sloCell is one (scenario, admission policy) entry in the SLO report.
+type sloCell struct {
+	sim.CoupledResult
+	Policy      string  `json:"policy"`
+	MaxPressure float64 `json:"max_pressure"`
+}
+
+// runSLOSweep runs the coupled-loop scenario family three ways per
+// scenario — a static admission ceiling (the pre-regulator -max-sessions
+// behaviour, emulated by pinning floor == ceiling) and the two regulator
+// laws — and reports how much of the late run each policy kept inside
+// the SLO band. The acceptance evidence for the admission regulator is
+// the contrast: on the latency- and overload-bound scenarios the static
+// ceiling misses the SLO badly while both laws hold it, at an admitted
+// population above the floor. `make bench-slo` records it as
+// BENCH_slo.json.
+func runSLOSweep(logger *log.Logger, ticks int, seed int64, jsonOut string) error {
+	opt := sim.CoupledOptions{Ticks: ticks, Seed: seed}
+
+	var results []sloCell
+	for _, sc := range sim.CoupledScenarios() {
+		static := sc
+		static.Floor = static.Ceiling // clamp pins the limit: no regulation
+		for _, cell := range []struct {
+			policy string
+			sc     sim.CoupledScenario
+			mode   regulator.Mode
+		}{
+			{"static-ceiling", static, regulator.ModeProportional},
+			{"proportional", sc, regulator.ModeProportional},
+			{"step", sc, regulator.ModeStep},
+		} {
+			s := cell.sc
+			s.Mode = cell.mode
+			r := sim.RunCoupled(s, opt)
+			maxP := 0.0
+			for _, p := range r.Pressures {
+				if p > maxP {
+					maxP = p
+				}
+			}
+			results = append(results, sloCell{CoupledResult: r, Policy: cell.policy, MaxPressure: maxP})
+			logger.Printf("slo: %s/%s -> %.0f%% within SLO, final limit %d",
+				sc.Name, cell.policy, 100*r.WithinSLOFrac, r.FinalLimit)
+		}
+	}
+
+	fmt.Printf("SLO-regulation sweep: %d regulator ticks per cell, seed %d\n\n", ticks, seed)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tpolicy\tSLO p95\twithin SLO\tfinal limit\tmean admitted\tsettled@\tovershoot\toscillating\tmax pressure")
+	for _, r := range results {
+		settled := "never"
+		if r.SettlingTick >= 0 {
+			settled = fmt.Sprintf("tick %d", r.SettlingTick)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%gms\t%.0f%%\t%d\t%.1f\t%s\t%.0f%%\t%v\t%.2f\n",
+			r.Scenario, r.Policy, r.SLOp95MS, 100*r.WithinSLOFrac, r.FinalLimit,
+			r.MeanAdmitted, settled, 100*r.OvershootFrac, r.Oscillating, r.MaxPressure)
+	}
+	w.Flush()
+
+	if jsonOut != "" {
+		doc := struct {
+			Ticks   int       `json:"ticks"`
+			Seed    int64     `json:"seed"`
+			Results []sloCell `json:"results"`
+		}{Ticks: ticks, Seed: seed, Results: results}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("SLO report written to %s", jsonOut)
+	}
+	return nil
+}

@@ -34,6 +34,7 @@ import (
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
+	"wsopt/internal/regulator"
 	"wsopt/internal/service"
 	"wsopt/internal/tpch"
 	"wsopt/internal/wire"
@@ -56,7 +57,14 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 0, "chaos: fault RNG seed (0 = derive from clock)")
 
 		maxSessions = flag.Int("max-sessions", 0, "admission control: refuse new sessions with 503 + Retry-After beyond this many open cursors (0 = unlimited)")
-		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with admission-control 503s")
+		retryAfter  = flag.Duration("retry-after", time.Second, "base Retry-After hint sent with admission-control 503s (scaled by regulator pressure)")
+
+		sloP95MS     = flag.Float64("slo-p95-ms", 0, "SLO regulation: hold the p95 block-serve time at this many milliseconds by actuating the session limit (0 = static -max-sessions)")
+		regInterval  = flag.Duration("regulate-interval", time.Second, "SLO regulation: control-loop tick interval")
+		regModeName  = flag.String("regulate-mode", "proportional", "SLO regulation: control law, proportional or step")
+		regFloor     = flag.Int("regulate-floor", 1, "SLO regulation: lowest admitted-session ceiling the regulator may command")
+		regCeiling   = flag.Int("regulate-ceiling", 0, "SLO regulation: highest admitted-session ceiling (0 = use -max-sessions, or 64 when that is unlimited)")
+		loadFromLive = flag.Bool("load-live", false, "couple the injected-delay model to the live session count (each extra open session adds one concurrent query to the simulated load)")
 	)
 	flag.Parse()
 
@@ -117,16 +125,17 @@ func main() {
 	reg := metrics.NewRegistry()
 	metrics.RegisterRuntime(reg)
 	srv, err := service.New(service.Config{
-		Catalog:     cat,
-		Codec:       codec,
-		CostModel:   model,
-		SleepScale:  *timescale,
-		Logger:      reqLogger,
-		Seed:        seed,
-		Faults:      faults,
-		Metrics:     reg,
-		MaxSessions: *maxSessions,
-		RetryAfter:  *retryAfter,
+		Catalog:          cat,
+		Codec:            codec,
+		CostModel:        model,
+		SleepScale:       *timescale,
+		Logger:           reqLogger,
+		Seed:             seed,
+		Faults:           faults,
+		Metrics:          reg,
+		MaxSessions:      *maxSessions,
+		RetryAfter:       *retryAfter,
+		LoadFromSessions: *loadFromLive,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -137,6 +146,42 @@ func main() {
 	}
 	if *maxSessions > 0 {
 		logger.Printf("admission control: max %d concurrent sessions (Retry-After %s)", *maxSessions, *retryAfter)
+	}
+
+	// SLO regulation: a feedback loop owns the session limit, reading the
+	// windowed p95 block-serve time and steering it onto the setpoint.
+	var regRunner *regulator.Runner
+	if *sloP95MS > 0 {
+		mode, err := regulator.ParseMode(*regModeName)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ceiling := *regCeiling
+		if ceiling == 0 {
+			ceiling = *maxSessions
+		}
+		if ceiling == 0 {
+			ceiling = 64
+		}
+		regCtl, err := regulator.New(regulator.Config{
+			SLOp95MS: *sloP95MS,
+			Mode:     mode,
+			Floor:    *regFloor,
+			Ceiling:  ceiling,
+			Seed:     seed,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		regulator.Register(reg, regCtl)
+		regRunner = &regulator.Runner{
+			Reg:      regCtl,
+			Interval: *regInterval,
+			Src:      srv.BlockServeSnapshot,
+			Sink:     srv,
+		}
+		logger.Printf("SLO regulation: p95 <= %gms, %s law, limit in [%d, %d], tick %s",
+			*sloP95MS, mode, *regFloor, ceiling, *regInterval)
 	}
 
 	// Janitor: expire idle sessions once a minute.
@@ -187,6 +232,9 @@ func main() {
 	// Graceful shutdown: finish in-flight block transfers on SIGINT/TERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if regRunner != nil {
+		go regRunner.Run(ctx)
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)

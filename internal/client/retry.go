@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"wsopt/internal/service"
 )
 
 // RetryPolicy controls retries of every request the client makes:
@@ -101,9 +103,18 @@ func retryAfterHint(err error) time.Duration {
 	return 0
 }
 
-// parseRetryAfter reads a Retry-After header as delay-seconds or an
-// HTTP-date; zero when absent or unparseable.
+// parseRetryAfter reads the server's backoff hint. The precise
+// X-Retry-After-Ms header wins when present: the integer Retry-After
+// rounds sub-second prices up to a whole second, and under regulator
+// delay pricing that would make every shed client over-wait by up to
+// 999ms. Falls back to Retry-After as delay-seconds or an HTTP-date;
+// zero when absent or unparseable.
 func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get(service.HeaderRetryAfterMS); v != "" {
+		if ms, err := strconv.ParseFloat(v, 64); err == nil && ms > 0 {
+			return time.Duration(ms * float64(time.Millisecond))
+		}
+	}
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0

@@ -230,3 +230,33 @@ func TestRetryContextExpiryKeepsLastError(t *testing.T) {
 		t.Fatalf("err = %v, want the last attempt's failure preserved", err)
 	}
 }
+
+// The precise X-Retry-After-Ms header must win over the rounded-up
+// integer Retry-After: under regulator delay pricing a 1.2s price is
+// sent as Retry-After "2" + X-Retry-After-Ms "1200.000", and a
+// pressure-aware client should wait ~1.2s, not 2s.
+func TestParseRetryAfterPrefersPreciseHeader(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "2")
+	h.Set(service.HeaderRetryAfterMS, "1200.000")
+	if got := parseRetryAfter(h); got != 1200*time.Millisecond {
+		t.Fatalf("parseRetryAfter = %v, want 1.2s from the precise header", got)
+	}
+
+	// Garbage in the precise header falls back to the integer one.
+	h.Set(service.HeaderRetryAfterMS, "soon")
+	if got := parseRetryAfter(h); got != 2*time.Second {
+		t.Fatalf("parseRetryAfter with bad ms header = %v, want 2s fallback", got)
+	}
+
+	// A zero/negative precise value is no hint, not a zero-sleep license.
+	h.Set(service.HeaderRetryAfterMS, "0")
+	if got := parseRetryAfter(h); got != 2*time.Second {
+		t.Fatalf("parseRetryAfter with zero ms header = %v, want 2s fallback", got)
+	}
+
+	// Absent both: zero.
+	if got := parseRetryAfter(http.Header{}); got != 0 {
+		t.Fatalf("parseRetryAfter on empty headers = %v, want 0", got)
+	}
+}

@@ -1,0 +1,162 @@
+package e2e
+
+import (
+	"bytes"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"wsopt/internal/tpch"
+)
+
+// cmdOutput collects a child process's combined output safely while the
+// parent concurrently polls /metrics.
+type cmdOutput struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (c *cmdOutput) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.Write(p)
+}
+
+func (c *cmdOutput) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.String()
+}
+
+// The SLO-regulation gate: a race-built wsblockd with the admission
+// regulator enabled, driven by wsload at roughly 3x the concurrency the
+// injected-delay model can sustain inside the SLO. The regulator must
+// shed the excess (503 + priced Retry-After), steer the windowed p95
+// into the SLO band, and keep the admitted population above the floor —
+// all while the retrying streams still receive every tuple exactly once.
+//
+// The arithmetic behind the constants: conf1.1 prices a 150-tuple block
+// at (1040 + 2.9·150) simulated ms ≈ 7.4 real ms at timescale 0.005,
+// race instrumentation roughly doubles that solo, and -load-live
+// inflates the injected delay per extra admitted session — measured
+// p95s climb ~15 → 17.5 → 25 → 30 → 50ms at 1/2/3/4/8 streams. A 25ms
+// p95 SLO therefore sustains ~3 admitted sessions; eight wsload
+// streams demand roughly 3x that.
+func TestOverloadRegulatorHoldsSLO(t *testing.T) {
+	wsblockd, wsload := buildStressBinaries(t)
+
+	const (
+		sloMS            = 25.0
+		streams          = 8
+		queriesPerStream = 10
+		floor            = 1
+		ceiling          = 16
+	)
+	d := startDaemon(t, wsblockd,
+		"-conf", "conf1.1", "-timescale", "0.005", "-load-live",
+		"-slo-p95-ms", strconv.FormatFloat(sloMS, 'f', -1, 64),
+		"-regulate-interval", "150ms",
+		"-regulate-floor", strconv.Itoa(floor),
+		"-regulate-ceiling", strconv.Itoa(ceiling),
+		"-retry-after", "200ms",
+	)
+
+	cmd := exec.Command(wsload,
+		"-url", d.baseURL, "-table", "customer",
+		"-streams", strconv.Itoa(streams), "-size", "150",
+		"-max-queries", strconv.Itoa(queriesPerStream),
+		"-retries", "100",
+		"-duration", "180s")
+	out := &cmdOutput{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start wsload: %v", err)
+	}
+	loadDone := make(chan error, 1)
+	go func() { loadDone <- cmd.Wait() }()
+
+	// Sample the regulator's loop state while the overload is live.
+	type sample struct {
+		p95, limit, shed, ticks float64
+	}
+	var samples []sample
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	var loadErr error
+sampling:
+	for {
+		select {
+		case loadErr = <-loadDone:
+			break sampling
+		case <-ticker.C:
+			_, body := httpGet(t, d.metricsURL+"/metrics")
+			m := parseMetrics(body)
+			samples = append(samples, sample{
+				p95:   m["wsopt_regulator_p95_ms"],
+				limit: m["wsopt_regulator_session_limit"],
+				shed:  m["wsopt_service_sessions_shed_total"],
+				ticks: m["wsopt_regulator_ticks_total"],
+			})
+		}
+	}
+	if loadErr != nil {
+		t.Fatalf("wsload under regulation failed: %v\n%s", loadErr, out.String())
+	}
+
+	// No tuple lost, none duplicated: the load generator's own accounting
+	// is the ground truth (block replays make server-side counters
+	// legitimately higher).
+	mTot := loadTotalRE.FindStringSubmatch(out.String())
+	if mTot == nil {
+		t.Fatalf("wsload output has no total line:\n%s", out.String())
+	}
+	queries, _ := strconv.Atoi(mTot[1])
+	tuples, _ := strconv.Atoi(mTot[2])
+	wantQueries := streams * queriesPerStream
+	wantTuples := wantQueries * tpch.CustomerCount(scaleFactor)
+	if queries != wantQueries {
+		t.Errorf("completed %d queries, want %d", queries, wantQueries)
+	}
+	if tuples != wantTuples {
+		t.Errorf("streams saw %d tuples, want %d — tuples lost or duplicated under shedding", tuples, wantTuples)
+	}
+
+	if len(samples) < 8 {
+		t.Fatalf("only %d metric samples during the run — load finished before the loop could be observed", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.ticks < 10 {
+		t.Fatalf("regulator ticked %g times during the whole run — the loop never ran", last.ticks)
+	}
+	if last.shed == 0 {
+		t.Errorf("no sessions shed at 3x sustainable concurrency — admission control never engaged")
+	}
+
+	// Convergence: in the second half of the run, the windowed p95 must
+	// mostly sit inside the SLO band, and the admitted ceiling must stay
+	// above the floor (the regulator serves the SLO by metering, not by
+	// starving the service).
+	half := samples[len(samples)/2:]
+	within, aboveFloor := 0, 0
+	for _, s := range half {
+		if s.p95 > 0 && s.p95 <= sloMS*1.5 {
+			within++
+		}
+		if s.limit > floor {
+			aboveFloor++
+		}
+		if s.limit < floor || s.limit > ceiling {
+			t.Fatalf("sampled session limit %g outside [%d, %d]", s.limit, floor, ceiling)
+		}
+	}
+	if frac := float64(within) / float64(len(half)); frac < 0.5 {
+		t.Errorf("p95 within 1.5x SLO in only %.0f%% of late samples, want >= 50%%; samples: %+v", 100*frac, half)
+	}
+	if frac := float64(aboveFloor) / float64(len(half)); frac < 0.5 {
+		t.Errorf("admitted ceiling at the floor in %.0f%% of late samples — the regulator collapsed instead of regulating", 100*(1-frac))
+	}
+
+	d.stop(t)
+}

@@ -99,9 +99,14 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// snapshot copies the histogram state. Buckets are read individually, so
+// Snapshot copies the histogram state. Buckets are read individually, so
 // under concurrent writes the copy is only approximately consistent —
-// exact once writers quiesce, which is what tests need.
+// exact once writers quiesce. Periodic consumers (the admission
+// regulator windows two snapshots into a per-interval histogram) tolerate
+// the skew: an observation that straddles the snapshot lands in the next
+// window instead of being lost.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds: h.bounds,
@@ -123,6 +128,11 @@ var (
 	// DefSizeBuckets covers block sizes in tuples across the paper's
 	// admissible range [100, 20000] with headroom on both sides.
 	DefSizeBuckets = []float64{16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	// DefServeBuckets resolves serve-time feedback for the SLO regulator:
+	// a windowed quantile can only be read to bucket resolution, so the
+	// 5-50ms regime typical SLOs live in gets ~2.5-5ms buckets instead of
+	// DefLatencyBuckets' 10→25→50 jumps.
+	DefServeBuckets = []float64{1, 2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20, 25, 30, 40, 50, 75, 100, 150, 250, 500, 1000, 2500, 5000, 10000, 30000}
 )
 
 // collector is one registered series.

@@ -22,6 +22,33 @@ type HistogramSnapshot struct {
 	Counts []int64
 }
 
+// Sub returns the per-interval histogram between an earlier snapshot of
+// the same series and this one: bucket counts, count, and sum are
+// differenced. Quantiles of the result describe only the observations
+// that arrived in between — the windowed view a feedback controller needs
+// from a cumulative histogram. Mismatched bucket layouts (or a counter
+// reset) yield the current snapshot unchanged, which self-heals on the
+// next interval.
+func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(h.Counts) || prev.Count > h.Count {
+		return h
+	}
+	out := HistogramSnapshot{
+		Bounds: h.Bounds,
+		Count:  h.Count - prev.Count,
+		Sum:    h.Sum - prev.Sum,
+		Counts: make([]int64, len(h.Counts)),
+	}
+	for i := range h.Counts {
+		d := h.Counts[i] - prev.Counts[i]
+		if d < 0 {
+			return h
+		}
+		out.Counts[i] = d
+	}
+	return out
+}
+
 // Mean returns the average observation, or 0 when empty.
 func (h HistogramSnapshot) Mean() float64 {
 	if h.Count == 0 {

@@ -1,0 +1,93 @@
+package regulator
+
+import "math"
+
+// Stability analysis over a regulator trajectory — the classical
+// step-response vocabulary (settling time, overshoot) plus a sustained-
+// oscillation detector for the failure mode Arslan & Kosar warn stacked
+// tuning loops about: two controllers fighting each other in a limit
+// cycle that never decays. internal/sim's coupled-loop suite asserts
+// these over the setpoint-error series of every scenario, and the
+// detector itself is regression-tested both ways (a deliberately
+// mis-tuned gain must be flagged; a settling run must not).
+
+// SettlingIndex returns the first index i such that every error from i
+// on stays within ±band, or -1 when the series never settles. The band
+// is in the error's own units (milliseconds for the p95 loop).
+func SettlingIndex(errs []float64, band float64) int {
+	if len(errs) == 0 {
+		return -1
+	}
+	settled := -1
+	for i, e := range errs {
+		if math.Abs(e) > band {
+			settled = -1
+			continue
+		}
+		if settled < 0 {
+			settled = i
+		}
+	}
+	return settled
+}
+
+// Overshoot measures the worst normalized excursion |v−setpoint|/setpoint
+// occurring *after* the series first enters ±band around the setpoint —
+// the classical overshoot of a step response, 0 when the series never
+// re-escapes the band (or never reaches it).
+func Overshoot(series []float64, setpoint, band float64) float64 {
+	if setpoint == 0 {
+		return 0
+	}
+	entered := false
+	worst := 0.0
+	for _, v := range series {
+		dev := math.Abs(v - setpoint)
+		if !entered {
+			if dev <= band {
+				entered = true
+			}
+			continue
+		}
+		if n := dev / math.Abs(setpoint); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// Oscillating detects a sustained oscillation in a setpoint-error
+// series: sign alternations whose amplitude reaches at least minAmp,
+// counted with hysteresis (the error must actually swing past ±minAmp,
+// so noise jittering around zero is not an alternation), restricted to
+// the second half of the series — a loop that rang during its transient
+// and then settled is not oscillating, one that still alternates at the
+// end is. It reports true when the late alternation count reaches
+// minSwings.
+func Oscillating(errs []float64, minAmp float64, minSwings int) bool {
+	if minSwings < 1 {
+		minSwings = 1
+	}
+	start := len(errs) / 2
+	sign := 0
+	swings := 0
+	for i, e := range errs {
+		var s int
+		switch {
+		case e >= minAmp:
+			s = 1
+		case e <= -minAmp:
+			s = -1
+		default:
+			continue // inside the hysteresis band: no opinion
+		}
+		if sign != 0 && s != sign && i >= start {
+			swings++
+			if swings >= minSwings {
+				return true
+			}
+		}
+		sign = s
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package regulator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSettlingIndex(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		errs []float64
+		band float64
+		want int
+	}{
+		{"empty", nil, 5, -1},
+		{"never settles", []float64{10, -12, 11, -9}, 5, -1},
+		{"settles midway", []float64{40, 20, 8, 3, -2, 1}, 5, 3},
+		{"late escape resets", []float64{40, 2, 1, 9, 2, 1}, 5, 4},
+		{"settled from start", []float64{1, -1, 0}, 5, 0},
+		{"last sample escapes", []float64{40, 2, 1, 9}, 5, -1},
+	} {
+		if got := SettlingIndex(tc.errs, tc.band); got != tc.want {
+			t.Errorf("%s: SettlingIndex = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOvershoot(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		series   []float64
+		setpoint float64
+		band     float64
+		want     float64
+	}{
+		{"never enters band", []float64{500, 400, 300}, 100, 10, 0},
+		{"enters and stays", []float64{500, 105, 98, 102}, 100, 10, 0.02},
+		{"rings after entry", []float64{500, 100, 150, 100, 80}, 100, 10, 0.5},
+		{"zero setpoint degenerate", []float64{5, -5}, 0, 1, 0},
+	} {
+		if got := Overshoot(tc.series, tc.setpoint, tc.band); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Overshoot = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// The oscillation detector is the regression oracle for the coupled-loop
+// suite, so it is itself tested both ways: a sustained limit cycle must
+// trip it, and transient ringing, small-amplitude noise, or a settling
+// run must not.
+func TestOscillatingDetector(t *testing.T) {
+	ringsThenSettles := make([]float64, 40)
+	for i := range ringsThenSettles {
+		if i < 10 {
+			ringsThenSettles[i] = 50 * math.Pow(-1, float64(i))
+		} else {
+			ringsThenSettles[i] = 1
+		}
+	}
+	limitCycle := make([]float64, 40)
+	for i := range limitCycle {
+		limitCycle[i] = 30 * math.Pow(-1, float64(i))
+	}
+	noise := make([]float64, 40)
+	for i := range noise {
+		noise[i] = 2 * math.Pow(-1, float64(i)) // alternating, but tiny
+	}
+	oneSided := make([]float64, 40)
+	for i := range oneSided {
+		oneSided[i] = 30 + 10*math.Pow(-1, float64(i)) // wobbles, never crosses zero
+	}
+
+	for _, tc := range []struct {
+		name string
+		errs []float64
+		want bool
+	}{
+		{"sustained limit cycle", limitCycle, true},
+		{"transient ringing then settled", ringsThenSettles, false},
+		{"small-amplitude chatter", noise, false},
+		{"one-sided wobble", oneSided, false},
+		{"empty", nil, false},
+	} {
+		if got := Oscillating(tc.errs, 10, 4); got != tc.want {
+			t.Errorf("%s: Oscillating = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ type serviceMetrics struct {
 
 	blockSize  *metrics.Histogram
 	blockDelay *metrics.Histogram
+	blockServe *metrics.Histogram
 }
 
 // newServiceMetrics registers the service's series in reg. The live
@@ -49,6 +50,7 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 
 		blockSize:  reg.Histogram("wsopt_service_block_size_tuples", "Tuples per served block.", metrics.DefSizeBuckets),
 		blockDelay: reg.Histogram("wsopt_service_block_delay_ms", "Injected simulated delay per served block, in milliseconds.", metrics.DefLatencyBuckets),
+		blockServe: reg.Histogram("wsopt_service_block_serve_ms", "Wall time to serve one block (injected delay included), in milliseconds — the SLO regulator's feedback signal.", metrics.DefServeBuckets),
 	}
 	reg.GaugeFunc("wsopt_service_sessions_live", "Currently open sessions (downloads + uploads).", func() float64 {
 		return float64(s.liveSessions())
@@ -56,6 +58,12 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 	reg.GaugeFunc("wsopt_service_stream_groups_active", "Stream groups currently holding at least one open cursor.", func() float64 {
 		_, _, active := s.groups.snapshot()
 		return float64(active)
+	})
+	reg.GaugeFunc("wsopt_service_session_limit", "Live admitted-session ceiling (0 = unlimited); owned by the SLO regulator when one is running.", func() float64 {
+		return float64(s.SessionLimit())
+	})
+	reg.GaugeFunc("wsopt_service_admission_pressure", "Live delay-pricing pressure scaling Retry-After on shed sessions (0 = none).", func() float64 {
+		return s.AdmissionPressure()
 	})
 	return m
 }

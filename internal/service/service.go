@@ -86,15 +86,26 @@ type Config struct {
 	// Faults injects transport failures on the block endpoints for
 	// chaos testing; the zero value injects nothing.
 	Faults FaultConfig
-	// MaxSessions bounds concurrently open cursors (downloads + uploads).
-	// When the bound is reached, session creation is shed with 503 and a
-	// Retry-After header before any query executes, so an overloaded
-	// server degrades into fast, explicit refusals instead of a timeout
-	// pile-up. Zero means unlimited.
+	// MaxSessions seeds the admitted-session ceiling (downloads +
+	// uploads). When the ceiling is reached, session creation is shed with
+	// 503 and a Retry-After header before any query executes, so an
+	// overloaded server degrades into fast, explicit refusals instead of a
+	// timeout pile-up. Zero means unlimited. This is only the *initial*
+	// value: at runtime the ceiling is a live setpoint owned by the SLO
+	// regulator (or an operator) via SetSessionLimit.
 	MaxSessions int
-	// RetryAfter is the backoff hint sent with shed requests
-	// (default 1s; rounded up to whole seconds on the wire).
+	// RetryAfter is the base backoff hint sent with shed requests
+	// (default 1s). On the wire it is scaled by the live admission
+	// pressure and rounded up to whole seconds — see admission.go.
 	RetryAfter time.Duration
+	// LoadFromSessions couples the injected-delay cost model to the
+	// server's *actual* concurrency: each block is priced under the
+	// configured load plus one simulated concurrent query per other live
+	// download session. This closes the physical loop the SLO regulator
+	// needs — admitting more sessions genuinely raises every session's
+	// block RTT — so a single binary can reproduce the coupled
+	// client/server control experiments end to end.
+	LoadFromSessions bool
 	// Metrics receives the service's counters and histograms; nil uses a
 	// private registry so recording is always safe. Pass the registry
 	// that backs /metrics to expose them.
@@ -118,8 +129,12 @@ type Server struct {
 	ingests  *shardedStore[*ingestSession]
 	nextID   atomic.Uint64
 	// cursors counts reserved admission slots (open cursors plus creates
-	// in flight), giving MaxSessions a hard bound without a global lock.
+	// in flight), giving the session limit a hard bound without a global
+	// lock.
 	cursors atomic.Int64
+	// admission holds the live session limit and delay-pricing pressure —
+	// the two actuators the SLO regulator drives (admission.go).
+	admission admission
 	// groups accounts for parallel-stream clients (streams.go); touched
 	// only on session create/close, never on the block hot path.
 	groups streamGroups
@@ -158,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		sessions: newShardedStore[*session](),
 		ingests:  newShardedStore[*ingestSession](),
 	}
+	s.admission.limit.Store(int64(cfg.MaxSessions))
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -410,40 +426,6 @@ func (s *Server) sessionSeed(n uint64) int64 {
 	return int64(z)
 }
 
-// retryAfterSeconds converts the configured hint to wire format: whole
-// seconds, rounded up (a 1500ms hint must not tell clients to come back
-// after 1s), minimum 1.
-func retryAfterSeconds(d time.Duration) int {
-	secs := int((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
-
-// admitCursor reserves an admission slot for a new cursor. With no
-// MaxSessions bound it only counts; with a bound it refuses with
-// 503 + Retry-After once the bound is reached — before any query
-// executes, so shedding is cheap. The reservation is a single atomic
-// add, giving a hard bound even under concurrent creates; the caller
-// must releaseCursor when the cursor closes (or when creation fails).
-func (s *Server) admitCursor(w http.ResponseWriter) bool {
-	n := s.cursors.Add(1)
-	if max := int64(s.cfg.MaxSessions); max > 0 && n > max {
-		s.cursors.Add(-1)
-		s.stats.sessionsShed.Add(1)
-		s.metrics.sessionsShed.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-		httpError(w, http.StatusServiceUnavailable,
-			"session limit reached (%d open)", s.cfg.MaxSessions)
-		return false
-	}
-	return true
-}
-
-// releaseCursor returns an admission slot.
-func (s *Server) releaseCursor() { s.cursors.Add(-1) }
-
 // createRequest is the body of POST /sessions.
 type createRequest struct {
 	Table    string   `json:"table"`
@@ -545,6 +527,7 @@ func skipRows(it minidb.Iterator, n int) error {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
 	sess, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such session")
@@ -593,7 +576,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	if hasSeq {
 		switch {
 		case seq == sess.lastSeq && sess.replay != nil:
-			s.serveReplay(w, sess, fault)
+			s.serveReplay(w, sess, fault, started)
 			return
 		case seq == sess.lastSeq+1:
 			// Fresh block, handled below.
@@ -661,7 +644,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	sess.done = done
 	releaseReplay(superseded)
 
-	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault)
+	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault, started)
 }
 
 // sleepInterruptible sleeps for d unless the context is cancelled first;
@@ -681,16 +664,18 @@ func sleepInterruptible(ctx context.Context, d time.Duration) bool {
 }
 
 // serveReplay re-sends the buffered block verbatim.
-func (s *Server) serveReplay(w http.ResponseWriter, sess *session, fault faultKind) {
+func (s *Server) serveReplay(w http.ResponseWriter, sess *session, fault faultKind, started time.Time) {
 	s.stats.blocksReplayed.Add(1)
 	s.metrics.blocksReplayed.Inc()
-	s.writeBlock(w, sess, sess.replay, true, true, fault)
+	s.writeBlock(w, sess, sess.replay, true, true, fault, started)
 }
 
 // writeBlock writes one block response (fresh or replayed), applying any
 // injected drop/truncate fault, and accounts served stats only after the
-// payload is fully written.
-func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBlock, hasSeq, replayed bool, fault faultKind) {
+// payload is fully written. started is when the pull entered the handler;
+// the served wall time (injected delay included) feeds the block-RTT
+// histogram the SLO regulator closes its loop on.
+func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBlock, hasSeq, replayed bool, fault faultKind, started time.Time) {
 	if fault == faultDrop {
 		s.countFault(fault)
 		s.logf("session %s: injected fault: dropping connection", sess.id)
@@ -723,17 +708,33 @@ func (s *Server) writeBlock(w http.ResponseWriter, sess *session, rb *replayBloc
 	s.metrics.tuplesServed.Add(int64(rb.tuples))
 	s.metrics.blockSize.Observe(float64(rb.tuples))
 	s.metrics.blockDelay.Observe(rb.delayMS)
+	s.metrics.blockServe.Observe(float64(time.Since(started)) / float64(time.Millisecond))
+}
+
+// BlockServeSnapshot freezes the served-block wall-time histogram. The
+// SLO regulator windows consecutive snapshots into per-interval p95s.
+func (s *Server) BlockServeSnapshot() metrics.HistogramSnapshot {
+	return s.metrics.blockServe.Snapshot()
 }
 
 // priceBlock draws the simulated delay for a block under the current
 // load, using the caller's per-session RNG — no global lock is taken, so
-// concurrent sessions price blocks fully in parallel.
+// concurrent sessions price blocks fully in parallel. With
+// LoadFromSessions set, every other live download session counts as one
+// concurrent query on top of the configured load, so admitting more
+// sessions genuinely degrades each session's block RTT.
 func (s *Server) priceBlock(size int, rng *rand.Rand) float64 {
 	m := s.cfg.CostModel
 	if m.LatencyMS == 0 && m.PerTupleMS == 0 {
 		return 0
 	}
-	return m.Apply(s.Load()).BlockMS(size, rng)
+	l := s.Load()
+	if s.cfg.LoadFromSessions {
+		if others := s.sessions.size() - 1; others > 0 {
+			l.Queries += others
+		}
+	}
+	return m.Apply(l).BlockMS(size, rng)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

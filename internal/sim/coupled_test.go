@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"wsopt/internal/regulator"
+)
+
+// TestCoupledLoopStability runs every reference scenario under both
+// regulator laws and asserts the two coupled controllers (client
+// block-size tuning vs server admission) reach an accommodation:
+// bounded overshoot, no sustained oscillation, and a second half spent
+// at or under the SLO band.
+func TestCoupledLoopStability(t *testing.T) {
+	for _, sc := range CoupledScenarios() {
+		for _, mode := range []regulator.Mode{regulator.ModeProportional, regulator.ModeStep} {
+			for _, seed := range []int64{1, 2} {
+				s := sc
+				s.Mode = mode
+				t.Run(s.Name+"/"+mode.String(), func(t *testing.T) {
+					r := RunCoupled(s, CoupledOptions{Seed: seed})
+
+					if r.Oscillating {
+						t.Errorf("seed %d: sustained oscillation — the loops are fighting", seed)
+					}
+					if r.WithinSLOFrac < 0.95 {
+						t.Errorf("seed %d: only %.0f%% of late ticks within the SLO band", seed, 100*r.WithinSLOFrac)
+					}
+					for i, l := range r.Limits {
+						if l < s.Floor || l > s.Ceiling {
+							t.Fatalf("seed %d: tick %d commanded limit %d outside [%d, %d]", seed, i, l, s.Floor, s.Ceiling)
+						}
+					}
+					for i, p := range r.Pressures {
+						if p < 0 || p > 8 {
+							t.Fatalf("seed %d: tick %d pressure %g outside [0, 8]", seed, i, p)
+						}
+					}
+
+					switch s.Name {
+					case "bandwidth-bound":
+						// Ample capacity: the regulator must not shed anyone.
+						if r.FinalLimit != s.Ceiling {
+							t.Errorf("seed %d: final limit %d, want the ceiling %d (capacity is ample)", seed, r.FinalLimit, s.Ceiling)
+						}
+						if r.MeanAdmitted != float64(s.Ceiling) {
+							t.Errorf("seed %d: mean admitted %.2f, want %d — the regulator shed sessions it had headroom for", seed, r.MeanAdmitted, s.Ceiling)
+						}
+						for i, p := range r.P95s {
+							if p > s.SLOp95MS {
+								t.Errorf("seed %d: tick %d p95 %.0fms breached the %gms SLO under ample capacity", seed, i, p, s.SLOp95MS)
+								break
+							}
+						}
+					case "latency-bound":
+						// Near the setpoint: a mid-range limit, settled fast.
+						if r.SettlingTick < 0 || r.SettlingTick > 30 {
+							t.Errorf("seed %d: settled at tick %d, want within the first 30", seed, r.SettlingTick)
+						}
+						if r.FinalLimit <= s.Floor || r.FinalLimit >= s.Ceiling {
+							t.Errorf("seed %d: final limit %d, want strictly inside (%d, %d)", seed, r.FinalLimit, s.Floor, s.Ceiling)
+						}
+						if r.OvershootFrac > 0.6 {
+							t.Errorf("seed %d: overshoot %.0f%% after settling", seed, 100*r.OvershootFrac)
+						}
+					case "overload-bound":
+						// 12 clients against a service that sustains ~3: the
+						// regulator must shed most of the population, settle,
+						// and hold the SLO from above.
+						if r.SettlingTick < 0 || r.SettlingTick > 60 {
+							t.Errorf("seed %d: settled at tick %d, want within the first 60", seed, r.SettlingTick)
+						}
+						if r.FinalLimit >= s.Ceiling/2 {
+							t.Errorf("seed %d: final limit %d of ceiling %d — overload not shed", seed, r.FinalLimit, s.Ceiling)
+						}
+						if r.FinalLimit < s.Floor {
+							t.Errorf("seed %d: final limit %d below floor %d", seed, r.FinalLimit, s.Floor)
+						}
+						if r.OvershootFrac > 0.8 {
+							t.Errorf("seed %d: overshoot %.0f%% after settling", seed, 100*r.OvershootFrac)
+						}
+						maxP := 0.0
+						for _, p := range r.Pressures {
+							if p > maxP {
+								maxP = p
+							}
+						}
+						if maxP == 0 {
+							t.Errorf("seed %d: delay pricing never engaged during overload", seed)
+						}
+						if last := r.Pressures[len(r.Pressures)-1]; last > 1 {
+							t.Errorf("seed %d: pressure still %.2f after settling — pricing did not relax", seed, last)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCoupledLoopMisTunedGainOscillates regression-tests the oscillation
+// detector both ways on the same scenario, same seeds, same detector
+// parameters: a 24x-overtuned proportional gain with a collapsed
+// deadband must be flagged as a sustained oscillation, and the stock
+// tuning must not.
+func TestCoupledLoopMisTunedGainOscillates(t *testing.T) {
+	base := CoupledScenarios()[2] // overload-bound
+	base.Mode = regulator.ModeProportional
+	opt := CoupledOptions{OscAmp: 0.25, OscSwings: 6}
+	for seed := int64(1); seed <= 3; seed++ {
+		opt.Seed = seed
+
+		good := RunCoupled(base, opt)
+		if good.Oscillating {
+			t.Errorf("seed %d: stock gain flagged as oscillating — detector too trigger-happy", seed)
+		}
+
+		bad := base
+		bad.Gain = 12
+		bad.Deadband = 0.01
+		r := RunCoupled(bad, opt)
+		if !r.Oscillating {
+			t.Errorf("seed %d: gain 12 not flagged as oscillating — detector missed a real limit cycle", seed)
+		}
+	}
+}
+
+// TestCoupledLoopDeterministic: same scenario + seed → bit-identical
+// traces; a different seed must diverge.
+func TestCoupledLoopDeterministic(t *testing.T) {
+	sc := CoupledScenarios()[2]
+	a := RunCoupled(sc, CoupledOptions{Seed: 11})
+	b := RunCoupled(sc, CoupledOptions{Seed: 11})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different coupled-loop traces")
+	}
+	c := RunCoupled(sc, CoupledOptions{Seed: 12})
+	if reflect.DeepEqual(a.P95s, c.P95s) {
+		t.Fatal("different seeds produced identical p95 traces")
+	}
+}
+
+// TestCoupledLoopConservation: the trace's block and tuple totals must
+// equal what the admitted clients actually transferred.
+func TestCoupledLoopConservation(t *testing.T) {
+	sc := CoupledScenarios()[0]
+	opt := CoupledOptions{Seed: 5, Ticks: 50, RoundsPerTick: 6}
+	r := RunCoupled(sc, opt)
+	admittedBlocks := 0
+	// Reconstruct from the limit trace: tick t ran under the limit
+	// commanded after tick t−1 (the initial limit is the ceiling).
+	limit := sc.Ceiling
+	for t2 := 0; t2 < opt.Ticks; t2++ {
+		admitted := limit
+		if admitted > sc.Clients {
+			admitted = sc.Clients
+		}
+		admittedBlocks += admitted * opt.RoundsPerTick
+		limit = r.Limits[t2]
+	}
+	if r.Blocks != admittedBlocks {
+		t.Fatalf("trace reports %d blocks, admitted clients transferred %d", r.Blocks, admittedBlocks)
+	}
+	if r.Tuples < r.Blocks*100 {
+		t.Fatalf("%d tuples over %d blocks — below the 100-tuple minimum block size", r.Tuples, r.Blocks)
+	}
+}

@@ -16,3 +16,8 @@ go test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/
 # Wire allocation gate (no -race: instrumentation inflates the counts):
 # a binary-codec block round-trip must stay within its allocation budget.
 go test -count=1 -run '^TestBinaryRoundTripAllocGate$' ./internal/wire
+# Coupled-loop control gate: regulator unit behaviour plus the
+# deterministic client-vs-admission stability scenarios under -race,
+# including the mis-tuned-gain oscillation regression.
+go test -race -count=1 ./internal/regulator
+go test -race -count=1 -run '^TestCoupledLoop' ./internal/sim
