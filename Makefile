@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim verify chaos bench bench-contention bench-wire bench-vector bench-slo clean
+.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim chaos-gate verify chaos bench bench-contention bench-wire bench-vector bench-slo bench-gate clean
 
 all: verify
 
@@ -42,11 +42,22 @@ slo-sim:
 	$(GO) test -race -count=1 ./internal/regulator
 	$(GO) test -race -count=1 -run '^TestCoupledLoop' ./internal/sim
 
+# chaos-gate runs the gateway failover gates: the deterministic sim
+# scenario (a converged controller must re-converge after a transparent
+# failover to a differently-loaded replica) and the e2e chaos run
+# (SIGKILL of the measured session's primary under wsload — exact tuple
+# totals, no duplicate keys, bounded stall, zero client-side failovers,
+# replication lag drained on the survivors).
+chaos-gate:
+	$(GO) test -race -count=1 -run '^TestFailover' ./internal/sim
+	$(GO) test -count=1 -run '^TestChaosGate$$' ./internal/e2e
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # under the race detector, survive the fuzz seed corpora, hold up under
 # the concurrency stress gate, keep the wire hot path within its
-# allocation budget, and keep the coupled control loops stable.
-verify: build vet race fuzzseeds stress allocgate slo-sim
+# allocation budget, keep the coupled control loops stable, and survive
+# the gateway chaos gate.
+verify: build vet race fuzzseeds stress allocgate slo-sim chaos-gate
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -84,6 +95,15 @@ bench-vector:
 # the p95 SLO where static -max-sessions misses it.
 bench-slo:
 	$(GO) run ./cmd/wsbench -slo -json BENCH_slo.json
+
+# bench-gate records the gateway sweep into BENCH_gate.json: the same
+# full scan pulled direct from a backend, through the gateway, and
+# through the gateway with a mid-scan primary kill — the numbers that
+# move when the proxy hop or the failover path changes. Every arm must
+# deliver the exact relation, so the sweep doubles as a correctness
+# check.
+bench-gate:
+	$(GO) run ./cmd/wsbench -gate -sf 0.01 -json BENCH_gate.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"wsopt/internal/client"
+	"wsopt/internal/gateway"
+	"wsopt/internal/minidb"
+	"wsopt/internal/replica"
+	"wsopt/internal/resilience"
+	"wsopt/internal/service"
+	"wsopt/internal/tpch"
+	"wsopt/internal/wire"
+)
+
+// gateCell is one arm of the gateway sweep: the same full customer scan
+// pulled (a) straight from a backend, (b) through the gateway, and
+// (c) through the gateway with the session's primary killed mid-scan.
+// Comparing (a) and (b) prices the proxy hop; comparing (b) and (c)
+// prices a transparent failover, worst pull included.
+type gateCell struct {
+	Arm             string  `json:"arm"`
+	Runs            int     `json:"runs"`
+	Tuples          int     `json:"tuples_per_run"`
+	Blocks          int     `json:"blocks_per_run"`
+	MeanWallMS      float64 `json:"mean_wall_ms"`
+	MeanPullMS      float64 `json:"mean_pull_ms"`
+	WorstPullMS     float64 `json:"worst_pull_ms"`
+	Failovers       int64   `json:"failovers"`
+	StandbyReplays  int64   `json:"standby_replays"`
+	FallbackReplays int64   `json:"fallback_replays"`
+}
+
+// gateFleet is one disposable backend fleet, optionally fronted by a
+// gateway; the kill arm burns a fleet per run, so construction is cheap
+// in-process servers only.
+type gateFleet struct {
+	backends []*httptest.Server
+	gw       *gateway.Gateway
+	gwts     *httptest.Server
+	cancel   context.CancelFunc
+}
+
+func newGateFleet(cat *minidb.Catalog, codec wire.Codec, n int, seed int64, fronted bool) (*gateFleet, error) {
+	f := &gateFleet{}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := service.New(service.Config{Catalog: cat, Codec: codec, Seed: seed + int64(i), Replica: replica.NewLog(8192)})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		f.backends = append(f.backends, ts)
+		urls = append(urls, ts.URL)
+	}
+	if !fronted {
+		return f, nil
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:     urls,
+		Breaker:      resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+		PullInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.gw, f.cancel = gw, cancel
+	gw.Start(ctx)
+	f.gwts = httptest.NewServer(gw.Handler())
+	return f, nil
+}
+
+func (f *gateFleet) close() {
+	if f.gwts != nil {
+		f.gwts.Close()
+	}
+	if f.cancel != nil {
+		f.cancel()
+	}
+	for _, ts := range f.backends {
+		if ts != nil {
+			ts.Close()
+		}
+	}
+}
+
+// url returns the endpoint a client of this fleet should talk to.
+func (f *gateFleet) url() string {
+	if f.gwts != nil {
+		return f.gwts.URL
+	}
+	return f.backends[0].URL
+}
+
+// killPrimary severs the backend currently serving the session id —
+// CloseClientConnections drops in-flight pulls, Close refuses new ones —
+// and returns whether a victim was found.
+func (f *gateFleet) killPrimary(id string) bool {
+	var primary string
+	for _, s := range f.gw.Stats().Sessions {
+		if s.ID == id {
+			primary = s.Backend
+		}
+	}
+	for i, ts := range f.backends {
+		if ts != nil && ts.URL == primary {
+			ts.CloseClientConnections()
+			ts.Close()
+			f.backends[i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// runGateArm scans the customer table once through the fleet, killing
+// the primary after killAt blocks when killAt > 0, and returns the wall
+// time, per-pull durations, and delivered tuple/block counts.
+func runGateArm(cat *minidb.Catalog, codec wire.Codec, seed int64, size, killAt int, fronted bool) (wall time.Duration, pulls []time.Duration, tuples, blocks int, cell *gateCell, err error) {
+	fleet, err := newGateFleet(cat, codec, 3, seed, fronted)
+	if err != nil {
+		return 0, nil, 0, 0, nil, err
+	}
+	defer fleet.close()
+
+	c, err := client.New(fleet.url(), codec, nil)
+	if err != nil {
+		return 0, nil, 0, 0, nil, err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	sess, err := c.OpenSession(ctx, client.Query{Table: "customer"})
+	if err != nil {
+		return 0, nil, 0, 0, nil, err
+	}
+	for !sess.Done() {
+		if killAt > 0 && blocks == killAt {
+			if !fleet.killPrimary(sess.ID()) {
+				return 0, nil, 0, 0, nil, fmt.Errorf("gate: no primary to kill for %s", sess.ID())
+			}
+		}
+		t0 := time.Now()
+		blk, err := sess.Next(ctx, size)
+		if err != nil {
+			return 0, nil, 0, 0, nil, fmt.Errorf("gate: pull after %d tuples: %v", tuples, err)
+		}
+		pulls = append(pulls, time.Since(t0))
+		tuples += len(blk.Rows)
+		blocks++
+	}
+	wall = time.Since(start)
+	_ = sess.Close(ctx)
+
+	cell = &gateCell{}
+	if fleet.gw != nil {
+		st := fleet.gw.Stats()
+		cell.Failovers = st.Failovers
+		cell.StandbyReplays = st.StandbyReplays
+		cell.FallbackReplays = st.FallbackReplays
+	}
+	return wall, pulls, tuples, blocks, cell, nil
+}
+
+// runGateSweep measures the gateway tier's price: direct backend access
+// vs the proxied hop vs a mid-scan primary kill, `runs` full customer
+// scans per arm with a fresh fleet each. Every arm must deliver the
+// exact relation — a lost or duplicated tuple fails the bench, making
+// this a correctness gate as much as a cost report. `make bench-gate`
+// records it as BENCH_gate.json.
+func runGateSweep(logger *log.Logger, cat *minidb.Catalog, codec wire.Codec, runs, size, killAt int, sf float64, seed int64, jsonOut string) error {
+	if runs < 1 {
+		runs = 1
+	}
+	want := tpch.CustomerCount(sf)
+	arms := []struct {
+		name    string
+		fronted bool
+		killAt  int
+	}{
+		{"direct", false, 0},
+		{"gateway", true, 0},
+		{"gateway-kill", true, killAt},
+	}
+	results := make([]gateCell, 0, len(arms))
+	for _, arm := range arms {
+		cell := gateCell{Arm: arm.name, Runs: runs}
+		var wallSum, pullSum time.Duration
+		var pullCount int
+		for r := 0; r < runs; r++ {
+			wall, pulls, tuples, blocks, armStats, err := runGateArm(cat, codec, seed+int64(r), size, arm.killAt, arm.fronted)
+			if err != nil {
+				return err
+			}
+			if tuples != want {
+				return fmt.Errorf("gate: arm %s run %d delivered %d tuples, want %d", arm.name, r, tuples, want)
+			}
+			wallSum += wall
+			for _, p := range pulls {
+				pullSum += p
+				if ms := float64(p) / float64(time.Millisecond); ms > cell.WorstPullMS {
+					cell.WorstPullMS = ms
+				}
+			}
+			pullCount += len(pulls)
+			cell.Tuples, cell.Blocks = tuples, blocks
+			cell.Failovers += armStats.Failovers
+			cell.StandbyReplays += armStats.StandbyReplays
+			cell.FallbackReplays += armStats.FallbackReplays
+		}
+		cell.MeanWallMS = float64(wallSum) / float64(runs) / float64(time.Millisecond)
+		if pullCount > 0 {
+			cell.MeanPullMS = float64(pullSum) / float64(pullCount) / float64(time.Millisecond)
+		}
+		results = append(results, cell)
+		logger.Printf("gate: %s -> %.1f ms/scan, worst pull %.1f ms, failovers %d",
+			cell.Arm, cell.MeanWallMS, cell.WorstPullMS, cell.Failovers)
+	}
+
+	fmt.Printf("gateway sweep: %d-tuple scans, %d rows/block, kill after block %d, %d runs/arm, GOMAXPROCS=%d\n\n",
+		want, size, killAt, runs, runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "arm\tmean wall ms\tmean pull ms\tworst pull ms\tfailovers\tstandby\tfallback")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.2f\t%d\t%d\t%d\n",
+			r.Arm, r.MeanWallMS, r.MeanPullMS, r.WorstPullMS, r.Failovers, r.StandbyReplays, r.FallbackReplays)
+	}
+	w.Flush()
+
+	if jsonOut != "" {
+		doc := struct {
+			SF         float64    `json:"sf"`
+			BlockRows  int        `json:"block_rows"`
+			KillAt     int        `json:"kill_after_block"`
+			Runs       int        `json:"runs_per_arm"`
+			GoMaxProcs int        `json:"gomaxprocs"`
+			Results    []gateCell `json:"results"`
+		}{SF: sf, BlockRows: size, KillAt: killAt, Runs: runs, GoMaxProcs: runtime.GOMAXPROCS(0), Results: results}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("gateway report written to %s", jsonOut)
+	}
+	return nil
+}

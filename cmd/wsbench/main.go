@@ -101,7 +101,11 @@ func main() {
 		vectorRounds = flag.Int("vector-rounds", 400, "simulated transfer rounds per vector-sweep cell")
 		sloSweep     = flag.Bool("slo", false,
 			"run the SLO-regulation sweep instead of the controller matrix: static admission vs both regulator laws on the coupled-loop scenarios")
-		sloTicks = flag.Int("slo-ticks", 140, "regulator ticks per SLO-sweep cell")
+		sloTicks  = flag.Int("slo-ticks", 140, "regulator ticks per SLO-sweep cell")
+		gateSweep = flag.Bool("gate", false,
+			"run the gateway sweep instead of the controller matrix: direct backend vs gateway proxy vs gateway with a mid-scan primary kill")
+		gateSize   = flag.Int("gate-size", 200, "fixed block size of the gateway sweep")
+		gateKillAt = flag.Int("gate-kill-at", 3, "kill the primary after this many blocks in the gateway-kill arm")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -134,6 +138,12 @@ func main() {
 		logger.Fatal(err)
 	}
 
+	if *gateSweep {
+		if err := runGateSweep(logger, cat, codec, *runs, *gateSize, *gateKillAt, *sf, *seed, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
 	if *contention != "" {
 		if err := runContentionSweep(logger, cat, codec, *contention, *contentionDur, *contentionSize, *sf, *jsonOut); err != nil {
 			logger.Fatal(err)

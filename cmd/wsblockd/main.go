@@ -35,6 +35,7 @@ import (
 	"wsopt/internal/netsim"
 	"wsopt/internal/profile"
 	"wsopt/internal/regulator"
+	"wsopt/internal/replica"
 	"wsopt/internal/service"
 	"wsopt/internal/tpch"
 	"wsopt/internal/wire"
@@ -55,6 +56,8 @@ func main() {
 		faultTrunc = flag.Float64("fault-truncate", 0, "chaos: probability of truncating a block response body")
 		fault503   = flag.Float64("fault-503", 0, "chaos: probability of refusing a block request with 503")
 		faultSeed  = flag.Int64("fault-seed", 0, "chaos: fault RNG seed (0 = derive from clock)")
+
+		replicate = flag.Int("replicate", 0, "replication: retain this many session-mutation records in the log served at GET /replication/feed for follower shipping (0 = disabled)")
 
 		maxSessions = flag.Int("max-sessions", 0, "admission control: refuse new sessions with 503 + Retry-After beyond this many open cursors (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "base Retry-After hint sent with admission-control 503s (scaled by regulator pressure)")
@@ -124,6 +127,10 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	metrics.RegisterRuntime(reg)
+	var replog *replica.Log
+	if *replicate > 0 {
+		replog = replica.NewLog(*replicate)
+	}
 	srv, err := service.New(service.Config{
 		Catalog:          cat,
 		Codec:            codec,
@@ -136,6 +143,7 @@ func main() {
 		MaxSessions:      *maxSessions,
 		RetryAfter:       *retryAfter,
 		LoadFromSessions: *loadFromLive,
+		Replica:          replog,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -146,6 +154,9 @@ func main() {
 	}
 	if *maxSessions > 0 {
 		logger.Printf("admission control: max %d concurrent sessions (Retry-After %s)", *maxSessions, *retryAfter)
+	}
+	if replog != nil {
+		logger.Printf("replication: shipping session mutations via /replication/feed (retaining %d records)", *replicate)
 	}
 
 	// SLO regulation: a feedback loop owns the session limit, reading the

@@ -148,6 +148,16 @@ type Session struct {
 	committed int
 	failovers int
 	hedgeWins int
+	// transparent is true when the endpoint announced transparent
+	// failover capability (a wsgate tier): backend deaths are handled
+	// behind the session's back, so the client suppresses its own
+	// endpoint failover and instead surfaces the gateway's cumulative
+	// failover count — reported on every block — as disturbances, each
+	// exactly once.
+	transparent bool
+	// gwFailovers is the last gateway failover count acknowledged, so
+	// only the delta is surfaced.
+	gwFailovers int
 	// scratch is the decode scratch backing the most recently adopted
 	// block's rows. It is recycled into scratchPool when the next block is
 	// adopted — the moment the previous block's rows become invalid.
@@ -171,11 +181,11 @@ func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
 	}
 	var lastErr error
 	for _, ep := range order {
-		id, cols, err := c.openSessionOn(ctx, ep, q, q.Offset)
+		id, cols, transparent, err := c.openSessionOn(ctx, ep, q, q.Offset)
 		if err == nil {
 			ep.Success()
 			c.pool.Promote(ep)
-			return &Session{c: c, q: q, ep: ep, id: id, columns: cols, committed: q.Offset}, nil
+			return &Session{c: c, q: q, ep: ep, id: id, columns: cols, committed: q.Offset, transparent: transparent}, nil
 		}
 		if isTransient(err) {
 			ep.Failure()
@@ -189,37 +199,44 @@ func (c *Client) OpenSession(ctx context.Context, q Query) (*Session, error) {
 }
 
 // openSessionOn creates a server-side session on one specific endpoint,
-// resuming at the given tuple offset.
-func (c *Client) openSessionOn(ctx context.Context, ep *resilience.Endpoint, q Query, offset int) (id string, columns []string, err error) {
+// resuming at the given tuple offset. transparent reports whether the
+// endpoint announced gateway-side transparent failover.
+func (c *Client) openSessionOn(ctx context.Context, ep *resilience.Endpoint, q Query, offset int) (id string, columns []string, transparent bool, err error) {
 	q.Offset = offset
 	body, err := json.Marshal(q)
 	if err != nil {
-		return "", nil, fmt.Errorf("client: marshal query: %w", err)
+		return "", nil, false, fmt.Errorf("client: marshal query: %w", err)
 	}
 	u, err := joinURL(ep.URL(), "sessions")
 	if err != nil {
-		return "", nil, err
+		return "", nil, false, err
 	}
 	resp, err := c.doManagement(ctx, http.MethodPost, u, body, "application/json", http.StatusCreated)
 	if err != nil {
-		return "", nil, fmt.Errorf("client: open session: %w", err)
+		return "", nil, false, fmt.Errorf("client: open session: %w", err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusCreated {
-		return "", nil, httpFailure("open session", resp)
+		return "", nil, false, httpFailure("open session", resp)
 	}
+	transparent, _ = strconv.ParseBool(resp.Header.Get(service.HeaderGatewayTransparentFailover))
 	var cr struct {
 		Session string   `json:"session"`
 		Columns []string `json:"columns"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-		return "", nil, fmt.Errorf("client: decode session response: %w", err)
+		return "", nil, false, fmt.Errorf("client: decode session response: %w", err)
 	}
 	if cr.Session == "" {
-		return "", nil, fmt.Errorf("client: server returned empty session id")
+		return "", nil, false, fmt.Errorf("client: server returned empty session id")
 	}
-	return cr.Session, cr.Columns, nil
+	return cr.Session, cr.Columns, transparent, nil
 }
+
+// ID returns the server-assigned session identifier (a gateway id when
+// the session is transparent), useful for correlating with server-side
+// session listings.
+func (s *Session) ID() string { return s.id }
 
 // Columns returns the projected column names of the session's result.
 func (s *Session) Columns() []string { return s.columns }
@@ -237,6 +254,15 @@ func (s *Session) Endpoint() string { return s.ep.URL() }
 
 // Failovers returns how many times the session moved to another replica.
 func (s *Session) Failovers() int { return s.failovers }
+
+// Transparent reports whether the endpoint is a gateway that fails
+// sessions over to other backends transparently.
+func (s *Session) Transparent() bool { return s.transparent }
+
+// GatewayFailovers returns the cumulative transparent failovers the
+// gateway reports having performed for this session — disjoint from
+// Failovers(), which counts only failovers the client performed itself.
+func (s *Session) GatewayFailovers() int { return s.gwFailovers }
 
 // HedgeWins returns how many blocks were won by a hedged pull.
 func (s *Session) HedgeWins() int { return s.hedgeWins }
@@ -278,6 +304,10 @@ type Block struct {
 	// Failovers counts session failovers that happened while pulling this
 	// block.
 	Failovers int
+	// GatewayFailovers is the cumulative transparent-failover count the
+	// gateway reported with this block (0 when pulling directly from a
+	// backend).
+	GatewayFailovers int
 
 	// scratch is the decode scratch backing Rows (nil when the codec has
 	// no scratch path). The session recycles it when the next block is
@@ -352,6 +382,16 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 			s.seq = seqAfter
 			s.done = blk.Done
 			s.committed += len(blk.Rows)
+			// A transparent gateway reports its cumulative failover count on
+			// every block; surface each gateway failover as a disturbance
+			// EXACTLY once (on the delta) and never as a client failover —
+			// the session never moved from the client's point of view.
+			if s.transparent && blk.GatewayFailovers > s.gwFailovers {
+				s.gwFailovers = blk.GatewayFailovers
+				if s.OnDisturbance != nil {
+					s.OnDisturbance(fmt.Sprintf("transparent gateway failover (%d total) behind %s", s.gwFailovers, s.ep.URL()))
+				}
+			}
 			c.metrics.recordBlock(blk)
 			return blk, nil
 		}
@@ -362,8 +402,12 @@ func (s *Session) Next(ctx context.Context, size int) (*Block, error) {
 		// alternative exists — re-open the session there and retry
 		// immediately (no backoff: the failure was this replica's, not the
 		// service's). Bounded by the pool size so a pathological pool
-		// cannot extend the retry budget indefinitely.
-		if !c.rcfg.DisableFailover && c.pool.Len() > 1 && failovers < c.pool.Len() && !s.ep.Allow() {
+		// cannot extend the retry budget indefinitely. A transparent
+		// gateway owns failover for its sessions (the backend death is
+		// handled behind this endpoint), so the client never performs its
+		// own — that would re-open elsewhere and count the same
+		// disturbance twice.
+		if !c.rcfg.DisableFailover && !s.transparent && c.pool.Len() > 1 && failovers < c.pool.Len() && !s.ep.Allow() {
 			if ferr := s.failover(ctx); ferr == nil {
 				failovers++
 				continue
@@ -498,7 +542,7 @@ func (s *Session) failover(ctx context.Context) error {
 	if !ok {
 		return fmt.Errorf("client: no healthy endpoint to fail over to")
 	}
-	id, _, err := c.openSessionOn(ctx, other, s.q, s.committed)
+	id, _, _, err := c.openSessionOn(ctx, other, s.q, s.committed)
 	if err != nil {
 		if isTransient(err) {
 			other.Failure()
@@ -558,6 +602,7 @@ func (c *Client) pullOnce(cctx, parent context.Context, u string) (*Block, error
 	blk.Done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
 	blk.InjectedMS, _ = strconv.ParseFloat(resp.Header.Get(service.HeaderInjectedDelayMS), 64)
 	blk.Replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
+	blk.GatewayFailovers, _ = strconv.Atoi(resp.Header.Get(service.HeaderGatewayFailovers))
 	if want := resp.Header.Get(service.HeaderBlockTuples); want != "" {
 		if n, err := strconv.Atoi(want); err == nil && n != len(rows) {
 			scratchPool.Put(sc)

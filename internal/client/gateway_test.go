@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsopt/internal/gateway"
+	"wsopt/internal/minidb"
+	replicapkg "wsopt/internal/replica"
+	"wsopt/internal/resilience"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// startGatewayFleet brings up n replicated in-process backends behind a
+// gateway and returns the gateway handle, its URL, and the backend test
+// servers by URL.
+func startGatewayFleet(t *testing.T, n, rows int) (*gateway.Gateway, string, map[string]*httptest.Server) {
+	t.Helper()
+	cat := minidb.NewCatalog()
+	tbl, err := cat.CreateTable("items", minidb.Schema{
+		{Name: "id", Type: minidb.Int64},
+		{Name: "label", Type: minidb.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("item-%d", i))})
+	}
+	if err := tbl.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make(map[string]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := service.New(service.Config{Catalog: cat, Replica: replicapkg.NewLog(1024)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		servers[ts.URL] = ts
+		urls[i] = ts.URL
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:     urls,
+		Breaker:      resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+		PullInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	gw.Start(ctx)
+	gwts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gwts.Close)
+	return gw, gwts.URL, servers
+}
+
+// TestTransparentGatewayFailoverSurfacedOnce is the regression test for
+// the gateway capability handshake: when the endpoint announces
+// X-WSGate-Transparent-Failover, a backend death handled by the gateway
+// must surface as EXACTLY one disturbance — not one per subsequent
+// block, and not double-counted as a client-side session failover, even
+// with a multi-endpoint pool where the client could fail over itself.
+func TestTransparentGatewayFailoverSurfacedOnce(t *testing.T) {
+	const rows = 80
+	gw, gwURL, servers := startGatewayFleet(t, 2, rows)
+
+	// A second (bogus) endpoint gives the client's own failover machinery
+	// somewhere to go — the capability must keep it parked.
+	c, err := NewMulti([]string{gwURL, "http://127.0.0.1:9"}, wire.XML{}, &http.Client{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, Query{Table: "items"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Transparent() {
+		t.Fatal("gateway session not marked transparent")
+	}
+
+	var disturbances []string
+	sess.OnDisturbance = func(reason string) { disturbances = append(disturbances, reason) }
+
+	var ids []int64
+	blk, err := sess.Next(ctx, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range blk.Rows {
+		ids = append(ids, r[0].I)
+	}
+
+	// SIGKILL-equivalent: sever the serving backend under the session.
+	var primary string
+	for _, s := range gw.Stats().Sessions {
+		primary = s.Backend
+	}
+	ts, ok := servers[primary]
+	if !ok {
+		t.Fatalf("unknown primary %q", primary)
+	}
+	ts.CloseClientConnections()
+	ts.Close()
+
+	for !sess.Done() {
+		blk, err := sess.Next(ctx, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range blk.Rows {
+			ids = append(ids, r[0].I)
+		}
+		if blk.GatewayFailovers != 1 {
+			t.Fatalf("block reports %d gateway failovers, want 1", blk.GatewayFailovers)
+		}
+	}
+
+	// Exactness: every tuple once, despite the mid-transfer death.
+	if len(ids) != rows {
+		t.Fatalf("got %d tuples, want %d", len(ids), rows)
+	}
+	seen := make(map[int64]bool, rows)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate tuple %d", id)
+		}
+		seen[id] = true
+	}
+
+	// The disturbance surfaced exactly once, as a gateway failover — the
+	// client performed none of its own.
+	if len(disturbances) != 1 {
+		t.Fatalf("OnDisturbance fired %d times, want 1: %v", len(disturbances), disturbances)
+	}
+	if sess.Failovers() != 0 {
+		t.Fatalf("client performed %d failovers of its own, want 0", sess.Failovers())
+	}
+	if sess.GatewayFailovers() != 1 {
+		t.Fatalf("session acknowledges %d gateway failovers, want 1", sess.GatewayFailovers())
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectSessionNotTransparent checks the capability defaults off
+// against a plain backend, leaving the client's own failover armed.
+func TestDirectSessionNotTransparent(t *testing.T) {
+	_, _, servers := startGatewayFleet(t, 1, 10)
+	var direct string
+	for u := range servers {
+		direct = u
+	}
+	c, err := New(direct, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.OpenSession(context.Background(), Query{Table: "items"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(context.Background())
+	if sess.Transparent() {
+		t.Fatal("direct backend session must not be transparent")
+	}
+}

@@ -162,7 +162,7 @@ func (c *Client) runHedge(ctx context.Context, exclude *resilience.Endpoint, q Q
 		out <- hedgeOutcome{err: fmt.Errorf("client: no healthy endpoint to hedge to")}
 		return
 	}
-	id, _, err := c.openSessionOn(ctx, other, q, committed)
+	id, _, _, err := c.openSessionOn(ctx, other, q, committed)
 	if err != nil {
 		out <- hedgeOutcome{err: err}
 		return

@@ -1,0 +1,944 @@
+// Package gateway is the replicated-session front tier (cmd/wsgate): it
+// terminates client block-pull sessions, routes them across N wsblockd
+// backends with consistent-hash affinity, and makes a backend death
+// mid-transfer invisible to the client.
+//
+// Every session mutation on a backend is shipped to the gateway through
+// the internal/replica log-shipping channel (one Puller per backend
+// draining GET /replication/feed into a standby Store). The gateway is
+// therefore a warm follower for every session it terminates: it knows
+// each session's committed cursor, last-acked seq, and holds the last
+// committed block's bytes. When a primary dies (circuit breaker opened
+// by proxy or replication-pull failures, or an in-flight pull error) the
+// session's next pull is served by promoting a successor backend:
+//
+//   - a RETRY of the last seq is served verbatim from the standby copy
+//     (byte-identical replay, zero duplicate or lost tuples), falling
+//     back to re-pulling the same rows at the committed cursor when the
+//     standby copy lagged behind the crash;
+//   - a FRESH pull re-opens the query on the successor at the committed
+//     cursor and translates sequence numbers (client seq = seqBase +
+//     backend seq), so the client's cursor never resets.
+//
+// The client sees the same session id, an uninterrupted seq stream, and
+// a X-WSGate-Failovers header that lets it surface the disturbance to
+// its controller exactly once. Exactly-once delivery holds across
+// process death, not just connection death.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsopt/internal/metrics"
+	"wsopt/internal/replica"
+	"wsopt/internal/resilience"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Backends are the wsblockd base URLs (required, at least one). Each
+	// must serve /replication/feed (wsblockd -replicate) for transparent
+	// failover; without it the gateway still routes and fails over fresh
+	// pulls, but same-seq retries after a death fall back to re-pulling.
+	Backends []string
+	// Breaker parameterizes each backend's circuit breaker.
+	Breaker resilience.BreakerConfig
+	// PullInterval is the replication poll period per backend (default
+	// 25ms).
+	PullInterval time.Duration
+	// MaxSessions seeds the edge admission ceiling (0 = unlimited); at
+	// runtime the fleet-wide SLO regulator owns it via SetSessionLimit.
+	MaxSessions int
+	// RetryAfter is the base backoff hint for shed creates (default 1s),
+	// scaled by the live admission pressure.
+	RetryAfter time.Duration
+	// Vnodes is the number of ring points per backend (default 64).
+	Vnodes int
+	// HTTP is the client used for backend requests (default 2m timeout).
+	HTTP *http.Client
+	// Metrics receives the gateway series; nil uses a private registry.
+	Metrics *metrics.Registry
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// backend is one wsblockd replica as seen from the gateway.
+type backend struct {
+	url    string
+	ep     *resilience.Endpoint
+	store  *replica.Store
+	puller *replica.Puller
+	// sessions counts gateway sessions currently primaried here.
+	sessions atomic.Int64
+}
+
+// healthScore maps the backend's breaker state to a gauge value.
+func (b *backend) healthScore() float64 {
+	switch b.ep.State() {
+	case resilience.Closed:
+		return 1
+	case resilience.HalfOpen:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Gateway terminates client sessions and proxies them to backends.
+type Gateway struct {
+	cfg  Config
+	hc   *http.Client
+	pool *resilience.Pool
+	ring *ring
+	// backends by URL; order mirrors cfg.Backends.
+	backends map[string]*backend
+	order    []string
+	logger   *log.Logger
+
+	mu       sync.Mutex
+	sessions map[string]*gwSession
+
+	nextID  atomic.Uint64
+	cursors atomic.Int64
+	// limit and pressureBits mirror the service's admission state at the
+	// edge; the fleet-wide SLO regulator owns them via the Sink methods.
+	limit        atomic.Int64
+	pressureBits atomic.Uint64
+
+	sessionsOpened  atomic.Int64
+	sessionsShed    atomic.Int64
+	blocksProxied   atomic.Int64
+	tuplesProxied   atomic.Int64
+	failovers       atomic.Int64
+	standbyReplays  atomic.Int64
+	fallbackReplays atomic.Int64
+
+	metrics *gwMetrics
+	mux     *http.ServeMux
+}
+
+// gwSession is one client-facing session. The client sees a stable id
+// and a monotonically increasing seq; underneath, the session may move
+// across backends, each move opening a fresh backend-side session whose
+// seqs are translated by seqBase (client seq = seqBase + backend seq).
+type gwSession struct {
+	mu sync.Mutex
+	id string
+	// query is the parsed create body; offset is rewritten on every
+	// failover re-open so the successor resumes at the committed cursor.
+	query map[string]any
+	// backend is the current primary; backendID the session id there.
+	backend   *backend
+	backendID string
+	// seqBase translates sequence numbers: client seq = seqBase +
+	// backend-side seq. 0 until the first failover.
+	seqBase uint64
+	// lastSeq is the last client seq served fresh; lastTuples its tuple
+	// count; committed the absolute cursor after it (create offset
+	// included).
+	lastSeq    uint64
+	lastTuples int
+	committed  int64
+	done       bool
+	failovers  int
+	closed     bool
+	// standby/standbySess point at the dead primary's replicated state
+	// after a standby-replay failover: the replayed block predates the
+	// promoted backend session (its translated seq would be 0), so repeat
+	// retries are served from the standby copy again. Cleared on the next
+	// fresh pull.
+	standby     *replica.Store
+	standbySess string
+}
+
+// standbyLookup returns the replicated state backing a pre-failover
+// replay, if any. Called with sess.mu held.
+func (sess *gwSession) standbyLookup() (replica.SessionState, bool) {
+	if sess.standby == nil {
+		return replica.SessionState{}, false
+	}
+	ss, ok := sess.standby.Get(sess.standbySess)
+	if !ok || len(ss.Payload) == 0 {
+		return replica.SessionState{}, false
+	}
+	return ss, true
+}
+
+// New builds a Gateway over the configured backends.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: need at least one backend URL")
+	}
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("gateway: backend URL %q must be absolute", raw)
+		}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.PullInterval <= 0 {
+		cfg.PullInterval = 25 * time.Millisecond
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		hc:       hc,
+		ring:     newRing(cfg.Backends, cfg.Vnodes),
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		order:    append([]string(nil), cfg.Backends...),
+		sessions: make(map[string]*gwSession),
+		logger:   cfg.Logger,
+	}
+	g.limit.Store(int64(cfg.MaxSessions))
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	pool, err := resilience.NewPool(cfg.Backends, cfg.Breaker, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.pool = pool
+	for _, ep := range pool.Endpoints() {
+		b := &backend{url: ep.URL(), ep: ep, store: replica.NewStore(0)}
+		b.puller = &replica.Puller{
+			URL:      b.url,
+			Store:    b.store,
+			Interval: cfg.PullInterval,
+			HTTP:     hc,
+			// A dead backend surfaces here every poll; feeding the breaker
+			// makes replication the gateway's fastest death detector —
+			// failure is usually observed between client pulls, not during
+			// one. A StatusError means the backend answered (replication
+			// may simply be disabled): alive, not a death signal.
+			OnError: func(err error) {
+				var se *replica.StatusError
+				if errors.As(err, &se) {
+					return
+				}
+				ep.Failure()
+			},
+		}
+		g.backends[b.url] = b
+	}
+	g.metrics = newGatewayMetrics(reg, g)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", g.handleCreate)
+	mux.HandleFunc("POST /sessions/{id}/next", g.handleNext)
+	mux.HandleFunc("DELETE /sessions/{id}", g.handleDelete)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	g.mux = mux
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Start launches the per-backend replication pullers; they stop when ctx
+// is cancelled.
+func (g *Gateway) Start(ctx context.Context) {
+	for _, url := range g.order {
+		go g.backends[url].puller.Run(ctx)
+	}
+}
+
+// SetSessionLimit updates the edge admission ceiling (regulator.Sink).
+func (g *Gateway) SetSessionLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.limit.Store(int64(n))
+}
+
+// SessionLimit returns the live edge admission ceiling (0 = unlimited).
+func (g *Gateway) SessionLimit() int { return int(g.limit.Load()) }
+
+// SetAdmissionPressure updates the edge delay-pricing pressure
+// (regulator.Sink).
+func (g *Gateway) SetAdmissionPressure(p float64) {
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	}
+	g.pressureBits.Store(math.Float64bits(p))
+}
+
+// AdmissionPressure returns the live edge delay-pricing pressure.
+func (g *Gateway) AdmissionPressure() float64 {
+	return math.Float64frombits(g.pressureBits.Load())
+}
+
+// BlockServeSnapshot freezes the fleet-wide block-serve histogram — the
+// measured variable for edge SLO regulation. Every block of every
+// backend flows through the gateway, so this is the fleet p95, not one
+// replica's.
+func (g *Gateway) BlockServeSnapshot() metrics.HistogramSnapshot {
+	return g.metrics.blockServe.Snapshot()
+}
+
+// SessionCount reports live gateway sessions.
+func (g *Gateway) SessionCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
+}
+
+// Failovers reports transparent failovers performed so far.
+func (g *Gateway) Failovers() int64 { return g.failovers.Load() }
+
+// healthy reports whether a backend's breaker currently admits traffic.
+func (g *Gateway) healthy(url string) bool {
+	b, ok := g.backends[url]
+	return ok && b.ep.Allow()
+}
+
+// admit reserves an edge admission slot, shedding with 503 + Retry-After
+// (priced by the regulator's pressure) when the fleet-wide ceiling is
+// reached.
+func (g *Gateway) admit(w http.ResponseWriter) bool {
+	n := g.cursors.Add(1)
+	if max := g.limit.Load(); max > 0 && n > max {
+		g.cursors.Add(-1)
+		g.sessionsShed.Add(1)
+		g.metrics.sessionsShed.Inc()
+		p := g.AdmissionPressure()
+		d := time.Duration(math.Round(float64(g.cfg.RetryAfter) * (1 + p)))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		secs := int((d + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h := w.Header()
+		h.Set("Retry-After", strconv.Itoa(secs))
+		h.Set(service.HeaderRetryAfterMS, strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64))
+		h.Set(service.HeaderAdmissionPressure, strconv.FormatFloat(p, 'f', 4, 64))
+		httpError(w, http.StatusServiceUnavailable, "gateway session limit reached (%d open)", max)
+		return false
+	}
+	return true
+}
+
+// createResponse mirrors the service's session-create body.
+type createResponse struct {
+	Session string   `json:"session"`
+	Columns []string `json:"columns"`
+	Offset  int      `json:"offset,omitempty"`
+}
+
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !g.admit(w) {
+		return
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			g.cursors.Add(-1)
+		}
+	}()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request body: %v", err)
+		return
+	}
+	var query map[string]any
+	if err := json.Unmarshal(body, &query); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	offset := int64(0)
+	if v, ok := query["offset"].(float64); ok {
+		offset = int64(v)
+	}
+
+	id := fmt.Sprintf("g%08x", g.nextID.Add(1))
+	// Consistent-hash placement, skipping backends whose breakers refuse
+	// traffic: health-aware rebalancing applies to NEW sessions only.
+	first := g.ring.pick(id, g.healthy)
+	tried := map[string]bool{}
+	var cr createResponse
+	var placed *backend
+	for _, candidate := range g.placementOrder(first) {
+		if tried[candidate] {
+			continue
+		}
+		tried[candidate] = true
+		b := g.backends[candidate]
+		resp, err := g.openOn(r.Context(), b, body)
+		if err != nil {
+			b.ep.Failure()
+			g.logf("create %s: backend %s: %v", id, candidate, err)
+			continue
+		}
+		b.ep.Success()
+		cr, placed = resp, b
+		break
+	}
+	if placed == nil {
+		httpError(w, http.StatusBadGateway, "no backend accepted the session")
+		return
+	}
+
+	sess := &gwSession{id: id, query: query, backend: placed, backendID: cr.Session, committed: offset}
+	g.mu.Lock()
+	g.sessions[id] = sess
+	g.mu.Unlock()
+	placed.sessions.Add(1)
+	committed = true
+	g.sessionsOpened.Add(1)
+	g.metrics.sessionsOpened.Inc()
+	g.logf("session %s opened on %s (backend id %s, offset %d)", id, placed.url, cr.Session, offset)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(service.HeaderGatewayTransparentFailover, "true")
+	w.WriteHeader(http.StatusCreated)
+	cr.Session = id
+	if err := json.NewEncoder(w).Encode(cr); err != nil {
+		g.logf("session %s: encode response: %v", id, err)
+	}
+}
+
+// placementOrder yields candidate backends for a new session: the ring
+// owner first, then the remaining backends in ring-successor order.
+func (g *Gateway) placementOrder(first string) []string {
+	order := []string{first}
+	cur := first
+	for i := 1; i < len(g.order); i++ {
+		next := g.ring.successor(cur, nil)
+		if next == "" || next == first {
+			break
+		}
+		order = append(order, next)
+		cur = next
+	}
+	// Ring walk can miss backends when successor cycles early; append any
+	// leftovers in registration order.
+	seen := map[string]bool{}
+	for _, u := range order {
+		seen[u] = true
+	}
+	for _, u := range g.order {
+		if !seen[u] {
+			order = append(order, u)
+		}
+	}
+	return order
+}
+
+// openOn creates a backend-side session with the given body.
+func (g *Gateway) openOn(ctx context.Context, b *backend, body []byte) (createResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/sessions", bytes.NewReader(body))
+	if err != nil {
+		return createResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return createResponse{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return createResponse{}, fmt.Errorf("backend returned %s", resp.Status)
+	}
+	var cr createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return createResponse{}, fmt.Errorf("decode create response: %w", err)
+	}
+	if cr.Session == "" {
+		return createResponse{}, fmt.Errorf("backend returned empty session id")
+	}
+	return cr, nil
+}
+
+// proxiedBlock is one block pulled from a backend, fully buffered so a
+// backend dying mid-body is detected before any byte reaches the client.
+type proxiedBlock struct {
+	payload     []byte
+	contentType string
+	tuples      int
+	done        bool
+	replayed    bool
+	injectedMS  string
+	backendSeq  uint64
+}
+
+func (g *Gateway) handleNext(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	g.mu.Lock()
+	sess, ok := g.sessions[r.PathValue("id")]
+	g.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	size, err := strconv.Atoi(r.URL.Query().Get("size"))
+	if err != nil || size < 1 {
+		httpError(w, http.StatusBadRequest, "size must be a positive integer")
+		return
+	}
+	var seq uint64
+	hasSeq := false
+	if qs := r.URL.Query().Get("seq"); qs != "" {
+		seq, err = strconv.ParseUint(qs, 10, 64)
+		if err != nil || seq < 1 {
+			httpError(w, http.StatusBadRequest, "seq must be a positive integer")
+			return
+		}
+		hasSeq = true
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if !hasSeq {
+		// Legacy pull: behaves like the next fresh seq.
+		seq = sess.lastSeq + 1
+	}
+	replay := false
+	switch {
+	case seq == sess.lastSeq && sess.lastSeq > 0:
+		replay = true
+	case seq == sess.lastSeq+1:
+		if sess.done {
+			httpError(w, http.StatusGone, "result set exhausted")
+			return
+		}
+	default:
+		httpError(w, http.StatusConflict,
+			"seq %d outside the replay window (last served %d)", seq, sess.lastSeq)
+		return
+	}
+
+	if replay && seq == sess.seqBase {
+		// The block predates the current backend session (it was served
+		// from the standby copy during a failover; its translated seq
+		// would be 0). Serve the standby copy again.
+		if ss, ok := sess.standbyLookup(); ok {
+			blk := &proxiedBlock{
+				payload:     ss.Payload,
+				contentType: codecContentType(ss.Codec),
+				tuples:      ss.Tuples,
+				done:        ss.Done,
+				replayed:    true,
+			}
+			g.standbyReplays.Add(1)
+			g.metrics.standbyReplays.Inc()
+			g.writeBlock(w, sess, blk, seq, hasSeq, started)
+			return
+		}
+		httpError(w, http.StatusConflict, "seq %d is no longer replayable after failover", seq)
+		return
+	}
+
+	blk, status, err := g.pullFrom(r.Context(), sess.backend, sess.backendID, size, seq-sess.seqBase)
+	if err == nil && status != 0 {
+		// A definitive client-facing status from the backend (409, 410,
+		// 400...): pass it through untouched.
+		httpError(w, status, "%s", blk.payload)
+		return
+	}
+	if err != nil {
+		sess.backend.ep.Failure()
+		g.logf("session %s: pull seq %d on %s failed: %v", sess.id, seq, sess.backend.url, err)
+		blk, err = g.failover(r.Context(), sess, seq, size, replay)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, "failover: %v", err)
+			return
+		}
+	} else {
+		sess.backend.ep.Success()
+	}
+
+	if !replay {
+		sess.lastSeq = seq
+		sess.lastTuples = blk.tuples
+		sess.committed += int64(blk.tuples)
+		sess.done = blk.done
+		sess.standby, sess.standbySess = nil, ""
+	}
+	g.writeBlock(w, sess, blk, seq, hasSeq, started)
+}
+
+// pullFrom forwards one pull to a backend. It returns (block, 0, nil) on
+// success, (message, status, nil) for client-facing backend statuses
+// that must be passed through, and an error for backend failures that
+// warrant failover (transport errors, 5xx, and 404 — the backend lost
+// the session, e.g. it restarted).
+func (g *Gateway) pullFrom(ctx context.Context, b *backend, backendID string, size int, backendSeq uint64) (*proxiedBlock, int, error) {
+	u := fmt.Sprintf("%s/sessions/%s/next?size=%d&seq=%d", b.url, url.PathEscape(backendID), size, backendSeq)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drain(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// Buffered below.
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusNotFound:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("backend returned %s: %s", resp.Status, msg)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &proxiedBlock{payload: msg}, resp.StatusCode, nil
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("read block body: %w", err)
+	}
+	blk := &proxiedBlock{payload: payload, contentType: resp.Header.Get("Content-Type")}
+	blk.tuples, _ = strconv.Atoi(resp.Header.Get(service.HeaderBlockTuples))
+	blk.done, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone))
+	blk.replayed, _ = strconv.ParseBool(resp.Header.Get(service.HeaderBlockReplay))
+	blk.injectedMS = resp.Header.Get(service.HeaderInjectedDelayMS)
+	blk.backendSeq, _ = strconv.ParseUint(resp.Header.Get(service.HeaderBlockSeq), 10, 64)
+	return blk, 0, nil
+}
+
+// failover moves sess to a healthy successor backend after its primary
+// died, and produces the block for the in-flight pull. Called with
+// sess.mu held.
+//
+// For a REPLAY of the last committed seq, the standby copy shipped by
+// replication serves the exact committed bytes; if replication lagged
+// behind the crash, the gateway re-opens the successor just before the
+// lost block (committed - lastTuples) and re-pulls the same rows — the
+// data is deterministic, so the block carries the identical tuples. For
+// a FRESH pull, the successor re-opens at the committed cursor and the
+// seq translation (seqBase) splices its sequence numbers into the
+// client's.
+func (g *Gateway) failover(ctx context.Context, sess *gwSession, seq uint64, size int, replay bool) (*proxiedBlock, error) {
+	dead := sess.backend
+	targetURL := g.ring.successor(dead.url, func(u string) bool { return u != dead.url && g.healthy(u) })
+	if targetURL == "" {
+		// Every other breaker refuses traffic; take any other backend and
+		// let its breaker's half-open probe logic decide.
+		if ep, ok := g.pool.Other(dead.ep); ok && ep.URL() != dead.url {
+			targetURL = ep.URL()
+		}
+	}
+	if targetURL == "" {
+		return nil, fmt.Errorf("no healthy backend to promote for session %s", sess.id)
+	}
+	target := g.backends[targetURL]
+
+	var blk *proxiedBlock
+	switch {
+	case replay:
+		// The client is retrying the last committed block: serve the
+		// standby copy when replication caught up to it.
+		ss, ok := dead.store.Get(sess.backendID)
+		if ok && ss.Seq == sess.lastSeq-sess.seqBase && ss.Seq > 0 && len(ss.Payload) > 0 {
+			blk = &proxiedBlock{
+				payload:     ss.Payload,
+				contentType: codecContentType(ss.Codec),
+				tuples:      ss.Tuples,
+				done:        ss.Done,
+				replayed:    true,
+			}
+			g.standbyReplays.Add(1)
+			g.metrics.standbyReplays.Inc()
+			// Repeat retries of this seq can't be served by the promoted
+			// backend (translated seq 0); keep the standby copy reachable.
+			sess.standby, sess.standbySess = dead.store, sess.backendID
+			if !sess.done {
+				// Future fresh pulls need a live backend session at the
+				// committed cursor.
+				id, err := g.reopen(ctx, sess, target, sess.committed)
+				if err != nil {
+					return nil, err
+				}
+				sess.backendID = id
+				sess.seqBase = sess.lastSeq
+			}
+			break
+		}
+		// Replication lagged behind the crash: re-open just before the
+		// lost block and re-pull the same rows (deterministic data ⇒
+		// identical tuples).
+		id, err := g.reopen(ctx, sess, target, sess.committed-int64(sess.lastTuples))
+		if err != nil {
+			return nil, err
+		}
+		pulled, status, err := g.pullFrom(ctx, target, id, sess.lastTuples, 1)
+		if err != nil || status != 0 {
+			return nil, fmt.Errorf("re-pull lost block on %s: status %d: %v", targetURL, status, err)
+		}
+		if pulled.tuples != sess.lastTuples {
+			return nil, fmt.Errorf("re-pulled block has %d tuples, committed block had %d", pulled.tuples, sess.lastTuples)
+		}
+		pulled.replayed = true
+		sess.backendID = id
+		sess.seqBase = sess.lastSeq - 1
+		blk = pulled
+		g.fallbackReplays.Add(1)
+		g.metrics.fallbackReplays.Inc()
+	default:
+		// Fresh pull: resume the query at the committed cursor.
+		id, err := g.reopen(ctx, sess, target, sess.committed)
+		if err != nil {
+			return nil, err
+		}
+		pulled, status, err := g.pullFrom(ctx, target, id, size, 1)
+		if err != nil || status != 0 {
+			return nil, fmt.Errorf("resume pull on %s: status %d: %v", targetURL, status, err)
+		}
+		sess.backendID = id
+		sess.seqBase = sess.lastSeq
+		blk = pulled
+	}
+
+	target.ep.Success()
+	dead.sessions.Add(-1)
+	target.sessions.Add(1)
+	sess.backend = target
+	sess.failovers++
+	g.failovers.Add(1)
+	g.metrics.failovers.Inc()
+	// Prefer the proven-healthy successor for future picks too.
+	g.pool.Promote(target.ep)
+	g.logf("session %s failed over %s -> %s (seq %d, committed %d, replay=%v)",
+		sess.id, dead.url, targetURL, seq, sess.committed, replay)
+	return blk, nil
+}
+
+// reopen creates a backend-side session for sess on b at the given
+// absolute cursor, rewriting the query's offset.
+func (g *Gateway) reopen(ctx context.Context, sess *gwSession, b *backend, offset int64) (string, error) {
+	q := make(map[string]any, len(sess.query)+1)
+	for k, v := range sess.query {
+		q[k] = v
+	}
+	if offset > 0 {
+		q["offset"] = offset
+	} else {
+		delete(q, "offset")
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		return "", err
+	}
+	cr, err := g.openOn(ctx, b, body)
+	if err != nil {
+		b.ep.Failure()
+		return "", fmt.Errorf("re-open session on %s: %w", b.url, err)
+	}
+	return cr.Session, nil
+}
+
+// writeBlock writes one proxied block to the client, translating the
+// seq and stamping the gateway headers. Called with sess.mu held.
+func (g *Gateway) writeBlock(w http.ResponseWriter, sess *gwSession, blk *proxiedBlock, seq uint64, hasSeq bool, started time.Time) {
+	h := w.Header()
+	if blk.contentType != "" {
+		h.Set("Content-Type", blk.contentType)
+	}
+	h.Set(service.HeaderBlockTuples, strconv.Itoa(blk.tuples))
+	h.Set(service.HeaderBlockDone, strconv.FormatBool(blk.done))
+	if blk.injectedMS != "" {
+		h.Set(service.HeaderInjectedDelayMS, blk.injectedMS)
+	}
+	if hasSeq {
+		h.Set(service.HeaderBlockSeq, strconv.FormatUint(seq, 10))
+	}
+	if blk.replayed {
+		h.Set(service.HeaderBlockReplay, "true")
+	}
+	h.Set(service.HeaderGatewayBackend, sess.backend.url)
+	h.Set(service.HeaderGatewayFailovers, strconv.Itoa(sess.failovers))
+	h.Set("Content-Length", strconv.Itoa(len(blk.payload)))
+	if _, err := w.Write(blk.payload); err != nil {
+		g.logf("session %s: write block: %v", sess.id, err)
+		return
+	}
+	g.blocksProxied.Add(1)
+	g.tuplesProxied.Add(int64(blk.tuples))
+	g.metrics.blocksProxied.Inc()
+	g.metrics.tuplesProxied.Add(int64(blk.tuples))
+	g.metrics.blockServe.Observe(float64(time.Since(started)) / float64(time.Millisecond))
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	sess, ok := g.sessions[id]
+	if ok {
+		delete(g.sessions, id)
+	}
+	g.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.mu.Lock()
+	sess.closed = true
+	b, bid := sess.backend, sess.backendID
+	sess.mu.Unlock()
+	b.sessions.Add(-1)
+	g.cursors.Add(-1)
+	// Best-effort backend cleanup; the backend janitor collects strays.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.url+"/sessions/"+url.PathEscape(bid), nil)
+		if err != nil {
+			return
+		}
+		if resp, err := g.hc.Do(req); err == nil {
+			drain(resp)
+		}
+	}()
+	g.logf("session %s closed", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// BackendStats is one backend's health and replication view in Stats.
+type BackendStats struct {
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Sessions int64  `json:"sessions"`
+	// LagRecords is how many replication records the backend had appended
+	// that the gateway has not yet applied (at the last successful pull).
+	LagRecords uint64 `json:"lag_records"`
+	// LagMS is the ship-to-apply latency of the most recent record.
+	LagMS float64 `json:"lag_ms"`
+	// StandbySessions is how many sessions have standby state here.
+	StandbySessions int    `json:"standby_sessions"`
+	Applied         uint64 `json:"applied"`
+	Lost            uint64 `json:"lost"`
+}
+
+// SessionInfo is one live session's routing view in Stats.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Backend   string `json:"backend"`
+	BackendID string `json:"backend_id"`
+	LastSeq   uint64 `json:"last_seq"`
+	Committed int64  `json:"committed"`
+	Failovers int    `json:"failovers"`
+}
+
+// Stats is the gateway's aggregate view, served at GET /stats.
+type Stats struct {
+	SessionsOpened  int64          `json:"sessions_opened"`
+	SessionsShed    int64          `json:"sessions_shed"`
+	BlocksProxied   int64          `json:"blocks_proxied"`
+	TuplesProxied   int64          `json:"tuples_proxied"`
+	Failovers       int64          `json:"failovers"`
+	StandbyReplays  int64          `json:"standby_replays"`
+	FallbackReplays int64          `json:"fallback_replays"`
+	SessionLimit    int            `json:"session_limit"`
+	Pressure        float64        `json:"admission_pressure"`
+	Backends        []BackendStats `json:"backends"`
+	Sessions        []SessionInfo  `json:"sessions"`
+}
+
+// Stats snapshots the gateway's counters, backends, and live sessions.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		SessionsOpened:  g.sessionsOpened.Load(),
+		SessionsShed:    g.sessionsShed.Load(),
+		BlocksProxied:   g.blocksProxied.Load(),
+		TuplesProxied:   g.tuplesProxied.Load(),
+		Failovers:       g.failovers.Load(),
+		StandbyReplays:  g.standbyReplays.Load(),
+		FallbackReplays: g.fallbackReplays.Load(),
+		SessionLimit:    g.SessionLimit(),
+		Pressure:        g.AdmissionPressure(),
+	}
+	for _, u := range g.order {
+		b := g.backends[u]
+		st.Backends = append(st.Backends, BackendStats{
+			URL:             b.url,
+			State:           b.ep.State().String(),
+			Sessions:        b.sessions.Load(),
+			LagRecords:      b.puller.Lag(),
+			LagMS:           b.store.LastLagMS(),
+			StandbySessions: b.store.Sessions(),
+			Applied:         b.store.Applied(),
+			Lost:            b.store.Lost(),
+		})
+	}
+	g.mu.Lock()
+	for _, sess := range g.sessions {
+		sess.mu.Lock()
+		st.Sessions = append(st.Sessions, SessionInfo{
+			ID:        sess.id,
+			Backend:   sess.backend.url,
+			BackendID: sess.backendID,
+			LastSeq:   sess.lastSeq,
+			Committed: sess.committed,
+			Failovers: sess.failovers,
+		})
+		sess.mu.Unlock()
+	}
+	g.mu.Unlock()
+	return st
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(g.Stats()); err != nil {
+		g.logf("encode stats: %v", err)
+	}
+}
+
+// codecContentType maps a shipped codec name to its HTTP content type.
+func codecContentType(name string) string {
+	if name == "" {
+		return "application/octet-stream"
+	}
+	c, err := wire.ByName(name)
+	if err != nil {
+		return "application/octet-stream"
+	}
+	return c.ContentType()
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.logger != nil {
+		g.logger.Printf(format, args...)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+}

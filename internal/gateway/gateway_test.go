@@ -1,0 +1,608 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wsopt/internal/minidb"
+	"wsopt/internal/replica"
+	"wsopt/internal/resilience"
+	"wsopt/internal/service"
+	"wsopt/internal/wire"
+)
+
+func testCatalog(t *testing.T, rows int) *minidb.Catalog {
+	t.Helper()
+	cat := minidb.NewCatalog()
+	tbl, err := cat.CreateTable("items", minidb.Schema{
+		{Name: "id", Type: minidb.Int64},
+		{Name: "label", Type: minidb.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]minidb.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, minidb.Row{minidb.NewInt(int64(i)), minidb.NewString(fmt.Sprintf("item-%d", i))})
+	}
+	if err := tbl.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// testBackend is one in-process wsblockd.
+type testBackend struct {
+	ts   *httptest.Server
+	rlog *replica.Log
+}
+
+// kill severs the backend abruptly: in-flight and future connections
+// fail at the transport level, like a SIGKILLed process.
+func (b *testBackend) kill() {
+	b.ts.CloseClientConnections()
+	b.ts.Close()
+}
+
+// newFleet starts n backends over the same catalog. replicated controls
+// whether they ship a replication feed.
+func newFleet(t *testing.T, n, rows int, replicated bool) []*testBackend {
+	t.Helper()
+	cat := testCatalog(t, rows)
+	fleet := make([]*testBackend, n)
+	for i := range fleet {
+		var rlog *replica.Log
+		if replicated {
+			rlog = replica.NewLog(1024)
+		}
+		srv, err := service.New(service.Config{Catalog: cat, Replica: rlog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		fleet[i] = &testBackend{ts: ts, rlog: rlog}
+	}
+	return fleet
+}
+
+// newTestGateway builds a gateway over the fleet with test-friendly
+// knobs: instant breaker trips, a long cooldown (a dead backend stays
+// dead for the whole test), and a fast replication pull.
+func newTestGateway(t *testing.T, fleet []*testBackend, mutate func(*Config)) (*Gateway, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(fleet))
+	for i, b := range fleet {
+		urls[i] = b.ts.URL
+	}
+	cfg := Config{
+		Backends:     urls,
+		Breaker:      resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+		PullInterval: 2 * time.Millisecond,
+		Vnodes:       16,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	gw.Start(ctx)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts
+}
+
+func openSession(t *testing.T, base, body string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create: %s: %s", resp.Status, msg)
+	}
+	var cr struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return cr.Session, resp
+}
+
+func pull(t *testing.T, base, id string, size int, seq uint64) *http.Response {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s/sessions/%s/next?size=%d&seq=%d", base, id, size, seq), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeIDs decodes a block payload and returns the id column values.
+func decodeIDs(t *testing.T, payload []byte) []int64 {
+	t.Helper()
+	_, rows, err := wire.XML{}.Decode(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("decode block: %v", err)
+	}
+	ids := make([]int64, len(rows))
+	for i, r := range rows {
+		ids[i] = r[0].I
+	}
+	return ids
+}
+
+// drainSession pulls blocks of size until done, starting at seq start,
+// asserting headers along the way. Returns all ids seen and the max
+// failover count observed.
+func drainSession(t *testing.T, base, id string, size int, start uint64) (ids []int64, failovers int) {
+	t.Helper()
+	for seq := start; ; seq++ {
+		resp := pull(t, base, id, size, seq)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: %s (%v): %s", seq, resp.Status, err, body)
+		}
+		if got := resp.Header.Get(service.HeaderBlockSeq); got != strconv.FormatUint(seq, 10) {
+			t.Fatalf("seq %d: %s header = %q", seq, service.HeaderBlockSeq, got)
+		}
+		if fo, _ := strconv.Atoi(resp.Header.Get(service.HeaderGatewayFailovers)); fo > failovers {
+			failovers = fo
+		}
+		ids = append(ids, decodeIDs(t, body)...)
+		if done, _ := strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone)); done {
+			return ids, failovers
+		}
+	}
+}
+
+// wantExactly asserts ids are exactly 0..rows-1, each exactly once — the
+// zero-duplicate, zero-loss exactness check.
+func wantExactly(t *testing.T, ids []int64, rows int) {
+	t.Helper()
+	if len(ids) != rows {
+		t.Fatalf("got %d tuples, want %d", len(ids), rows)
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate tuple id %d", id)
+		}
+		seen[id] = true
+	}
+	for i := 0; i < rows; i++ {
+		if !seen[int64(i)] {
+			t.Fatalf("lost tuple id %d", i)
+		}
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// backendFor maps a X-WSGate-Backend header to its fleet entry.
+func backendFor(t *testing.T, fleet []*testBackend, url string) *testBackend {
+	t.Helper()
+	for _, b := range fleet {
+		if b.ts.URL == url {
+			return b
+		}
+	}
+	t.Fatalf("unknown backend %q", url)
+	return nil
+}
+
+func TestRingAffinityAndSuccessor(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := newRing(backends, 64)
+
+	// Same key, same owner — and the distribution is roughly balanced.
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		first := r.pick(key, nil)
+		if again := r.pick(key, nil); again != first {
+			t.Fatalf("pick(%q) not deterministic: %q then %q", key, first, again)
+		}
+		counts[first]++
+	}
+	for _, b := range backends {
+		if counts[b] < 300 {
+			t.Fatalf("backend %s got %d/3000 placements; ring is badly unbalanced: %v", b, counts[b], counts)
+		}
+	}
+
+	// Unhealthy owners are skipped; with everyone down the owner wins.
+	down := map[string]bool{}
+	healthy := func(u string) bool { return !down[u] }
+	key := "session-42"
+	owner := r.pick(key, healthy)
+	down[owner] = true
+	alt := r.pick(key, healthy)
+	if alt == owner {
+		t.Fatalf("pick returned the unhealthy owner %q", owner)
+	}
+	for _, b := range backends {
+		down[b] = true
+	}
+	if got := r.pick(key, healthy); got != owner {
+		t.Fatalf("all-down pick = %q, want true owner %q", got, owner)
+	}
+
+	// successor: deterministic, never self, honors the health filter.
+	for _, b := range backends {
+		s1 := r.successor(b, nil)
+		if s1 == b || s1 == "" {
+			t.Fatalf("successor(%s) = %q", b, s1)
+		}
+		if s2 := r.successor(b, nil); s2 != s1 {
+			t.Fatalf("successor(%s) not deterministic: %q then %q", b, s1, s2)
+		}
+	}
+	if got := r.successor("http://a", func(u string) bool { return false }); got != "" {
+		t.Fatalf("successor with no healthy backend = %q, want empty", got)
+	}
+	only := r.successor("http://a", func(u string) bool { return u == "http://c" })
+	if only != "http://c" {
+		t.Fatalf("successor filtered to c = %q", only)
+	}
+}
+
+func TestGatewayProxiesFullScan(t *testing.T) {
+	const rows = 100
+	fleet := newFleet(t, 3, rows, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+
+	id, resp := openSession(t, ts.URL, `{"table":"items"}`)
+	if got := resp.Header.Get(service.HeaderGatewayTransparentFailover); got != "true" {
+		t.Fatalf("%s = %q, want true", service.HeaderGatewayTransparentFailover, got)
+	}
+	if !strings.HasPrefix(id, "g") {
+		t.Fatalf("gateway session id %q does not mask the backend id", id)
+	}
+
+	ids, failovers := drainSession(t, ts.URL, id, 30, 1)
+	wantExactly(t, ids, rows)
+	if failovers != 0 {
+		t.Fatalf("healthy run reported %d failovers", failovers)
+	}
+	st := gw.Stats()
+	if st.BlocksProxied != 4 || st.TuplesProxied != rows || st.Failovers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var sessions int64
+	for _, b := range st.Backends {
+		sessions += b.Sessions
+	}
+	if sessions != 1 {
+		t.Fatalf("sessions by backend sum to %d, want 1", sessions)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %s", dresp.Status)
+	}
+	if gw.SessionCount() != 0 {
+		t.Fatalf("session count %d after delete", gw.SessionCount())
+	}
+}
+
+func TestGatewayReplayAndSeqValidation(t *testing.T) {
+	fleet := newFleet(t, 2, 50, true)
+	_, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	first := pull(t, ts.URL, id, 10, 1)
+	b1, _ := io.ReadAll(first.Body)
+	first.Body.Close()
+
+	// Verbatim replay of the last seq.
+	again := pull(t, ts.URL, id, 10, 1)
+	b2, _ := io.ReadAll(again.Body)
+	again.Body.Close()
+	if again.StatusCode != http.StatusOK || !bytes.Equal(b1, b2) {
+		t.Fatalf("replay: %s, equal=%v", again.Status, bytes.Equal(b1, b2))
+	}
+	if rp, _ := strconv.ParseBool(again.Header.Get(service.HeaderBlockReplay)); !rp {
+		t.Fatal("replay not flagged")
+	}
+
+	// A seq outside the replay window is a 409.
+	conflict := pull(t, ts.URL, id, 10, 4)
+	io.Copy(io.Discard, conflict.Body)
+	conflict.Body.Close()
+	if conflict.StatusCode != http.StatusConflict {
+		t.Fatalf("far-future seq: %s, want 409", conflict.Status)
+	}
+
+	// Exhaust, then pulling past the end is a 410.
+	ids, _ := drainSession(t, ts.URL, id, 25, 2)
+	if len(ids) != 40 {
+		t.Fatalf("drained %d tuples after first block of 10, want 40", len(ids))
+	}
+	gone := pull(t, ts.URL, id, 10, 4)
+	io.Copy(io.Discard, gone.Body)
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusGone {
+		t.Fatalf("pull past done: %s, want 410", gone.Status)
+	}
+}
+
+func TestGatewayEdgeAdmission(t *testing.T) {
+	fleet := newFleet(t, 2, 50, true)
+	gw, ts := newTestGateway(t, fleet, func(c *Config) {
+		c.MaxSessions = 1
+		c.RetryAfter = 2 * time.Second
+	})
+	gw.SetAdmissionPressure(1.5)
+
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(`{"table":"items"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit create: %s, want 503", resp.Status)
+	}
+	// Retry-After is priced by the regulator's pressure: 2s * (1+1.5) = 5s.
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After = %q, want 5", ra)
+	}
+	if ms := resp.Header.Get(service.HeaderRetryAfterMS); ms != "5000.000" {
+		t.Fatalf("%s = %q", service.HeaderRetryAfterMS, ms)
+	}
+	if p := resp.Header.Get(service.HeaderAdmissionPressure); p != "1.5000" {
+		t.Fatalf("%s = %q", service.HeaderAdmissionPressure, p)
+	}
+	if gw.Stats().SessionsShed != 1 {
+		t.Fatalf("sessions_shed = %d", gw.Stats().SessionsShed)
+	}
+
+	// The regulator can widen the ceiling at runtime (Sink interface).
+	gw.SetSessionLimit(2)
+	id2, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	// Closing a session frees its admission slot.
+	for _, sid := range []string{id, id2} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+sid, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+	}
+	gw.SetSessionLimit(1)
+	id3, _ := openSession(t, ts.URL, `{"table":"items"}`)
+	_ = id3
+}
+
+// TestGatewayFailoverFresh kills the primary between pulls: the next
+// FRESH pull must be served by a promoted successor with translated
+// seqs, and the full scan must deliver every tuple exactly once.
+func TestGatewayFailoverFresh(t *testing.T) {
+	const rows = 90
+	fleet := newFleet(t, 3, rows, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	resp := pull(t, ts.URL, id, 20, 1)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seq 1: %s", resp.Status)
+	}
+	ids := decodeIDs(t, body)
+	primary := resp.Header.Get(service.HeaderGatewayBackend)
+
+	backendFor(t, fleet, primary).kill()
+
+	rest, failovers := drainSession(t, ts.URL, id, 20, 2)
+	wantExactly(t, append(ids, rest...), rows)
+	if failovers != 1 {
+		t.Fatalf("client saw %d failovers, want 1", failovers)
+	}
+	st := gw.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("gateway failovers = %d, want 1", st.Failovers)
+	}
+	if st.StandbyReplays != 0 || st.FallbackReplays != 0 {
+		t.Fatalf("fresh failover used a replay path: %+v", st)
+	}
+	for _, b := range st.Backends {
+		if b.URL == primary && b.Sessions != 0 {
+			t.Fatalf("dead primary still owns %d sessions", b.Sessions)
+		}
+	}
+}
+
+// TestGatewayFailoverStandbyReplay kills the primary after a block was
+// committed and replicated, then retries that seq: the gateway must
+// serve the byte-identical standby copy — including on a second retry —
+// and resume fresh pulls on the successor without duplicating or losing
+// tuples.
+func TestGatewayFailoverStandbyReplay(t *testing.T) {
+	const rows = 60
+	fleet := newFleet(t, 2, rows, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	resp := pull(t, ts.URL, id, 25, 1)
+	committed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	primary := resp.Header.Get(service.HeaderGatewayBackend)
+
+	// Wait until the standby store has applied the create + commit.
+	waitFor(t, 2*time.Second, "replication to catch up", func() bool {
+		for _, b := range gw.Stats().Backends {
+			if b.URL == primary {
+				return b.Applied >= 2 && b.LagRecords == 0
+			}
+		}
+		return false
+	})
+	backendFor(t, fleet, primary).kill()
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		retry := pull(t, ts.URL, id, 25, 1)
+		replayed, _ := io.ReadAll(retry.Body)
+		retry.Body.Close()
+		if retry.StatusCode != http.StatusOK {
+			t.Fatalf("retry %d after kill: %s: %s", attempt, retry.Status, replayed)
+		}
+		if !bytes.Equal(replayed, committed) {
+			t.Fatalf("retry %d: replayed block differs from the committed block", attempt)
+		}
+		if rp, _ := strconv.ParseBool(retry.Header.Get(service.HeaderBlockReplay)); !rp {
+			t.Fatalf("retry %d not flagged as replay", attempt)
+		}
+	}
+	st := gw.Stats()
+	if st.StandbyReplays != 2 || st.FallbackReplays != 0 || st.Failovers != 1 {
+		t.Fatalf("standby=%d fallback=%d failovers=%d, want 2/0/1",
+			st.StandbyReplays, st.FallbackReplays, st.Failovers)
+	}
+
+	rest, _ := drainSession(t, ts.URL, id, 25, 2)
+	wantExactly(t, append(decodeIDs(t, committed), rest...), rows)
+}
+
+// TestGatewayFailoverFallbackReplay runs backends WITHOUT a replication
+// feed: a post-kill retry cannot be served from a standby copy, so the
+// gateway re-opens the successor at the pre-block cursor and re-pulls
+// the same rows (deterministic data makes the block identical).
+func TestGatewayFailoverFallbackReplay(t *testing.T) {
+	const rows = 60
+	fleet := newFleet(t, 2, rows, false)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	resp := pull(t, ts.URL, id, 25, 1)
+	committed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	primary := resp.Header.Get(service.HeaderGatewayBackend)
+	backendFor(t, fleet, primary).kill()
+
+	retry := pull(t, ts.URL, id, 25, 1)
+	replayed, _ := io.ReadAll(retry.Body)
+	retry.Body.Close()
+	if retry.StatusCode != http.StatusOK {
+		t.Fatalf("retry after kill: %s: %s", retry.Status, replayed)
+	}
+	if !bytes.Equal(replayed, committed) {
+		t.Fatal("fallback re-pull produced a different block")
+	}
+	st := gw.Stats()
+	if st.FallbackReplays != 1 || st.StandbyReplays != 0 || st.Failovers != 1 {
+		t.Fatalf("standby=%d fallback=%d failovers=%d, want 0/1/1",
+			st.StandbyReplays, st.FallbackReplays, st.Failovers)
+	}
+
+	rest, _ := drainSession(t, ts.URL, id, 25, 2)
+	wantExactly(t, append(decodeIDs(t, committed), rest...), rows)
+}
+
+// TestGatewayRoutesNewSessionsAroundDeadBackend kills one backend and
+// checks that, once its breaker opens, every new session lands on a
+// live one — health-aware rebalancing for new sessions.
+func TestGatewayRoutesNewSessionsAroundDeadBackend(t *testing.T) {
+	fleet := newFleet(t, 3, 30, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+
+	dead := fleet[0]
+	dead.kill()
+	// The replication puller is the death detector: it trips the breaker
+	// without any client traffic.
+	waitFor(t, 2*time.Second, "breaker to open", func() bool {
+		for _, b := range gw.Stats().Backends {
+			if b.URL == dead.ts.URL {
+				return b.State == "open"
+			}
+		}
+		return false
+	})
+
+	for i := 0; i < 8; i++ {
+		id, resp := openSession(t, ts.URL, `{"table":"items"}`)
+		if got := resp.Header.Get(service.HeaderGatewayBackend); got == dead.ts.URL {
+			t.Fatalf("session %s placed on the dead backend", id)
+		}
+	}
+	for _, b := range gw.Stats().Backends {
+		if b.URL == dead.ts.URL && b.Sessions != 0 {
+			t.Fatalf("dead backend owns %d sessions", b.Sessions)
+		}
+	}
+}
+
+// TestGatewayStatsAndMetricsExport spot-checks the aggregate /stats and
+// /metrics surfaces the operator (and the e2e chaos test) rely on.
+func TestGatewayStatsAndMetricsExport(t *testing.T) {
+	fleet := newFleet(t, 2, 40, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+	resp := pull(t, ts.URL, id, 40, 1)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var st Stats
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.SessionsOpened != 1 || st.BlocksProxied != 1 || st.TuplesProxied != 40 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Backends) != 2 {
+		t.Fatalf("stats lists %d backends", len(st.Backends))
+	}
+	found := false
+	for _, s := range st.Sessions {
+		if s.ID == id && s.LastSeq == 1 && s.Committed == 40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("session %s missing from stats: %+v", id, st.Sessions)
+	}
+	if gw.BlockServeSnapshot().Count != 1 {
+		t.Fatalf("block-serve histogram count = %d", gw.BlockServeSnapshot().Count)
+	}
+}

@@ -1,0 +1,295 @@
+// Package replica is the async log-shipping channel that makes session
+// state survive process death. Each wsblockd backend appends a record to
+// an in-memory ring log on every session mutation — create, block
+// commit, close — carrying the committed cursor, the last-acked sequence
+// number, and the encoded payload of the committed block (the bytes a
+// same-seq retry needs). A follower (the wsgate tier) pulls the log over
+// HTTP by LSN and applies it into a standby Store, so when the primary
+// dies mid-transfer the gateway can promote a follower backend and serve
+// the in-flight block verbatim with zero duplicate or lost tuples.
+//
+// The design follows the shape of small log-shipping replicators
+// (append-only LSN-ordered log, pull-based resumable shipping, explicit
+// lag accounting) rather than consensus: the log is a bounded ring, a
+// follower that falls behind the retention window observes the gap and
+// degrades gracefully (the gateway falls back to cursor-resume), and
+// replication lag — in records and in milliseconds — is a first-class
+// measurement the gateway exports.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Op is the kind of a replication record.
+type Op uint8
+
+const (
+	// OpCreate announces a new session: id, the query body it was opened
+	// with, and the starting cursor (the create offset).
+	OpCreate Op = iota + 1
+	// OpCommit announces a committed block: the last-acked seq, the
+	// committed absolute cursor after it, and the encoded payload a
+	// same-seq retry needs.
+	OpCommit
+	// OpClose announces an orderly session close or expiry.
+	OpClose
+)
+
+// String returns the record kind for logs and tests.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpCommit:
+		return "commit"
+	case OpClose:
+		return "close"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Record is one replication log entry. Payload may alias a pooled server
+// buffer: the log owns a reference to it (via Release) from Append until
+// the record is evicted, and Read hands out private copies, so consumers
+// never observe a reused buffer.
+type Record struct {
+	// LSN is the log sequence number, assigned by Log.Append.
+	LSN uint64 `json:"lsn"`
+	// Op is the mutation kind.
+	Op Op `json:"op"`
+	// Session is the primary's session id.
+	Session string `json:"session"`
+	// Query is the session's create request body (OpCreate only), so a
+	// follower can reconstruct the plan without ever having seen it.
+	Query json.RawMessage `json:"query,omitempty"`
+	// Seq is the last-acked block sequence number (OpCommit).
+	Seq uint64 `json:"seq,omitempty"`
+	// Committed is the absolute tuple cursor after block Seq: create
+	// offset plus every tuple served through Seq (OpCreate carries the
+	// starting offset here).
+	Committed int64 `json:"committed,omitempty"`
+	// Tuples is the tuple count of block Seq (OpCommit).
+	Tuples int `json:"tuples,omitempty"`
+	// Done marks block Seq as the final block (OpCommit).
+	Done bool `json:"done,omitempty"`
+	// Codec names the wire codec the payload is encoded with.
+	Codec string `json:"codec,omitempty"`
+	// Payload is the committed block's encoded bytes (OpCommit), the
+	// replay a same-seq retry needs after the primary dies.
+	Payload []byte `json:"payload,omitempty"`
+	// ShippedUnixNano is when the primary appended the record; the
+	// follower's apply time minus this is the per-record replication lag.
+	ShippedUnixNano int64 `json:"shipped_unix_nano"`
+
+	// Release, when non-nil, is called exactly once when the log no
+	// longer references Payload (eviction or Close) — the hook the
+	// service uses to refcount its pooled replay buffers. Never
+	// serialized.
+	Release func() `json:"-"`
+}
+
+// Log is the primary-side bounded replication log: an LSN-ordered ring
+// of the most recent records. Append is called on the block hot path
+// (under the session lock) and takes only the log's own mutex; Read is
+// the feed's pull path and copies payloads so the returned records are
+// immune to later eviction. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record // ring buffer, recs[i] holds LSN first+i
+	head int      // index of the oldest record
+	n    int      // live records
+	next uint64   // LSN the next Append will get (first LSN is 1)
+
+	appended uint64
+	evicted  uint64
+	closed   bool
+}
+
+// NewLog builds a log retaining up to capacity records (minimum 16,
+// default 1024 when capacity <= 0).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{recs: make([]Record, capacity), next: 1}
+}
+
+// Append assigns the next LSN to rec, stores it, and evicts (and
+// releases) the oldest record when the ring is full. It returns the
+// assigned LSN. Appending to a closed log releases rec immediately and
+// returns 0.
+func (l *Log) Append(rec Record) uint64 {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		if rec.Release != nil {
+			rec.Release()
+		}
+		return 0
+	}
+	if rec.ShippedUnixNano == 0 {
+		rec.ShippedUnixNano = time.Now().UnixNano()
+	}
+	rec.LSN = l.next
+	l.next++
+	l.appended++
+	var evict func()
+	if l.n == len(l.recs) {
+		old := &l.recs[l.head]
+		evict = old.Release
+		*old = rec
+		l.head = (l.head + 1) % len(l.recs)
+		l.evicted++
+	} else {
+		l.recs[(l.head+l.n)%len(l.recs)] = rec
+		l.n++
+	}
+	l.mu.Unlock()
+	// The evicted record's buffer reference is dropped outside the lock:
+	// Release may return a pooled buffer and must not run under l.mu.
+	if evict != nil {
+		evict()
+	}
+	return rec.LSN
+}
+
+// FirstLSN returns the oldest retained LSN (0 when the log is empty).
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0
+	}
+	return l.next - uint64(l.n)
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Read returns up to max records with LSN >= from, in LSN order,
+// together with the log's first retained LSN and the next LSN to ask
+// for. Payloads are private copies: the caller may hold them
+// indefinitely. A from below the retention window silently starts at the
+// window (the caller detects the gap by comparing from with first).
+func (l *Log) Read(from uint64, max int) (recs []Record, first, next uint64) {
+	if max <= 0 {
+		max = 256
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next = l.next
+	if l.n == 0 {
+		return nil, 0, next
+	}
+	first = l.next - uint64(l.n)
+	start := from
+	if start < first {
+		start = first
+	}
+	for lsn := start; lsn < l.next && len(recs) < max; lsn++ {
+		r := l.recs[(l.head+int(lsn-first))%len(l.recs)]
+		if r.Payload != nil {
+			r.Payload = append([]byte(nil), r.Payload...)
+		}
+		r.Release = nil
+		recs = append(recs, r)
+	}
+	return recs, first, next
+}
+
+// Stats reports append/evict totals for metrics.
+func (l *Log) Stats() (appended, evicted uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended, l.evicted
+}
+
+// Close releases every retained record's buffer reference and rejects
+// further appends. Idempotent.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	var rel []func()
+	for i := 0; i < l.n; i++ {
+		r := &l.recs[(l.head+i)%len(l.recs)]
+		if r.Release != nil {
+			rel = append(rel, r.Release)
+			r.Release = nil
+		}
+		r.Payload = nil
+	}
+	l.n = 0
+	l.mu.Unlock()
+	for _, f := range rel {
+		f()
+	}
+}
+
+// feedResponse is the wire shape of the replication feed.
+type feedResponse struct {
+	// First is the oldest retained LSN (0 = empty log); a follower whose
+	// cursor is below it has missed records.
+	First uint64 `json:"first"`
+	// Next is the LSN to pass as from on the next pull.
+	Next uint64 `json:"next"`
+	// Records are the shipped entries, in LSN order.
+	Records []Record `json:"records"`
+}
+
+// FeedHandler serves the log as a pull-based HTTP feed:
+//
+//	GET /replication/feed?from=LSN&max=N
+//
+// returning {"first", "next", "records"} as JSON. Payload bytes ride as
+// base64. The handler never blocks: an empty batch tells the follower it
+// is caught up and should poll again after its interval.
+func FeedHandler(l *Log) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var from uint64
+		if v := r.URL.Query().Get("from"); v != "" {
+			f, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "from must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			from = f
+		}
+		max := 256
+		if v := r.URL.Query().Get("max"); v != "" {
+			m, err := strconv.Atoi(v)
+			if err != nil || m < 1 {
+				http.Error(w, "max must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			max = m
+		}
+		recs, firstLSN, nextLSN := l.Read(from, max)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(feedResponse{First: firstLSN, Next: nextLSN, Records: recs})
+	}
+}

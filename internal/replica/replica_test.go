@@ -1,0 +1,338 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogAppendAssignsSequentialLSNs(t *testing.T) {
+	l := NewLog(16)
+	for i := 1; i <= 5; i++ {
+		lsn := l.Append(Record{Op: OpCommit, Session: "s"})
+		if lsn != uint64(i) {
+			t.Fatalf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if got := l.FirstLSN(); got != 1 {
+		t.Fatalf("FirstLSN = %d, want 1", got)
+	}
+	if got := l.NextLSN(); got != 6 {
+		t.Fatalf("NextLSN = %d, want 6", got)
+	}
+	if got := l.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+}
+
+func TestLogEvictionReleasesOldestExactlyOnce(t *testing.T) {
+	l := NewLog(16)
+	released := make(map[int]int)
+	var mu sync.Mutex
+	for i := 0; i < 40; i++ {
+		i := i
+		l.Append(Record{Op: OpCommit, Session: "s", Release: func() {
+			mu.Lock()
+			released[i]++
+			mu.Unlock()
+		}})
+	}
+	// Capacity 16, 40 appends: records 0..23 must have been evicted and
+	// released exactly once; 24..39 are still retained.
+	mu.Lock()
+	for i := 0; i < 24; i++ {
+		if released[i] != 1 {
+			t.Fatalf("record %d released %d times, want 1", i, released[i])
+		}
+	}
+	for i := 24; i < 40; i++ {
+		if released[i] != 0 {
+			t.Fatalf("record %d released before eviction", i)
+		}
+	}
+	mu.Unlock()
+	appended, evicted := l.Stats()
+	if appended != 40 || evicted != 24 {
+		t.Fatalf("stats = (%d, %d), want (40, 24)", appended, evicted)
+	}
+	l.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 24; i < 40; i++ {
+		if released[i] != 1 {
+			t.Fatalf("record %d released %d times after Close, want 1", i, released[i])
+		}
+	}
+}
+
+func TestLogAppendAfterCloseReleasesImmediately(t *testing.T) {
+	l := NewLog(16)
+	l.Close()
+	var released bool
+	if lsn := l.Append(Record{Release: func() { released = true }}); lsn != 0 {
+		t.Fatalf("append after close returned lsn %d, want 0", lsn)
+	}
+	if !released {
+		t.Fatal("append after close did not release the record")
+	}
+	l.Close() // idempotent
+}
+
+func TestLogReadCopiesPayloads(t *testing.T) {
+	l := NewLog(16)
+	buf := []byte("block-1-bytes")
+	l.Append(Record{Op: OpCommit, Session: "s", Seq: 1, Payload: buf})
+	recs, first, next := l.Read(1, 10)
+	if len(recs) != 1 || first != 1 || next != 2 {
+		t.Fatalf("Read = %d recs, first %d, next %d", len(recs), first, next)
+	}
+	// Poison the original buffer (models the pooled buffer being reused
+	// after the record's reference is dropped).
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	if got := string(recs[0].Payload); got != "block-1-bytes" {
+		t.Fatalf("read payload mutated by buffer reuse: %q", got)
+	}
+	if recs[0].Release != nil {
+		t.Fatal("Read leaked a Release hook")
+	}
+}
+
+func TestLogReadClampsBelowRetention(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 40; i++ {
+		l.Append(Record{Op: OpCommit, Session: "s", Seq: uint64(i + 1)})
+	}
+	recs, first, next := l.Read(1, 100)
+	if first != 25 {
+		t.Fatalf("first = %d, want 25 (oldest retained)", first)
+	}
+	if next != 41 {
+		t.Fatalf("next = %d, want 41", next)
+	}
+	if len(recs) != 16 {
+		t.Fatalf("len(recs) = %d, want 16", len(recs))
+	}
+	if recs[0].LSN != 25 || recs[15].LSN != 40 {
+		t.Fatalf("recs span %d..%d, want 25..40", recs[0].LSN, recs[15].LSN)
+	}
+}
+
+func TestFeedHandlerRoundTrip(t *testing.T) {
+	l := NewLog(64)
+	q := json.RawMessage(`{"table":"t"}`)
+	l.Append(Record{Op: OpCreate, Session: "sess-1", Query: q, Committed: 100})
+	l.Append(Record{Op: OpCommit, Session: "sess-1", Seq: 1, Committed: 150, Tuples: 50, Codec: "binary", Payload: []byte{1, 2, 3}})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/replication/feed" {
+			http.NotFound(w, r)
+			return
+		}
+		FeedHandler(l)(w, r)
+	}))
+	defer srv.Close()
+
+	st := NewStore(0)
+	p := &Puller{URL: srv.URL, Store: st}
+	n, err := p.PollOnce(context.Background())
+	if err != nil {
+		t.Fatalf("PollOnce: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("applied %d records, want 2", n)
+	}
+	if lag := p.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after full drain, want 0", lag)
+	}
+	ss, ok := st.Get("sess-1")
+	if !ok {
+		t.Fatal("session missing from store")
+	}
+	if ss.Seq != 1 || ss.Committed != 150 || ss.Tuples != 50 || ss.Codec != "binary" {
+		t.Fatalf("state = %+v", ss)
+	}
+	if string(ss.Payload) != "\x01\x02\x03" {
+		t.Fatalf("payload = %v", ss.Payload)
+	}
+	if string(ss.Query) != `{"table":"t"}` {
+		t.Fatalf("query = %s", ss.Query)
+	}
+
+	// A close record removes the session.
+	l.Append(Record{Op: OpClose, Session: "sess-1"})
+	if _, err := p.PollOnce(context.Background()); err != nil {
+		t.Fatalf("PollOnce: %v", err)
+	}
+	if _, ok := st.Get("sess-1"); ok {
+		t.Fatal("session survived close record")
+	}
+	if st.Applied() != 3 {
+		t.Fatalf("applied = %d, want 3", st.Applied())
+	}
+}
+
+func TestFeedHandlerRejectsBadParams(t *testing.T) {
+	h := FeedHandler(NewLog(16))
+	for _, q := range []string{"from=abc", "max=0", "max=-1", "max=x"} {
+		req := httptest.NewRequest(http.MethodGet, "/replication/feed?"+q, nil)
+		rw := httptest.NewRecorder()
+		h(rw, req)
+		if rw.Code != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", q, rw.Code)
+		}
+	}
+}
+
+func TestPullerDetectsRetentionGap(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 40; i++ {
+		l.Append(Record{Op: OpCommit, Session: "s", Seq: uint64(i + 1)})
+	}
+	srv := httptest.NewServer(FeedHandler(l))
+	defer srv.Close()
+	st := NewStore(0)
+	p := &Puller{URL: srv.URL, Store: st}
+	// Cursor 1 but retention starts at 25: 24 records were lost.
+	if _, err := p.PollOnce(context.Background()); err != nil {
+		t.Fatalf("PollOnce: %v", err)
+	}
+	if got := st.Lost(); got != 24 {
+		t.Fatalf("lost = %d, want 24", got)
+	}
+	if got := p.Cursor(); got != 41 {
+		t.Fatalf("cursor = %d, want 41", got)
+	}
+}
+
+func TestPullerLagCountsPendingRecords(t *testing.T) {
+	l := NewLog(64)
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Op: OpCommit, Session: "s", Seq: uint64(i + 1)})
+	}
+	srv := httptest.NewServer(FeedHandler(l))
+	defer srv.Close()
+	st := NewStore(0)
+	p := &Puller{URL: srv.URL, Store: st, Batch: 4}
+	if n, err := p.PollOnce(context.Background()); err != nil || n != 4 {
+		t.Fatalf("PollOnce = (%d, %v), want (4, nil)", n, err)
+	}
+	if got := p.Lag(); got != 6 {
+		t.Fatalf("lag = %d, want 6", got)
+	}
+	// Drain the rest.
+	for p.Lag() > 0 {
+		if _, err := p.PollOnce(context.Background()); err != nil {
+			t.Fatalf("PollOnce: %v", err)
+		}
+	}
+	if got := st.Applied(); got != 10 {
+		t.Fatalf("applied = %d, want 10", got)
+	}
+}
+
+func TestPullerRunDrainsAndStops(t *testing.T) {
+	l := NewLog(64)
+	for i := 0; i < 30; i++ {
+		l.Append(Record{Op: OpCommit, Session: fmt.Sprintf("s%d", i%3), Seq: uint64(i + 1)})
+	}
+	srv := httptest.NewServer(FeedHandler(l))
+	defer srv.Close()
+	st := NewStore(0)
+	p := &Puller{URL: srv.URL, Store: st, Batch: 8, Interval: 5 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { p.Run(ctx); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for st.Applied() < 30 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out: applied %d/30", st.Applied())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("Run did not stop after cancel")
+	}
+}
+
+func TestStoreLagMillisUsesShipTimestamp(t *testing.T) {
+	st := NewStore(0)
+	base := time.Unix(1000, 0)
+	st.setClock(func() time.Time { return base.Add(40 * time.Millisecond) })
+	st.Apply(Record{Op: OpCommit, Session: "s", Seq: 1, ShippedUnixNano: base.UnixNano()})
+	if got := st.LastLagMS(); got != 40 {
+		t.Fatalf("lag = %v ms, want 40", got)
+	}
+}
+
+func TestStoreCommitWithoutCreateStillServes(t *testing.T) {
+	st := NewStore(0)
+	st.Apply(Record{Op: OpCommit, Session: "orphan", Seq: 3, Committed: 90, Tuples: 30, Payload: []byte("p")})
+	ss, ok := st.Get("orphan")
+	if !ok || ss.Seq != 3 || ss.Committed != 90 {
+		t.Fatalf("orphan commit not retained: %+v ok=%v", ss, ok)
+	}
+}
+
+func TestStoreEvictsOldestBeyondCapacity(t *testing.T) {
+	st := NewStore(0)
+	st.maxSess = 3
+	now := time.Unix(0, 0)
+	st.setClock(func() time.Time { now = now.Add(time.Second); return now })
+	for i := 0; i < 4; i++ {
+		st.Apply(Record{Op: OpCreate, Session: fmt.Sprintf("s%d", i)})
+	}
+	if st.Sessions() != 3 {
+		t.Fatalf("sessions = %d, want 3", st.Sessions())
+	}
+	if _, ok := st.Get("s0"); ok {
+		t.Fatal("oldest session s0 not evicted")
+	}
+	if _, ok := st.Get("s3"); !ok {
+		t.Fatal("newest session s3 missing")
+	}
+}
+
+func TestLogConcurrentAppendRead(t *testing.T) {
+	l := NewLog(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			l.Append(Record{Op: OpCommit, Session: "s", Seq: uint64(i), Payload: []byte("payload")})
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var from uint64 = 1
+		for {
+			recs, _, next := l.Read(from, 64)
+			for _, r := range recs {
+				if string(r.Payload) != "payload" {
+					t.Errorf("corrupt payload %q at lsn %d", r.Payload, r.LSN)
+					return
+				}
+			}
+			from = next
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+}

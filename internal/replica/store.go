@@ -1,0 +1,331 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SessionState is the follower's standby view of one primary session:
+// everything promotion needs to continue the transfer from the very next
+// seq — the committed cursor, the last-acked seq, and the last committed
+// block's bytes for a same-seq retry.
+type SessionState struct {
+	// Session is the primary-side session id.
+	Session string
+	// Query is the create request body the session was opened with.
+	Query json.RawMessage
+	// Seq is the last-acked block sequence number (0 = none yet).
+	Seq uint64
+	// Committed is the absolute tuple cursor after block Seq (the create
+	// offset before any block commits).
+	Committed int64
+	// Tuples is the tuple count of block Seq.
+	Tuples int
+	// Done marks block Seq as the final block.
+	Done bool
+	// Codec names the wire codec Payload is encoded with.
+	Codec string
+	// Payload is block Seq's encoded bytes (a private copy).
+	Payload []byte
+	// AppliedAt is when the follower applied the latest record.
+	AppliedAt time.Time
+}
+
+// Store is the follower-side standby state: session id → latest
+// replicated state, built by applying records in LSN order. Safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	sessions map[string]*SessionState
+	maxSess  int
+
+	applied   uint64
+	lost      uint64 // records skipped past the retention window
+	lastLagMS float64
+	now       func() time.Time
+}
+
+// NewStore builds a standby store retaining state for up to maxSessions
+// live sessions (default 4096 when <= 0); the oldest-applied entry is
+// evicted beyond that, bounding memory when close records are lost.
+func NewStore(maxSessions int) *Store {
+	if maxSessions <= 0 {
+		maxSessions = 4096
+	}
+	return &Store{sessions: make(map[string]*SessionState), maxSess: maxSessions, now: time.Now}
+}
+
+// setClock injects a fake clock for deterministic lag tests.
+func (st *Store) setClock(now func() time.Time) { st.now = now }
+
+// Apply folds one record into the standby state and records its lag.
+func (st *Store) Apply(rec Record) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.applied++
+	if rec.ShippedUnixNano > 0 {
+		st.lastLagMS = float64(now.UnixNano()-rec.ShippedUnixNano) / 1e6
+		if st.lastLagMS < 0 {
+			st.lastLagMS = 0
+		}
+	}
+	switch rec.Op {
+	case OpCreate:
+		st.evictOverflowLocked()
+		st.sessions[rec.Session] = &SessionState{
+			Session:   rec.Session,
+			Query:     rec.Query,
+			Committed: rec.Committed,
+			AppliedAt: now,
+		}
+	case OpCommit:
+		ss := st.sessions[rec.Session]
+		if ss == nil {
+			// The create record fell outside the retention window; standby
+			// state can still serve retries from the commit alone.
+			st.evictOverflowLocked()
+			ss = &SessionState{Session: rec.Session}
+			st.sessions[rec.Session] = ss
+		}
+		ss.Seq = rec.Seq
+		ss.Committed = rec.Committed
+		ss.Tuples = rec.Tuples
+		ss.Done = rec.Done
+		ss.Codec = rec.Codec
+		ss.Payload = rec.Payload
+		ss.AppliedAt = now
+	case OpClose:
+		delete(st.sessions, rec.Session)
+	}
+}
+
+// evictOverflowLocked drops the oldest-applied entry once the store is
+// full. Called with st.mu held, before an insert.
+func (st *Store) evictOverflowLocked() {
+	if len(st.sessions) < st.maxSess {
+		return
+	}
+	var oldest string
+	var oldestAt time.Time
+	for id, ss := range st.sessions {
+		if oldest == "" || ss.AppliedAt.Before(oldestAt) {
+			oldest, oldestAt = id, ss.AppliedAt
+		}
+	}
+	if oldest != "" {
+		delete(st.sessions, oldest)
+	}
+}
+
+// MarkLost counts records that fell past the primary's retention window
+// before the follower could pull them.
+func (st *Store) MarkLost(n uint64) {
+	if n == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.lost += n
+	st.mu.Unlock()
+}
+
+// Get returns the standby state for a session, if any. The returned
+// struct is a private copy.
+func (st *Store) Get(session string) (SessionState, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss := st.sessions[session]
+	if ss == nil {
+		return SessionState{}, false
+	}
+	return *ss, true
+}
+
+// Sessions returns the number of sessions with standby state.
+func (st *Store) Sessions() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// Applied returns how many records have been applied.
+func (st *Store) Applied() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.applied
+}
+
+// Lost returns how many records were skipped past the retention window.
+func (st *Store) Lost() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lost
+}
+
+// LastLagMS returns the replication lag, in milliseconds, of the most
+// recently applied record (ship time to apply time).
+func (st *Store) LastLagMS() float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastLagMS
+}
+
+// StatusError is a feed pull that reached the primary but got a non-200
+// response — the primary is ALIVE (replication may simply be disabled),
+// so followers must not treat it as a death signal the way they treat
+// transport errors.
+type StatusError struct {
+	Code   int
+	URL    string
+	Status string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("replica: feed %s returned %s", e.URL, e.Status)
+}
+
+// Puller ships one primary's replication feed into a Store: it polls
+// GET {URL}/replication/feed?from=LSN, applies each batch in LSN order,
+// and tracks how far behind the primary it is. One Puller per backend;
+// Run loops until the context is cancelled.
+type Puller struct {
+	// URL is the primary's base URL (the feed lives under /replication/feed).
+	URL string
+	// Store receives the applied records. Required.
+	Store *Store
+	// Interval is the idle poll period (default 25ms); a batch that
+	// filled up is followed immediately.
+	Interval time.Duration
+	// HTTP is the client used for feed pulls (default: 10s timeout).
+	HTTP *http.Client
+	// Batch is the per-pull record cap (default 256).
+	Batch int
+	// OnError observes pull failures (nil = ignore); a dead primary
+	// surfaces here every interval until the context is cancelled.
+	OnError func(error)
+
+	mu      sync.Mutex
+	from    uint64 // next LSN to ask for
+	pending uint64 // primary's next LSN minus ours, after the last pull
+}
+
+// Lag returns the record lag observed at the last successful pull: how
+// many records the primary had appended that this puller had not yet
+// applied.
+func (p *Puller) Lag() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Cursor returns the next LSN the puller will ask for.
+func (p *Puller) Cursor() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.from
+}
+
+// PollOnce performs one feed pull and applies the batch. It returns the
+// number of records applied.
+func (p *Puller) PollOnce(ctx context.Context) (int, error) {
+	hc := p.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	batch := p.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	p.mu.Lock()
+	if p.from == 0 {
+		p.from = 1 // LSNs start at 1
+	}
+	from := p.from
+	p.mu.Unlock()
+	u := p.URL + "/replication/feed?from=" + strconv.FormatUint(from, 10) + "&max=" + strconv.Itoa(batch)
+	if _, err := url.Parse(u); err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, &StatusError{Code: resp.StatusCode, URL: p.URL, Status: resp.Status}
+	}
+	var fr feedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return 0, fmt.Errorf("replica: decode feed %s: %w", p.URL, err)
+	}
+	// Records between our cursor and the primary's retention window were
+	// evicted before we could pull them.
+	if fr.First > from && len(fr.Records) > 0 && fr.Records[0].LSN > from {
+		p.Store.MarkLost(fr.Records[0].LSN - from)
+	} else if len(fr.Records) == 0 && fr.First > from && fr.Next > fr.First {
+		p.Store.MarkLost(fr.First - from)
+	}
+	for _, rec := range fr.Records {
+		p.Store.Apply(rec)
+	}
+	p.mu.Lock()
+	if len(fr.Records) > 0 {
+		p.from = fr.Records[len(fr.Records)-1].LSN + 1
+	} else if fr.Next > p.from {
+		// Empty batch with a higher next: the whole gap was evicted.
+		p.from = fr.Next
+	}
+	p.pending = 0
+	if fr.Next > p.from {
+		p.pending = fr.Next - p.from
+	}
+	p.mu.Unlock()
+	return len(fr.Records), nil
+}
+
+// Run polls until the context is cancelled. A full batch is followed up
+// immediately (the follower is behind); otherwise the puller sleeps for
+// its interval.
+func (p *Puller) Run(ctx context.Context) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	batch := p.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	for ctx.Err() == nil {
+		n, err := p.PollOnce(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if p.OnError != nil {
+				p.OnError(err)
+			}
+		}
+		if err == nil && n >= batch {
+			continue // behind: keep draining without sleeping
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}

@@ -65,6 +65,19 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 	reg.GaugeFunc("wsopt_service_admission_pressure", "Live delay-pricing pressure scaling Retry-After on shed sessions (0 = none).", func() float64 {
 		return s.AdmissionPressure()
 	})
+	if rl := s.cfg.Replica; rl != nil {
+		reg.GaugeFunc("wsopt_service_replication_appended_total", "Replication records appended to the primary-side log.", func() float64 {
+			appended, _ := rl.Stats()
+			return float64(appended)
+		})
+		reg.GaugeFunc("wsopt_service_replication_evicted_total", "Replication records evicted past the log's retention window.", func() float64 {
+			_, evicted := rl.Stats()
+			return float64(evicted)
+		})
+		reg.GaugeFunc("wsopt_service_replication_retained", "Replication records currently retained in the log.", func() float64 {
+			return float64(rl.Len())
+		})
+	}
 	return m
 }
 

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"wsopt/internal/replica"
+)
+
+// TestReplicationShipsSessionLifecycle checks the service ships one
+// record per session mutation — create (with the verbatim query body and
+// starting cursor), commit (seq, committed cursor, and the exact served
+// payload), close — and serves them at GET /replication/feed.
+func TestReplicationShipsSessionLifecycle(t *testing.T) {
+	rlog := replica.NewLog(256)
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 100), Replica: rlog})
+
+	body := `{"table":"items","offset":20}`
+	id, _ := openSession(t, ts, body)
+
+	served := map[uint64][]byte{}
+	for seq := 1; seq <= 3; seq++ {
+		resp := pullSeq(t, ts, id, 10, seq)
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: %s, %v", seq, resp.Status, err)
+		}
+		served[uint64(seq)] = b
+	}
+	// A replay must NOT ship a record (no state changed).
+	resp := pullSeq(t, ts, id, 10, 3)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%s", ts.URL, id), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	// Pull the feed over HTTP, like a real follower.
+	fresp, err := http.Get(ts.URL + "/replication/feed?from=1&max=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var feed struct {
+		Records []replica.Record `json:"records"`
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&feed); err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Records) != 5 {
+		t.Fatalf("shipped %d records, want 5 (create + 3 commits + close)", len(feed.Records))
+	}
+	cr := feed.Records[0]
+	if cr.Op != replica.OpCreate || cr.Session != id || string(cr.Query) != body || cr.Committed != 20 {
+		t.Fatalf("create record = %+v", cr)
+	}
+	for i := 1; i <= 3; i++ {
+		rec := feed.Records[i]
+		if rec.Op != replica.OpCommit || rec.Session != id {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+		if rec.Seq != uint64(i) {
+			t.Fatalf("record %d: seq %d", i, rec.Seq)
+		}
+		if want := int64(20 + 10*i); rec.Committed != want {
+			t.Fatalf("record %d: committed %d, want %d", i, rec.Committed, want)
+		}
+		if rec.Tuples != 10 || rec.Done {
+			t.Fatalf("record %d: tuples=%d done=%v", i, rec.Tuples, rec.Done)
+		}
+		if rec.Codec != "xml" {
+			t.Fatalf("record %d: codec %q", i, rec.Codec)
+		}
+		if !bytes.Equal(rec.Payload, served[rec.Seq]) {
+			t.Fatalf("record %d: shipped payload differs from served block", i)
+		}
+	}
+	if cl := feed.Records[4]; cl.Op != replica.OpClose || cl.Session != id {
+		t.Fatalf("close record = %+v", cl)
+	}
+}
+
+// TestShippedReplayBufferRefcount is the regression test for the pooled
+// replay-buffer lifetime with a second consumer: a superseded block's
+// buffer must stay out of the pool while the replication log still
+// retains its payload, and go back exactly once when the LAST reference
+// drops — in either order (supersede-then-evict or evict-then-supersede).
+func TestShippedReplayBufferRefcount(t *testing.T) {
+	var mu sync.Mutex
+	released := 0
+	testReplayRelease = func(*replayBlock) { mu.Lock(); released++; mu.Unlock() }
+	defer func() { testReplayRelease = nil }()
+
+	rlog := replica.NewLog(256) // large: no eviction during the pulls
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 200), Replica: rlog})
+	id, _ := openSession(t, ts, `{"table":"items"}`)
+
+	const blocks = 8
+	for seq := 1; seq <= blocks; seq++ {
+		resp := pullSeq(t, ts, id, 10, seq)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Every superseded block is still referenced by its log record:
+	// nothing may have been pooled yet.
+	mu.Lock()
+	if released != 0 {
+		mu.Unlock()
+		t.Fatalf("%d buffers pooled while the replication log still held them", released)
+	}
+	mu.Unlock()
+
+	// Dropping the log's references pools the superseded blocks 1..7;
+	// block 8 is still live in the session (replayable), so it survives.
+	rlog.Close()
+	mu.Lock()
+	if released != blocks-1 {
+		mu.Unlock()
+		t.Fatalf("after log close: %d buffers pooled, want %d", released, blocks-1)
+	}
+	mu.Unlock()
+
+	// Closing the session drops the last reference to block 8.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%s", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if released != blocks {
+		t.Fatalf("after session close: %d buffers pooled, want %d", released, blocks)
+	}
+}
+
+// TestShippedPayloadStableUnderPoolChurn is the -race regression for
+// replication shipping: a follower reading the feed while pulls churn
+// the buffer pool must never observe a shipped payload backed by a
+// reused buffer. Without the refcount, a superseded block's buffer goes
+// back to the pool while its log record still aliases the bytes, and
+// the feed read races the next pull's encode into the same buffer.
+func TestShippedPayloadStableUnderPoolChurn(t *testing.T) {
+	rlog := replica.NewLog(64) // small: records evict while sessions run
+	_, ts := newTestServer(t, Config{Catalog: testCatalog(t, 2000), Replica: rlog})
+	idA, _ := openSession(t, ts, `{"table":"items"}`)
+	idB, _ := openSession(t, ts, `{"table":"items","where":"id >= 500"}`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Follower: continuously drain the feed and touch every payload
+		// byte, so any buffer reuse is visible to the race detector.
+		defer wg.Done()
+		var from uint64 = 1
+		for {
+			recs, _, next := rlog.Read(from, 32)
+			for _, rec := range recs {
+				sum := 0
+				for _, b := range rec.Payload {
+					sum += int(b)
+				}
+				_ = sum
+			}
+			from = next
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	for seq := 1; seq <= 60; seq++ {
+		for _, id := range []string{idA, idB} {
+			resp := pullSeq(t, ts, id, 7, seq)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	appended, _ := rlog.Stats()
+	if want := uint64(2 + 120); appended != want {
+		t.Fatalf("appended %d records, want %d", appended, want)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
+	"wsopt/internal/replica"
 	"wsopt/internal/wire"
 )
 
@@ -57,6 +58,25 @@ const (
 	// HeaderBlockReplay is "true" when the block was served from the
 	// replay buffer rather than by advancing the iterator.
 	HeaderBlockReplay = "X-Block-Replay"
+)
+
+// Gateway-tier headers, spoken by cmd/wsgate and understood by the
+// client. They live here (next to the block headers) so the client and
+// the gateway share one definition without an import cycle.
+const (
+	// HeaderGatewayTransparentFailover is "true" on session-create
+	// responses from a tier that replicates session state and handles
+	// backend failover itself. A capable client must then NOT fail over
+	// endpoints on its own, and must not surface gateway failovers as a
+	// second disturbance to its controller.
+	HeaderGatewayTransparentFailover = "X-WSGate-Transparent-Failover"
+	// HeaderGatewayFailovers carries the session's cumulative transparent
+	// failover count on every block response, so the client can surface
+	// each backend death to its controller exactly once.
+	HeaderGatewayFailovers = "X-WSGate-Failovers"
+	// HeaderGatewayBackend names the backend that actually served the
+	// block, for traces and tests.
+	HeaderGatewayBackend = "X-WSGate-Backend"
 )
 
 // Config parameterizes a Server.
@@ -110,6 +130,13 @@ type Config struct {
 	// private registry so recording is always safe. Pass the registry
 	// that backs /metrics to expose them.
 	Metrics *metrics.Registry
+	// Replica, when non-nil, receives a replication record on every
+	// session mutation (create, block commit, close/expiry) and is served
+	// as a pull feed at GET /replication/feed, so a follower can keep a
+	// standby copy of every session's cursor and in-flight block. The log
+	// holds a reference to each shipped block's pooled buffer until the
+	// record is evicted (see replayBlock.refs).
+	Replica *replica.Log
 }
 
 // Server is the block-pull web service.
@@ -187,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /load", s.handleGetLoad)
 	mux.HandleFunc("PUT /load", s.handlePutLoad)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if cfg.Replica != nil {
+		mux.HandleFunc("GET /replication/feed", replica.FeedHandler(cfg.Replica))
+	}
 	s.registerIngestRoutes(mux)
 	s.mux = mux
 	return s, nil
@@ -290,6 +320,7 @@ func (s *Server) ExpireIdle(now time.Time) int {
 	})
 	for i, id := range ids {
 		closeSession(vals[i])
+		s.shipClose(id)
 		s.groups.leave(vals[i].group)
 		s.faults.forget(id)
 		s.releaseCursor()
@@ -339,6 +370,10 @@ type session struct {
 	// (0 = none served yet); replay buffers that block's response.
 	lastSeq uint64
 	replay  *replayBlock
+	// cursor is the absolute committed tuple position: the create offset
+	// plus every tuple in committed blocks through lastSeq. Replication
+	// ships it so a follower can resume the query at exactly this row.
+	cursor int64
 	// batch is the reusable row slice NextBlockAppend fills each pull;
 	// safe to reuse because the previous block's rows are fully encoded
 	// into the replay buffer before the next pull starts.
@@ -359,13 +394,34 @@ func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 // blockBufPool only when the block is superseded by the next committed
 // block or the session closes — never while a retry could still request
 // this seq — so replays serve the exact committed bytes.
+//
+// The buffer can have more than one consumer: the session itself (for
+// same-seq replays) and the replication log (which holds the payload
+// until the shipped record is evicted). refs counts them; releaseReplay
+// drops one reference and only pools the buffer when the last consumer
+// is gone.
 type replayBlock struct {
 	buf     *bytes.Buffer
 	payload []byte
 	tuples  int
 	done    bool
 	delayMS float64
+	// refs is the number of live references to buf: 1 for the owning
+	// session, +1 per replication record still retaining the payload.
+	refs atomic.Int32
 }
+
+// newReplayBlock wraps a committed encode buffer with the session's own
+// reference already counted.
+func newReplayBlock(buf *bytes.Buffer, tuples int, done bool, delayMS float64) *replayBlock {
+	rb := &replayBlock{buf: buf, payload: buf.Bytes(), tuples: tuples, done: done, delayMS: delayMS}
+	rb.refs.Store(1)
+	return rb
+}
+
+// retain adds a reference (the replication log is about to hold the
+// payload past the session's own lifetime).
+func (rb *replayBlock) retain() { rb.refs.Add(1) }
 
 // blockBufPool pools the per-pull encode buffers. Ownership rule: a
 // buffer obtained for a pull either travels into the committed
@@ -377,11 +433,22 @@ var blockBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // observes every replay-buffer release.
 var testReplayRelease func(rb *replayBlock)
 
-// releaseReplay returns rb's encode buffer to the pool. The caller must
-// guarantee rb can no longer be served: it was superseded under the
-// session lock, or the closed session is unreachable to new pulls.
+// releaseReplay drops one reference to rb's encode buffer and returns it
+// to the pool when the last reference is gone. The session calls it when
+// the block is superseded under the session lock or the closed session
+// is unreachable to new pulls; the replication log calls it (via
+// Record.Release) when the shipped record is evicted. Either order is
+// safe — only the final release pools the buffer.
 func releaseReplay(rb *replayBlock) {
-	if rb == nil || rb.buf == nil {
+	if rb == nil {
+		return
+	}
+	if rb.refs.Add(-1) > 0 {
+		return
+	}
+	// Only the releaser that took the last reference gets here; the
+	// atomic Add orders it after every other holder's release.
+	if rb.buf == nil {
 		return
 	}
 	if testReplayRelease != nil {
@@ -405,6 +472,52 @@ func closeSession(sess *session) {
 		sess.pendingRows, sess.batch = nil, nil
 		sess.mu.Unlock()
 	}
+}
+
+// shipCreate replicates a session creation: id, the verbatim query body
+// (so a follower can re-execute the plan), and the starting cursor.
+func (s *Server) shipCreate(sess *session, body []byte) {
+	if s.cfg.Replica == nil {
+		return
+	}
+	s.cfg.Replica.Append(replica.Record{
+		Op:        replica.OpCreate,
+		Session:   sess.id,
+		Query:     json.RawMessage(body),
+		Committed: sess.cursor,
+	})
+}
+
+// shipCommit replicates block lastSeq's commit: the committed cursor and
+// the encoded payload a same-seq retry needs after this process dies.
+// Called under the session lock at the commit point; the record retains
+// the pooled replay buffer (rb.retain) until it falls out of the log,
+// which releases it via Record.Release.
+func (s *Server) shipCommit(sess *session, rb *replayBlock) {
+	if s.cfg.Replica == nil {
+		return
+	}
+	rb.retain()
+	s.cfg.Replica.Append(replica.Record{
+		Op:        replica.OpCommit,
+		Session:   sess.id,
+		Seq:       sess.lastSeq,
+		Committed: sess.cursor,
+		Tuples:    rb.tuples,
+		Done:      rb.done,
+		Codec:     s.codec.Name(),
+		Payload:   rb.payload,
+		Release:   func() { releaseReplay(rb) },
+	})
+}
+
+// shipClose replicates an orderly close or expiry so followers drop
+// their standby state.
+func (s *Server) shipClose(id string) {
+	if s.cfg.Replica == nil {
+		return
+	}
+	s.cfg.Replica.Append(replica.Record{Op: replica.OpClose, Session: id})
 }
 
 // sessionSeed derives the delay-noise seed for cursor number n. Cursor 1
@@ -462,8 +575,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			s.releaseCursor()
 		}
 	}()
+	// The raw body is kept so replication can ship the query verbatim: a
+	// follower that promotes this session re-executes exactly this plan.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request body: %v", err)
+		return
+	}
 	var req createRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -495,11 +615,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	n := s.nextID.Add(1)
 	id := fmt.Sprintf("s%08x", n)
-	sess := &session{id: id, iter: it, group: req.StreamGroup, rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	sess := &session{id: id, iter: it, group: req.StreamGroup, cursor: int64(req.Offset), rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
 	sess.touch()
 	s.sessions.put(id, sess)
 	committed = true
 	s.groups.join(sess.group)
+	s.shipCreate(sess, body)
 	s.stats.sessionsOpened.Add(1)
 	s.metrics.sessionsOpened.Inc()
 	s.logf("session %s opened: table=%s cols=%v offset=%d group=%s", id, req.Table, req.Columns, req.Offset, req.StreamGroup)
@@ -640,8 +761,10 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	// previous block — only then may its pooled buffer be reused.
 	superseded := sess.replay
 	sess.lastSeq++
-	sess.replay = &replayBlock{buf: buf, payload: buf.Bytes(), tuples: len(rows), done: done, delayMS: delayMS}
+	sess.replay = newReplayBlock(buf, len(rows), done, delayMS)
+	sess.cursor += int64(len(rows))
 	sess.done = done
+	s.shipCommit(sess, sess.replay)
 	releaseReplay(superseded)
 
 	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault, started)
@@ -745,6 +868,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	closeSession(sess)
+	s.shipClose(id)
 	s.groups.leave(sess.group)
 	s.releaseCursor()
 	s.faults.forget(id)

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"wsopt/internal/core"
+)
+
+func hybridFor(t *testing.T, seed int64) core.Controller {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	ctl, err := core.NewHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+// TestFailoverScenarioReconverges is the deterministic failover gate: a
+// hybrid controller that has converged on the primary regime must, when
+// the primary is killed mid-transfer and the session transparently moves
+// to a differently-loaded successor, (1) acknowledge the disturbance,
+// (2) re-enter its transient search phase, and (3) re-converge to steady
+// state on the successor's regime before the transfer ends.
+func TestFailoverScenarioReconverges(t *testing.T) {
+	for _, sc := range FailoverScenarios(7) {
+		t.Run(sc.Name, func(t *testing.T) {
+			res := RunFailover(sc, hybridFor(t, 7), Options{})
+			if !res.Disturbed {
+				t.Fatal("controller did not acknowledge the failover disturbance")
+			}
+			if res.PhaseAtKill != "steady" {
+				t.Fatalf("controller phase at kill = %q; the scenario must kill a CONVERGED session (raise KillAtBlock)", res.PhaseAtKill)
+			}
+			if res.PreKillSteadyBlocks == 0 {
+				t.Fatal("no steady-state blocks before the kill")
+			}
+			if !res.ReenteredTransient {
+				t.Fatal("controller never re-entered the transient phase after the failover")
+			}
+			if res.ReconvergedAtBlock < 0 {
+				t.Fatalf("controller never re-converged on the successor regime within %d blocks", sc.Blocks)
+			}
+			if res.ReconvergedAtBlock <= sc.KillAtBlock {
+				t.Fatalf("re-convergence block %d precedes the kill at %d", res.ReconvergedAtBlock, sc.KillAtBlock)
+			}
+			// Sanity: the transfer covered every block and the trajectory
+			// was recorded block by block.
+			if res.Blocks != sc.Blocks || len(res.Sizes) != sc.Blocks {
+				t.Fatalf("trajectory has %d/%d blocks", res.Blocks, len(res.Sizes))
+			}
+		})
+	}
+}
+
+// TestFailoverDeterministic checks the scenario is replayable: same
+// seeds, same trajectory — the property that makes the failover gate a
+// gate rather than a flake.
+func TestFailoverDeterministic(t *testing.T) {
+	run := func() FailoverResult {
+		sc := FailoverScenarios(11)[1]
+		return RunFailover(sc, hybridFor(t, 11), Options{})
+	}
+	a, b := run(), run()
+	if a.TotalMS != b.TotalMS || a.ReconvergedAtBlock != b.ReconvergedAtBlock {
+		t.Fatalf("two identical runs diverged: totals %g vs %g, reconverged %d vs %d",
+			a.TotalMS, b.TotalMS, a.ReconvergedAtBlock, b.ReconvergedAtBlock)
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("size trajectories diverge at block %d: %d vs %d", i, a.Sizes[i], b.Sizes[i])
+		}
+	}
+}
+
+// TestFailoverWithoutDisturbableController: a static controller has no
+// Disturb; the scenario must still run and report Disturbed=false.
+func TestFailoverWithoutDisturbableController(t *testing.T) {
+	sc := FailoverScenarios(3)[0]
+	res := RunFailover(sc, core.NewStatic(1000), Options{})
+	if res.Disturbed {
+		t.Fatal("static controller cannot acknowledge disturbances")
+	}
+	if res.Blocks != sc.Blocks {
+		t.Fatalf("ran %d blocks, want %d", res.Blocks, sc.Blocks)
+	}
+}

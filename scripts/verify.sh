@@ -21,3 +21,9 @@ go test -count=1 -run '^TestBinaryRoundTripAllocGate$' ./internal/wire
 # including the mis-tuned-gain oscillation regression.
 go test -race -count=1 ./internal/regulator
 go test -race -count=1 -run '^TestCoupledLoop' ./internal/sim
+# Gateway chaos gate: the deterministic sim failover scenario (a
+# converged controller must re-converge after a transparent failover)
+# and the e2e SIGKILL-under-load run (exact tuples, no duplicates,
+# bounded stall, replication lag drained).
+go test -race -count=1 -run '^TestFailover' ./internal/sim
+go test -count=1 -run '^TestChaosGate$' ./internal/e2e
