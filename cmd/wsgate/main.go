@@ -50,6 +50,7 @@ func main() {
 
 		maxSessions = flag.Int("max-sessions", 0, "edge admission: refuse new sessions with 503 + Retry-After beyond this many open sessions (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "base Retry-After hint sent with edge-admission 503s (scaled by regulator pressure)")
+		sessionTTL  = flag.Duration("session-ttl", 5*time.Minute, "expire gateway sessions idle longer than this, releasing their admission slots")
 
 		sloP95MS    = flag.Float64("slo-p95-ms", 0, "SLO regulation: hold the fleet-wide p95 block-serve time at this many milliseconds by actuating the edge session limit (0 = static -max-sessions)")
 		regInterval = flag.Duration("regulate-interval", time.Second, "SLO regulation: control-loop tick interval")
@@ -86,6 +87,7 @@ func main() {
 		},
 		PullInterval: *pullInterval,
 		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
 		RetryAfter:   *retryAfter,
 		Vnodes:       *vnodes,
 		Metrics:      reg,

@@ -64,6 +64,13 @@ type Config struct {
 	// MaxSessions seeds the edge admission ceiling (0 = unlimited); at
 	// runtime the fleet-wide SLO regulator owns it via SetSessionLimit.
 	MaxSessions int
+	// SessionTTL expires gateway sessions idle longer than this (default
+	// 5 minutes, mirroring the backend janitor). Expiry releases the
+	// admission slot and best-effort deletes the backend session, so an
+	// abandoned client cannot pin the SLO-regulated ceiling while the
+	// backend janitors its half away (whose later 404 would read as a
+	// death and trigger a spurious failover).
+	SessionTTL time.Duration
 	// RetryAfter is the base backoff hint for shed creates (default 1s),
 	// scaled by the live admission pressure.
 	RetryAfter time.Duration
@@ -122,6 +129,7 @@ type Gateway struct {
 
 	sessionsOpened  atomic.Int64
 	sessionsShed    atomic.Int64
+	sessionsExpired atomic.Int64
 	blocksProxied   atomic.Int64
 	tuplesProxied   atomic.Int64
 	failovers       atomic.Int64
@@ -157,26 +165,34 @@ type gwSession struct {
 	done       bool
 	failovers  int
 	closed     bool
-	// standby/standbySess point at the dead primary's replicated state
+	// openBody is the create body last sent to the current backend. The
+	// standby-replay guard matches it against the replicated Query, so
+	// state from an unrelated session — a backend restart reuses session
+	// ids — is never replayed into this one.
+	openBody []byte
+	// lastUsed is the unix-nano timestamp of the last client touch,
+	// atomic so the expiry janitor reads it without taking sess.mu.
+	lastUsed atomic.Int64
+	// standby holds a private copy of the dead primary's replicated state
 	// after a standby-replay failover: the replayed block predates the
 	// promoted backend session (its translated seq would be 0), so repeat
-	// retries are served from the standby copy again. Cleared on the next
-	// fresh pull.
-	standby     *replica.Store
-	standbySess string
+	// retries are served from this copy again. A private copy, not a
+	// store pointer: the store is cleared when its backend restarts, and
+	// this session's validated state must survive that. Cleared on the
+	// next fresh pull.
+	standby *replica.SessionState
 }
+
+// touch records client activity for the expiry janitor.
+func (sess *gwSession) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // standbyLookup returns the replicated state backing a pre-failover
 // replay, if any. Called with sess.mu held.
 func (sess *gwSession) standbyLookup() (replica.SessionState, bool) {
-	if sess.standby == nil {
+	if sess.standby == nil || len(sess.standby.Payload) == 0 {
 		return replica.SessionState{}, false
 	}
-	ss, ok := sess.standby.Get(sess.standbySess)
-	if !ok || len(ss.Payload) == 0 {
-		return replica.SessionState{}, false
-	}
-	return ss, true
+	return *sess.standby, true
 }
 
 // New builds a Gateway over the configured backends.
@@ -195,6 +211,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.PullInterval <= 0 {
 		cfg.PullInterval = 25 * time.Millisecond
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 5 * time.Minute
 	}
 	hc := cfg.HTTP
 	if hc == nil {
@@ -256,12 +275,62 @@ func New(cfg Config) (*Gateway, error) {
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
-// Start launches the per-backend replication pullers; they stop when ctx
-// is cancelled.
+// Start launches the per-backend replication pullers and the idle-session
+// janitor; they stop when ctx is cancelled.
 func (g *Gateway) Start(ctx context.Context) {
 	for _, url := range g.order {
 		go g.backends[url].puller.Run(ctx)
 	}
+	interval := g.cfg.SessionTTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n := g.ExpireIdle(time.Now()); n > 0 {
+					g.logf("expired %d idle sessions", n)
+				}
+			}
+		}
+	}()
+}
+
+// ExpireIdle drops gateway sessions idle longer than the TTL, releasing
+// their admission slots and best-effort deleting the backend side; it
+// returns how many were dropped. Start runs it periodically.
+func (g *Gateway) ExpireIdle(now time.Time) int {
+	cut := now.Add(-g.cfg.SessionTTL).UnixNano()
+	g.mu.Lock()
+	var expired []*gwSession
+	for id, sess := range g.sessions {
+		if sess.lastUsed.Load() < cut {
+			delete(g.sessions, id)
+			expired = append(expired, sess)
+		}
+	}
+	g.mu.Unlock()
+	for _, sess := range expired {
+		sess.mu.Lock()
+		sess.closed = true
+		b, bid := sess.backend, sess.backendID
+		sess.mu.Unlock()
+		b.sessions.Add(-1)
+		g.cursors.Add(-1)
+		g.sessionsExpired.Add(1)
+		g.metrics.sessionsExpired.Inc()
+		g.deleteBackendSession(b, bid)
+		g.logf("session %s expired idle", sess.id)
+	}
+	return len(expired)
 }
 
 // SetSessionLimit updates the edge admission ceiling (regulator.Sink).
@@ -401,7 +470,8 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess := &gwSession{id: id, query: query, backend: placed, backendID: cr.Session, committed: offset}
+	sess := &gwSession{id: id, query: query, backend: placed, backendID: cr.Session, committed: offset, openBody: body}
+	sess.touch()
 	g.mu.Lock()
 	g.sessions[id] = sess
 	g.mu.Unlock()
@@ -493,6 +563,7 @@ func (g *Gateway) handleNext(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	sess.touch()
 	size, err := strconv.Atoi(r.URL.Query().Get("size"))
 	if err != nil || size < 1 {
 		httpError(w, http.StatusBadRequest, "size must be a positive integer")
@@ -579,7 +650,7 @@ func (g *Gateway) handleNext(w http.ResponseWriter, r *http.Request) {
 		sess.lastTuples = blk.tuples
 		sess.committed += int64(blk.tuples)
 		sess.done = blk.done
-		sess.standby, sess.standbySess = nil, ""
+		sess.standby = nil
 	}
 	g.writeBlock(w, sess, blk, seq, hasSeq, started)
 }
@@ -654,9 +725,18 @@ func (g *Gateway) failover(ctx context.Context, sess *gwSession, seq uint64, siz
 	switch {
 	case replay:
 		// The client is retrying the last committed block: serve the
-		// standby copy when replication caught up to it.
+		// standby copy when replication caught up to it. The copy is
+		// trusted only when its seq AND committed cursor match this
+		// session exactly, and — when the create record is still within
+		// the retention window — the replicated create body is the one
+		// this gateway sent: a restarted backend reuses session ids, so
+		// state under the right id can belong to an unrelated session.
+		// On any mismatch the deterministic re-pull below is the only
+		// safe replay.
 		ss, ok := dead.store.Get(sess.backendID)
-		if ok && ss.Seq == sess.lastSeq-sess.seqBase && ss.Seq > 0 && len(ss.Payload) > 0 {
+		if ok && ss.Seq == sess.lastSeq-sess.seqBase && ss.Seq > 0 && len(ss.Payload) > 0 &&
+			ss.Committed == sess.committed && ss.Done == sess.done &&
+			(len(ss.Query) == 0 || bytes.Equal(ss.Query, sess.openBody)) {
 			blk = &proxiedBlock{
 				payload:     ss.Payload,
 				contentType: codecContentType(ss.Codec),
@@ -667,8 +747,8 @@ func (g *Gateway) failover(ctx context.Context, sess *gwSession, seq uint64, siz
 			g.standbyReplays.Add(1)
 			g.metrics.standbyReplays.Inc()
 			// Repeat retries of this seq can't be served by the promoted
-			// backend (translated seq 0); keep the standby copy reachable.
-			sess.standby, sess.standbySess = dead.store, sess.backendID
+			// backend (translated seq 0); keep a private copy reachable.
+			sess.standby = &ss
 			if !sess.done {
 				// Future fresh pulls need a live backend session at the
 				// committed cursor.
@@ -677,6 +757,14 @@ func (g *Gateway) failover(ctx context.Context, sess *gwSession, seq uint64, siz
 					return nil, err
 				}
 				sess.backendID = id
+				sess.seqBase = sess.lastSeq
+			} else {
+				// Final block: no successor session to open. seqBase must
+				// still advance so repeat retries keep hitting the standby
+				// fast-path, and the dead primary's id must never route to
+				// the promoted backend (a 404 there would read as a death
+				// of the healthy successor and cascade failovers).
+				sess.backendID = ""
 				sess.seqBase = sess.lastSeq
 			}
 			break
@@ -751,6 +839,7 @@ func (g *Gateway) reopen(ctx context.Context, sess *gwSession, b *backend, offse
 		b.ep.Failure()
 		return "", fmt.Errorf("re-open session on %s: %w", b.url, err)
 	}
+	sess.openBody = body
 	return cr.Session, nil
 }
 
@@ -804,7 +893,19 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 	b.sessions.Add(-1)
 	g.cursors.Add(-1)
-	// Best-effort backend cleanup; the backend janitor collects strays.
+	g.deleteBackendSession(b, bid)
+	g.logf("session %s closed", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteBackendSession best-effort deletes a backend-side session; the
+// backend janitor collects strays. bid may be empty (a done session
+// served its final block from the standby copy and has no live backend
+// half).
+func (g *Gateway) deleteBackendSession(b *backend, bid string) {
+	if bid == "" {
+		return
+	}
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -816,8 +917,6 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 			drain(resp)
 		}
 	}()
-	g.logf("session %s closed", id)
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -839,6 +938,10 @@ type BackendStats struct {
 	StandbySessions int    `json:"standby_sessions"`
 	Applied         uint64 `json:"applied"`
 	Lost            uint64 `json:"lost"`
+	// PrimaryRestarts counts primary restarts the replication puller
+	// observed (boot id changed or the feed's LSNs regressed); each one
+	// rewound the cursor and cleared this backend's standby store.
+	PrimaryRestarts uint64 `json:"primary_restarts"`
 }
 
 // SessionInfo is one live session's routing view in Stats.
@@ -855,6 +958,7 @@ type SessionInfo struct {
 type Stats struct {
 	SessionsOpened  int64          `json:"sessions_opened"`
 	SessionsShed    int64          `json:"sessions_shed"`
+	SessionsExpired int64          `json:"sessions_expired"`
 	BlocksProxied   int64          `json:"blocks_proxied"`
 	TuplesProxied   int64          `json:"tuples_proxied"`
 	Failovers       int64          `json:"failovers"`
@@ -871,6 +975,7 @@ func (g *Gateway) Stats() Stats {
 	st := Stats{
 		SessionsOpened:  g.sessionsOpened.Load(),
 		SessionsShed:    g.sessionsShed.Load(),
+		SessionsExpired: g.sessionsExpired.Load(),
 		BlocksProxied:   g.blocksProxied.Load(),
 		TuplesProxied:   g.tuplesProxied.Load(),
 		Failovers:       g.failovers.Load(),
@@ -890,10 +995,20 @@ func (g *Gateway) Stats() Stats {
 			StandbySessions: b.store.Sessions(),
 			Applied:         b.store.Applied(),
 			Lost:            b.store.Lost(),
+			PrimaryRestarts: b.puller.Restarts(),
 		})
 	}
+	// Snapshot the session pointers under g.mu, then take each sess.mu
+	// individually: handleNext holds sess.mu across the whole backend
+	// round-trip, and holding g.mu while waiting on one busy session
+	// would stall every create/next/delete on the gateway.
 	g.mu.Lock()
+	live := make([]*gwSession, 0, len(g.sessions))
 	for _, sess := range g.sessions {
+		live = append(live, sess)
+	}
+	g.mu.Unlock()
+	for _, sess := range live {
 		sess.mu.Lock()
 		st.Sessions = append(st.Sessions, SessionInfo{
 			ID:        sess.id,
@@ -905,7 +1020,6 @@ func (g *Gateway) Stats() Stats {
 		})
 		sess.mu.Unlock()
 	}
-	g.mu.Unlock()
 	return st
 }
 

@@ -535,6 +535,236 @@ func TestGatewayFailoverFallbackReplay(t *testing.T) {
 	wantExactly(t, append(decodeIDs(t, committed), rest...), rows)
 }
 
+// TestGatewayStandbyReplayOfFinalBlock is the regression test for the
+// stale-seqBase bug: when the standby copy replayed after a failover was
+// the FINAL block, the gateway skipped re-opening a successor session but
+// also left seqBase and backendID stale. A second client retry of that
+// seq then missed the standby fast-path, routed the dead primary's
+// session id to the healthy promoted backend, got a 404, marked the
+// healthy breaker failed, and cascaded failovers. Every repeat retry
+// must serve the standby copy with exactly one failover.
+func TestGatewayStandbyReplayOfFinalBlock(t *testing.T) {
+	const rows = 20
+	fleet := newFleet(t, 2, rows, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	// size > rows: block 1 is the final block.
+	resp := pull(t, ts.URL, id, rows+5, 1)
+	final, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if done, _ := strconv.ParseBool(resp.Header.Get(service.HeaderBlockDone)); !done {
+		t.Fatal("first block not final; test setup broken")
+	}
+	primary := resp.Header.Get(service.HeaderGatewayBackend)
+	waitFor(t, 2*time.Second, "replication to catch up", func() bool {
+		for _, b := range gw.Stats().Backends {
+			if b.URL == primary {
+				return b.Applied >= 2 && b.LagRecords == 0
+			}
+		}
+		return false
+	})
+	backendFor(t, fleet, primary).kill()
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		retry := pull(t, ts.URL, id, rows+5, 1)
+		replayed, _ := io.ReadAll(retry.Body)
+		retry.Body.Close()
+		if retry.StatusCode != http.StatusOK {
+			t.Fatalf("retry %d of the final block: %s: %s", attempt, retry.Status, replayed)
+		}
+		if !bytes.Equal(replayed, final) {
+			t.Fatalf("retry %d: replayed final block differs from the committed one", attempt)
+		}
+		if rp, _ := strconv.ParseBool(retry.Header.Get(service.HeaderBlockReplay)); !rp {
+			t.Fatalf("retry %d not flagged as replay", attempt)
+		}
+	}
+	st := gw.Stats()
+	if st.Failovers != 1 || st.StandbyReplays != 3 {
+		t.Fatalf("failovers=%d standby=%d, want 1/3", st.Failovers, st.StandbyReplays)
+	}
+	// The healthy survivor's breaker must not have been poisoned by a
+	// misrouted retry.
+	for _, b := range st.Backends {
+		if b.URL != primary && b.State != "closed" {
+			t.Fatalf("surviving backend breaker is %s, want closed", b.State)
+		}
+	}
+	// Closing the done session works even though it has no live backend
+	// half anymore.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete after final-block failover: %s", dresp.Status)
+	}
+}
+
+// TestGatewayStandbyGuardRejectsForeignState poisons the standby store
+// with state that carries the session's id and seq but a different
+// committed cursor — exactly what id reuse across a backend restart can
+// produce. The failover must refuse the byte replay and fall back to the
+// deterministic re-pull, which serves the correct bytes.
+func TestGatewayStandbyGuardRejectsForeignState(t *testing.T) {
+	const rows = 60
+	fleet := newFleet(t, 2, rows, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	resp := pull(t, ts.URL, id, 25, 1)
+	committed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	primary := resp.Header.Get(service.HeaderGatewayBackend)
+	waitFor(t, 2*time.Second, "replication to catch up", func() bool {
+		for _, b := range gw.Stats().Backends {
+			if b.URL == primary {
+				return b.Applied >= 2 && b.LagRecords == 0
+			}
+		}
+		return false
+	})
+
+	gw.mu.Lock()
+	sess := gw.sessions[id]
+	gw.mu.Unlock()
+	sess.mu.Lock()
+	bid := sess.backendID
+	sess.mu.Unlock()
+	gw.backends[primary].store.Apply(replica.Record{
+		Op: replica.OpCommit, Session: bid, Seq: 1,
+		Committed: 999, Tuples: 25, Codec: "xml", Payload: []byte("<forged/>"),
+	})
+	backendFor(t, fleet, primary).kill()
+
+	retry := pull(t, ts.URL, id, 25, 1)
+	replayed, _ := io.ReadAll(retry.Body)
+	retry.Body.Close()
+	if retry.StatusCode != http.StatusOK {
+		t.Fatalf("retry after kill: %s: %s", retry.Status, replayed)
+	}
+	if bytes.Contains(replayed, []byte("forged")) {
+		t.Fatal("gateway replayed foreign standby state")
+	}
+	if !bytes.Equal(replayed, committed) {
+		t.Fatal("fallback re-pull produced a different block")
+	}
+	st := gw.Stats()
+	if st.StandbyReplays != 0 || st.FallbackReplays != 1 {
+		t.Fatalf("standby=%d fallback=%d, want 0/1", st.StandbyReplays, st.FallbackReplays)
+	}
+
+	rest, _ := drainSession(t, ts.URL, id, 25, 2)
+	wantExactly(t, append(decodeIDs(t, committed), rest...), rows)
+}
+
+// TestGatewayExpiresIdleSessions checks the gateway-side janitor: idle
+// sessions are dropped, their admission slots released, and the expired
+// id is gone for the client.
+func TestGatewayExpiresIdleSessions(t *testing.T) {
+	fleet := newFleet(t, 2, 50, true)
+	gw, ts := newTestGateway(t, fleet, func(c *Config) {
+		c.MaxSessions = 1
+		c.SessionTTL = 10 * time.Millisecond
+	})
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+	resp := pull(t, ts.URL, id, 10, 1)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if n := gw.ExpireIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("ExpireIdle = %d, want 1", n)
+	}
+	if gw.SessionCount() != 0 {
+		t.Fatalf("session count = %d after expiry", gw.SessionCount())
+	}
+	st := gw.Stats()
+	if st.SessionsExpired != 1 {
+		t.Fatalf("sessions_expired = %d, want 1", st.SessionsExpired)
+	}
+	var owned int64
+	for _, b := range st.Backends {
+		owned += b.Sessions
+	}
+	if owned != 0 {
+		t.Fatalf("backends still own %d sessions after expiry", owned)
+	}
+
+	// The expired session is gone for the client ...
+	gone := pull(t, ts.URL, id, 10, 2)
+	io.Copy(io.Discard, gone.Body)
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("pull on expired session: %s, want 404", gone.Status)
+	}
+	// ... and its admission slot was released: with MaxSessions 1, a new
+	// create must be admitted, not shed.
+	id2, _ := openSession(t, ts.URL, `{"table":"items"}`)
+	_ = id2
+	if got := gw.Stats().SessionsShed; got != 0 {
+		t.Fatalf("sessions_shed = %d after expiry freed the slot, want 0", got)
+	}
+}
+
+// TestGatewayStatsDoesNotBlockOnBusySession is the regression test for
+// the Stats lock-ordering stall: Stats used to take each sess.mu while
+// holding g.mu, so one pull hung on a slow backend (sess.mu held across
+// the whole round-trip) froze every create/next/delete for its duration.
+// Stats may wait on the busy session, but the gateway must keep serving.
+func TestGatewayStatsDoesNotBlockOnBusySession(t *testing.T) {
+	fleet := newFleet(t, 2, 40, true)
+	gw, ts := newTestGateway(t, fleet, nil)
+	id, _ := openSession(t, ts.URL, `{"table":"items"}`)
+
+	// Model a pull hung mid-backend-round-trip: sess.mu held.
+	gw.mu.Lock()
+	busy := gw.sessions[id]
+	gw.mu.Unlock()
+	busy.mu.Lock()
+
+	statsDone := make(chan Stats, 1)
+	go func() { statsDone <- gw.Stats() }()
+
+	// While Stats waits on the busy session, a create must still go
+	// through (it needs g.mu, which Stats must not be holding).
+	created := make(chan error, 1)
+	go func() {
+		hc := &http.Client{Timeout: 2 * time.Second}
+		resp, err := hc.Post(ts.URL+"/sessions", "application/json", strings.NewReader(`{"table":"items"}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				err = fmt.Errorf("create returned %s", resp.Status)
+			}
+		}
+		created <- err
+	}()
+	select {
+	case err := <-created:
+		if err != nil {
+			t.Fatalf("create while Stats waited on a busy session: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		busy.mu.Unlock()
+		t.Fatal("create blocked while Stats waited on a busy session")
+	}
+
+	busy.mu.Unlock()
+	select {
+	case st := <-statsDone:
+		if len(st.Sessions) < 1 {
+			t.Fatalf("stats lists %d sessions, want >= 1", len(st.Sessions))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats never returned after the session lock was released")
+	}
+}
+
 // TestGatewayRoutesNewSessionsAroundDeadBackend kills one backend and
 // checks that, once its breaker opens, every new session lands on a
 // live one — health-aware rebalancing for new sessions.

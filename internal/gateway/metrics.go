@@ -9,6 +9,7 @@ import "wsopt/internal/metrics"
 type gwMetrics struct {
 	sessionsOpened  *metrics.Counter
 	sessionsShed    *metrics.Counter
+	sessionsExpired *metrics.Counter
 	blocksProxied   *metrics.Counter
 	tuplesProxied   *metrics.Counter
 	failovers       *metrics.Counter
@@ -23,6 +24,8 @@ func newGatewayMetrics(reg *metrics.Registry, g *Gateway) *gwMetrics {
 			"Client sessions opened through the gateway."),
 		sessionsShed: reg.Counter("wsopt_gateway_sessions_shed_total",
 			"Session creates refused by edge admission control."),
+		sessionsExpired: reg.Counter("wsopt_gateway_sessions_expired_total",
+			"Idle gateway sessions expired by the janitor (admission slot released)."),
 		blocksProxied: reg.Counter("wsopt_gateway_blocks_proxied_total",
 			"Blocks served to clients through the gateway."),
 		tuplesProxied: reg.Counter("wsopt_gateway_tuples_proxied_total",
@@ -65,6 +68,9 @@ func newGatewayMetrics(reg *metrics.Registry, g *Gateway) *gwMetrics {
 		reg.GaugeFunc("wsopt_gateway_standby_sessions",
 			"Sessions with standby state replicated from this backend.",
 			func() float64 { return float64(b.store.Sessions()) }, lbl)
+		reg.GaugeFunc("wsopt_gateway_primary_restarts",
+			"Primary restarts observed on this backend's replication feed (boot id changed or LSNs regressed); each rewound the puller and cleared the standby store.",
+			func() float64 { return float64(b.puller.Restarts()) }, lbl)
 	}
 	return m
 }

@@ -18,6 +18,8 @@
 package replica
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -101,6 +103,14 @@ type Record struct {
 // the feed's pull path and copies payloads so the returned records are
 // immune to later eviction. Safe for concurrent use.
 type Log struct {
+	// boot identifies this Log instantiation (one primary process life).
+	// The log is in-memory: a restarted primary starts a fresh log whose
+	// LSNs restart at 1 — and its session-id counter restarts with it, so
+	// the same session id can name an unrelated session across the
+	// restart. The boot id rides on every feed response; a follower that
+	// sees it change knows its cursor AND its standby state are stale.
+	boot string
+
 	mu   sync.Mutex
 	recs []Record // ring buffer, recs[i] holds LSN first+i
 	head int      // index of the oldest record
@@ -112,6 +122,17 @@ type Log struct {
 	closed   bool
 }
 
+// newBootID returns a process-unique log identity. Collisions across
+// restarts are the only thing that matters; the wall-clock fallback is
+// good enough when the random source fails.
+func newBootID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // NewLog builds a log retaining up to capacity records (minimum 16,
 // default 1024 when capacity <= 0).
 func NewLog(capacity int) *Log {
@@ -121,8 +142,11 @@ func NewLog(capacity int) *Log {
 	if capacity < 16 {
 		capacity = 16
 	}
-	return &Log{recs: make([]Record, capacity), next: 1}
+	return &Log{boot: newBootID(), recs: make([]Record, capacity), next: 1}
 }
+
+// Boot returns the log's boot id, unique per Log instantiation.
+func (l *Log) Boot() string { return l.boot }
 
 // Append assigns the next LSN to rec, stores it, and evicts (and
 // releases) the oldest record when the ring is full. It returns the
@@ -252,6 +276,10 @@ func (l *Log) Close() {
 
 // feedResponse is the wire shape of the replication feed.
 type feedResponse struct {
+	// Boot is the primary log's boot id; a follower that sees it change
+	// knows the primary restarted (its LSNs and session ids reset) and
+	// must rewind its cursor and drop its standby state.
+	Boot string `json:"boot,omitempty"`
 	// First is the oldest retained LSN (0 = empty log); a follower whose
 	// cursor is below it has missed records.
 	First uint64 `json:"first"`
@@ -290,6 +318,6 @@ func FeedHandler(l *Log) http.HandlerFunc {
 		}
 		recs, firstLSN, nextLSN := l.Read(from, max)
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(feedResponse{First: firstLSN, Next: nextLSN, Records: recs})
+		_ = json.NewEncoder(w).Encode(feedResponse{Boot: l.Boot(), First: firstLSN, Next: nextLSN, Records: recs})
 	}
 }

@@ -264,6 +264,89 @@ func TestPullerRunDrainsAndStops(t *testing.T) {
 	}
 }
 
+// TestPullerRecoversFromPrimaryRestart is the regression test for the
+// wedged-cursor bug: a restarted primary serves a fresh in-memory log
+// whose LSNs (and session ids) restart at 1. The puller's cursor used to
+// stay at the old high-water mark forever — empty batches, Lag 0,
+// replication silently dead — while the standby store kept the OLD
+// process's session state, replayable under ids the NEW process reuses.
+// The puller must detect the restart (boot id change / LSN regression),
+// rewind to the new log's start, and clear the store.
+func TestPullerRecoversFromPrimaryRestart(t *testing.T) {
+	logA := NewLog(64)
+	logA.Append(Record{Op: OpCreate, Session: "s00000001", Query: json.RawMessage(`{"table":"a"}`)})
+	for i := 1; i <= 4; i++ {
+		logA.Append(Record{Op: OpCommit, Session: "s00000001", Seq: uint64(i), Committed: int64(i * 10), Tuples: 10, Payload: []byte("old")})
+	}
+	logA.Append(Record{Op: OpCreate, Session: "s00000002", Query: json.RawMessage(`{"table":"a"}`)})
+
+	var mu sync.Mutex
+	active := logA
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		l := active
+		mu.Unlock()
+		FeedHandler(l)(w, r)
+	}))
+	defer srv.Close()
+
+	st := NewStore(0)
+	p := &Puller{URL: srv.URL, Store: st}
+	if n, err := p.PollOnce(context.Background()); err != nil || n != 6 {
+		t.Fatalf("first PollOnce = (%d, %v), want (6, nil)", n, err)
+	}
+	if got := p.Cursor(); got != 7 {
+		t.Fatalf("cursor = %d, want 7", got)
+	}
+
+	// The primary restarts: fresh log, fresh boot id, session ids reused
+	// by unrelated sessions with different state.
+	logB := NewLog(64)
+	logB.Append(Record{Op: OpCreate, Session: "s00000001", Query: json.RawMessage(`{"table":"b"}`)})
+	logB.Append(Record{Op: OpCommit, Session: "s00000001", Seq: 1, Committed: 7, Tuples: 7, Payload: []byte("new")})
+	mu.Lock()
+	active = logB
+	mu.Unlock()
+
+	n, err := p.PollOnce(context.Background())
+	if err != nil {
+		t.Fatalf("post-restart PollOnce: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("post-restart PollOnce applied %d records, want 2 (the new log)", n)
+	}
+	if got := p.Restarts(); got != 1 {
+		t.Fatalf("Restarts = %d, want 1", got)
+	}
+	if got := p.Cursor(); got != 3 {
+		t.Fatalf("post-restart cursor = %d, want 3", got)
+	}
+	if got := p.Lag(); got != 0 {
+		t.Fatalf("post-restart lag = %d, want 0", got)
+	}
+	// The store holds ONLY the new incarnation's state: the reused id
+	// reflects logB, and the old-only session is gone.
+	if st.Sessions() != 1 {
+		t.Fatalf("store holds %d sessions, want 1", st.Sessions())
+	}
+	ss, ok := st.Get("s00000001")
+	if !ok || string(ss.Payload) != "new" || ss.Committed != 7 || string(ss.Query) != `{"table":"b"}` {
+		t.Fatalf("reused id serves stale state: %+v ok=%v", ss, ok)
+	}
+	if _, ok := st.Get("s00000002"); ok {
+		t.Fatal("pre-restart session s00000002 survived the restart")
+	}
+
+	// Replication keeps flowing on the new log.
+	logB.Append(Record{Op: OpCommit, Session: "s00000001", Seq: 2, Committed: 14, Tuples: 7, Payload: []byte("new2")})
+	if n, err := p.PollOnce(context.Background()); err != nil || n != 1 {
+		t.Fatalf("follow-up PollOnce = (%d, %v), want (1, nil)", n, err)
+	}
+	if got := p.Restarts(); got != 1 {
+		t.Fatalf("Restarts after follow-up = %d, want 1 (no false positives)", got)
+	}
+}
+
 func TestStoreLagMillisUsesShipTimestamp(t *testing.T) {
 	st := NewStore(0)
 	base := time.Unix(1000, 0)

@@ -125,6 +125,16 @@ func (st *Store) evictOverflowLocked() {
 	}
 }
 
+// Reset drops every session's standby state. The puller calls it when it
+// detects the primary restarted: a fresh primary process restarts its
+// session-id counter, so retained state could otherwise be replayed to
+// an unrelated session that happens to reuse an old id.
+func (st *Store) Reset() {
+	st.mu.Lock()
+	st.sessions = make(map[string]*SessionState)
+	st.mu.Unlock()
+}
+
 // MarkLost counts records that fell past the primary's retention window
 // before the follower could pull them.
 func (st *Store) MarkLost(n uint64) {
@@ -214,6 +224,11 @@ type Puller struct {
 	mu      sync.Mutex
 	from    uint64 // next LSN to ask for
 	pending uint64 // primary's next LSN minus ours, after the last pull
+	boot    string // primary boot id at the last successful pull
+	// restarts counts primary restarts observed (boot id changed or the
+	// feed's LSNs regressed below our cursor); each one rewound the
+	// cursor and cleared the Store.
+	restarts uint64
 }
 
 // Lag returns the record lag observed at the last successful pull: how
@@ -232,9 +247,34 @@ func (p *Puller) Cursor() uint64 {
 	return p.from
 }
 
-// PollOnce performs one feed pull and applies the batch. It returns the
-// number of records applied.
+// Restarts returns how many primary restarts this puller has observed.
+// A nonzero, growing value is the observable signature of a primary
+// whose in-memory log reset; without it a rewound feed would be
+// indistinguishable from a caught-up one (Lag reads 0 both ways).
+func (p *Puller) Restarts() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
+}
+
+// PollOnce performs one feed pull and applies the batch, returning the
+// number of records applied. When the pull reveals that the primary
+// restarted, the cursor is rewound to the new log's start, the Store is
+// cleared, and the feed is re-pulled once so the new incarnation's
+// records apply within the same call.
 func (p *Puller) PollOnce(ctx context.Context) (int, error) {
+	n, restarted, err := p.poll(ctx)
+	if restarted && err == nil {
+		n2, _, err2 := p.poll(ctx)
+		return n + n2, err2
+	}
+	return n, err
+}
+
+// poll performs one feed pull. restarted reports that a primary restart
+// was detected and handled (cursor rewound, Store cleared) instead of
+// applying records.
+func (p *Puller) poll(ctx context.Context) (applied int, restarted bool, err error) {
 	hc := p.HTTP
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
@@ -251,27 +291,52 @@ func (p *Puller) PollOnce(ctx context.Context) (int, error) {
 	p.mu.Unlock()
 	u := p.URL + "/replication/feed?from=" + strconv.FormatUint(from, 10) + "&max=" + strconv.Itoa(batch)
 	if _, err := url.Parse(u); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		return 0, &StatusError{Code: resp.StatusCode, URL: p.URL, Status: resp.Status}
+		return 0, false, &StatusError{Code: resp.StatusCode, URL: p.URL, Status: resp.Status}
 	}
 	var fr feedResponse
 	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-		return 0, fmt.Errorf("replica: decode feed %s: %w", p.URL, err)
+		return 0, false, fmt.Errorf("replica: decode feed %s: %w", p.URL, err)
 	}
+	// A restarted primary serves a fresh log: its boot id changes and its
+	// LSNs restart at 1 (the cursor-regression check covers primaries that
+	// predate the boot id). Rewind to the new log's start and clear the
+	// standby store — the new process restarts its session-id counter too,
+	// so retained state could be replayed to an unrelated session that
+	// reuses an old id. Without this, the cursor would sit past the new
+	// log's head forever: empty batches, Lag 0, replication wedged.
+	p.mu.Lock()
+	if fr.Next < p.from || (p.boot != "" && fr.Boot != "" && fr.Boot != p.boot) {
+		p.restarts++
+		p.boot = fr.Boot
+		p.from = fr.First
+		if p.from == 0 {
+			p.from = fr.Next // the new log is still empty
+		}
+		p.pending = 0
+		if fr.Next > p.from {
+			p.pending = fr.Next - p.from
+		}
+		p.mu.Unlock()
+		p.Store.Reset()
+		return 0, true, nil
+	}
+	p.boot = fr.Boot
+	p.mu.Unlock()
 	// Records between our cursor and the primary's retention window were
 	// evicted before we could pull them.
 	if fr.First > from && len(fr.Records) > 0 && fr.Records[0].LSN > from {
@@ -294,7 +359,7 @@ func (p *Puller) PollOnce(ctx context.Context) (int, error) {
 		p.pending = fr.Next - p.from
 	}
 	p.mu.Unlock()
-	return len(fr.Records), nil
+	return len(fr.Records), false, nil
 }
 
 // Run polls until the context is cancelled. A full batch is followed up
