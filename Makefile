@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim chaos-gate verify chaos bench bench-contention bench-wire bench-vector bench-slo bench-gate clean
+.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate verify chaos bench bench-contention bench-wire bench-vector bench-slo bench-gate bench-cache clean
 
 all: verify
 
@@ -20,7 +20,7 @@ race:
 # generation) so a codec or parser regression on a known-nasty input
 # fails the gate deterministically.
 fuzzseeds:
-	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb
+	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache
 
 # stress runs the concurrency gate: the hot-path stress tests (sharded
 # session store, atomic stats, expiry janitor vs pulls) under -race,
@@ -52,12 +52,23 @@ chaos-gate:
 	$(GO) test -race -count=1 -run '^TestFailover' ./internal/sim
 	$(GO) test -count=1 -run '^TestChaosGate$$' ./internal/e2e
 
+# cache-gate runs the encoded-block cache gates: the blockcache package
+# (LRU/disk/single-flight/refcount semantics) and the service cache
+# wiring, close-race ownership handoff, and standby-copy invariants
+# under -race, then the e2e cache-hot chaos arm (SIGKILL of a primary
+# with every backend's cache warm — exact tuples, warm-hit failover).
+cache-gate:
+	$(GO) test -race -count=1 ./internal/blockcache
+	$(GO) test -race -count=1 -run 'TestCache|TestCloseRace' ./internal/service
+	$(GO) test -race -count=1 -run '^TestStandby' ./internal/replica
+	$(GO) test -count=1 -run '^TestChaosGateCache$$' ./internal/e2e
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # under the race detector, survive the fuzz seed corpora, hold up under
 # the concurrency stress gate, keep the wire hot path within its
 # allocation budget, keep the coupled control loops stable, and survive
-# the gateway chaos gate.
-verify: build vet race fuzzseeds stress allocgate slo-sim chaos-gate
+# the gateway chaos gate and the encoded-block cache gate.
+verify: build vet race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -104,6 +115,13 @@ bench-slo:
 # check.
 bench-gate:
 	$(GO) run ./cmd/wsbench -gate -sf 0.01 -json BENCH_gate.json
+
+# bench-cache records the encoded-block cache sweep into
+# BENCH_cache.json: hot (cached) vs cold full-table scan throughput for
+# every codec — the numbers that move when the cache's hit path or the
+# serve path's scan+encode cost changes.
+bench-cache:
+	$(GO) run ./cmd/wsbench -cache -sf 0.05 -json BENCH_cache.json
 
 clean:
 	$(GO) clean ./...

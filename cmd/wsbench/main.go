@@ -26,6 +26,12 @@
 // the wire formats. `make bench-wire` records it as BENCH_wire.json.
 //
 //	wsbench -wire 64,512,4096 -json BENCH_wire.json
+//
+// -cache switches to the encoded-block cache sweep: per codec, repeated
+// full-table scans against a cache-less server versus a server whose
+// content-addressed block cache was filled by one unmeasured pass — the
+// measured hot/cold ratio is what the cache buys a hot query. `make
+// bench-cache` records it as BENCH_cache.json.
 package main
 
 import (
@@ -106,6 +112,11 @@ func main() {
 			"run the gateway sweep instead of the controller matrix: direct backend vs gateway proxy vs gateway with a mid-scan primary kill")
 		gateSize   = flag.Int("gate-size", 200, "fixed block size of the gateway sweep")
 		gateKillAt = flag.Int("gate-kill-at", 3, "kill the primary after this many blocks in the gateway-kill arm")
+
+		cacheSweep = flag.Bool("cache", false,
+			"run the encoded-block cache sweep instead of the controller matrix: hot (cached) vs cold full-table scans for every codec")
+		cacheDur  = flag.Duration("cache-duration", 2*time.Second, "how long each cache-sweep arm runs (whole passes; one extra unmeasured pass fills the cache)")
+		cacheSize = flag.Int("cache-size", 4096, "fixed block size of the cache sweep")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -140,6 +151,12 @@ func main() {
 
 	if *gateSweep {
 		if err := runGateSweep(logger, cat, codec, *runs, *gateSize, *gateKillAt, *sf, *seed, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	if *cacheSweep {
+		if err := runCacheSweep(logger, cat, *cacheDur, *cacheSize, *sf, *jsonOut); err != nil {
 			logger.Fatal(err)
 		}
 		return

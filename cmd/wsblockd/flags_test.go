@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	valid := options{sessionTTL: 5 * time.Minute, replicate: 8192,
+		cacheMemBytes: 64 << 20, cacheDir: "/tmp/c", cacheDiskBytes: 256 << 20}
+
+	tests := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"valid full", func(o *options) {}, ""},
+		{"valid no cache", func(o *options) { o.cacheMemBytes, o.cacheDir, o.cacheDiskBytes = 0, "", 0 }, ""},
+		{"valid mem-only cache", func(o *options) { o.cacheDir, o.cacheDiskBytes = "", 0 }, ""},
+		{"valid no replication", func(o *options) { o.replicate = 0 }, ""},
+		{"zero session ttl", func(o *options) { o.sessionTTL = 0 }, "-session-ttl"},
+		{"negative session ttl", func(o *options) { o.sessionTTL = -time.Second }, "-session-ttl"},
+		{"negative replicate", func(o *options) { o.replicate = -1 }, "-replicate"},
+		{"negative cache mem", func(o *options) { o.cacheMemBytes = -1 }, "-cache-mem-bytes"},
+		{"negative cache disk", func(o *options) { o.cacheDiskBytes = -1 }, "-cache-disk-bytes"},
+		{"disk dir without mem tier", func(o *options) { o.cacheMemBytes = 0 }, "-cache-dir requires -cache-mem-bytes"},
+		{"disk budget without dir", func(o *options) { o.cacheDir = "" }, "-cache-disk-bytes requires -cache-dir"},
+		{"dir without disk budget", func(o *options) { o.cacheDiskBytes = 0 }, "-cache-dir requires -cache-disk-bytes"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := valid
+			tt.mutate(&o)
+			err := o.validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validate() = %v, want error mentioning %q", err, tt.wantErr)
+			}
+		})
+	}
+}

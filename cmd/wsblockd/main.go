@@ -7,6 +7,8 @@
 //	wsblockd -addr :8080 -sf 0.1
 //	wsblockd -addr :8080 -sf 1 -codec binary -conf conf2.2 -timescale 0.001
 //	wsblockd -addr :8080 -metrics-addr :9090   # Prometheus /metrics + pprof
+//	wsblockd -addr :8080 -cache-mem-bytes 67108864 \
+//	    -cache-dir /var/cache/wsblockd -cache-disk-bytes 268435456
 //
 // With -conf, per-block delays are drawn from the named calibrated cost
 // profile and injected (scaled by -timescale) so a laptop reproduces the
@@ -30,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"wsopt/internal/blockcache"
 	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
@@ -59,6 +62,12 @@ func main() {
 
 		replicate = flag.Int("replicate", 0, "replication: retain this many session-mutation records in the log served at GET /replication/feed for follower shipping (0 = disabled)")
 
+		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "expire sessions idle longer than this")
+
+		cacheMemBytes  = flag.Int64("cache-mem-bytes", 0, "cache: hold up to this many bytes of encoded blocks in memory, content-addressed by plan+cursor+codec+dataset version (0 = disabled)")
+		cacheDir       = flag.String("cache-dir", "", "cache: spill evicted entries to files in this directory (requires -cache-mem-bytes and -cache-disk-bytes)")
+		cacheDiskBytes = flag.Int64("cache-disk-bytes", 0, "cache: byte budget for the -cache-dir disk tier")
+
 		maxSessions = flag.Int("max-sessions", 0, "admission control: refuse new sessions with 503 + Retry-After beyond this many open cursors (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "base Retry-After hint sent with admission-control 503s (scaled by regulator pressure)")
 
@@ -72,6 +81,16 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "wsblockd: ", log.LstdFlags)
+	opts := options{
+		sessionTTL:     *sessionTTL,
+		replicate:      *replicate,
+		cacheMemBytes:  *cacheMemBytes,
+		cacheDir:       *cacheDir,
+		cacheDiskBytes: *cacheDiskBytes,
+	}
+	if err := opts.validate(); err != nil {
+		logger.Fatal(err)
+	}
 	codec, err := wire.ByName(*codecName)
 	if err != nil {
 		logger.Fatal(err)
@@ -131,6 +150,18 @@ func main() {
 	if *replicate > 0 {
 		replog = replica.NewLog(*replicate)
 	}
+	var cache *blockcache.Cache
+	if *cacheMemBytes > 0 {
+		cache, err = blockcache.New(blockcache.Config{
+			MemBytes:  *cacheMemBytes,
+			Dir:       *cacheDir,
+			DiskBytes: *cacheDiskBytes,
+			Metrics:   reg,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
 	srv, err := service.New(service.Config{
 		Catalog:          cat,
 		Codec:            codec,
@@ -144,6 +175,8 @@ func main() {
 		RetryAfter:       *retryAfter,
 		LoadFromSessions: *loadFromLive,
 		Replica:          replog,
+		SessionTTL:       *sessionTTL,
+		Cache:            cache,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -157,6 +190,13 @@ func main() {
 	}
 	if replog != nil {
 		logger.Printf("replication: shipping session mutations via /replication/feed (retaining %d records)", *replicate)
+	}
+	if cache != nil {
+		if *cacheDir != "" {
+			logger.Printf("block cache: %d MiB memory + %d MiB disk at %s", *cacheMemBytes>>20, *cacheDiskBytes>>20, *cacheDir)
+		} else {
+			logger.Printf("block cache: %d MiB memory", *cacheMemBytes>>20)
+		}
 	}
 
 	// SLO regulation: a feedback loop owns the session limit, reading the

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// options holds the flag values whose bad settings the daemon would
+// otherwise discover only deep into startup — or, worse, silently run
+// with (a zero session TTL expires every session on the janitor's first
+// tick; a negative replication capacity panics inside the ring).
+// validate fails fast, before any data generation.
+type options struct {
+	sessionTTL     time.Duration
+	replicate      int
+	cacheMemBytes  int64
+	cacheDir       string
+	cacheDiskBytes int64
+}
+
+func (o *options) validate() error {
+	if o.sessionTTL <= 0 {
+		return fmt.Errorf("-session-ttl must be positive, got %s", o.sessionTTL)
+	}
+	if o.replicate < 0 {
+		return fmt.Errorf("-replicate must be >= 0, got %d", o.replicate)
+	}
+	if o.cacheMemBytes < 0 {
+		return fmt.Errorf("-cache-mem-bytes must be >= 0, got %d", o.cacheMemBytes)
+	}
+	if o.cacheDiskBytes < 0 {
+		return fmt.Errorf("-cache-disk-bytes must be >= 0, got %d", o.cacheDiskBytes)
+	}
+	if o.cacheDir != "" && o.cacheMemBytes == 0 {
+		return fmt.Errorf("-cache-dir requires -cache-mem-bytes > 0: the disk tier only holds spill from the memory tier")
+	}
+	if o.cacheDiskBytes > 0 && o.cacheDir == "" {
+		return fmt.Errorf("-cache-disk-bytes requires -cache-dir")
+	}
+	if o.cacheDir != "" && o.cacheDiskBytes == 0 {
+		return fmt.Errorf("-cache-dir requires -cache-disk-bytes > 0 (the disk tier needs a byte budget)")
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	valid := options{sessionTTL: 5 * time.Minute, pullInterval: 25 * time.Millisecond, vnodes: 64}
+
+	tests := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"valid defaults", func(o *options) {}, ""},
+		{"zero session ttl", func(o *options) { o.sessionTTL = 0 }, "-session-ttl"},
+		{"negative session ttl", func(o *options) { o.sessionTTL = -time.Minute }, "-session-ttl"},
+		{"zero pull interval", func(o *options) { o.pullInterval = 0 }, "-pull-interval"},
+		{"negative pull interval", func(o *options) { o.pullInterval = -time.Millisecond }, "-pull-interval"},
+		{"zero vnodes", func(o *options) { o.vnodes = 0 }, "-vnodes"},
+		{"negative vnodes", func(o *options) { o.vnodes = -8 }, "-vnodes"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := valid
+			tt.mutate(&o)
+			err := o.validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validate() = %v, want error mentioning %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -63,6 +63,10 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "wsgate: ", log.LstdFlags)
+	opts := options{sessionTTL: *sessionTTL, pullInterval: *pullInterval, vnodes: *vnodes}
+	if err := opts.validate(); err != nil {
+		logger.Fatal(err)
+	}
 	var backends []string
 	for _, b := range strings.Split(*backendsCSV, ",") {
 		if b = strings.TrimSpace(b); b != "" {

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// options holds the flag values whose bad settings would otherwise slip
+// into the gateway's timers (a zero pull interval spins the replication
+// puller flat-out; a zero session TTL expires sessions as they open; a
+// non-positive vnode count builds an empty hash ring). validate fails
+// fast, before any backend is contacted.
+type options struct {
+	sessionTTL   time.Duration
+	pullInterval time.Duration
+	vnodes       int
+}
+
+func (o *options) validate() error {
+	if o.sessionTTL <= 0 {
+		return fmt.Errorf("-session-ttl must be positive, got %s", o.sessionTTL)
+	}
+	if o.pullInterval <= 0 {
+		return fmt.Errorf("-pull-interval must be positive, got %s", o.pullInterval)
+	}
+	if o.vnodes <= 0 {
+		return fmt.Errorf("-vnodes must be positive, got %d", o.vnodes)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package blockcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Disk tier entry format: one file per key, named hex(key), holding a
+// 5-byte header (uint32 big-endian tuple count, one done byte) followed
+// by the encoded payload. Writes go through a temp file + rename so a
+// crash can never leave a half-written entry under a valid name.
+const diskHeaderLen = 5
+
+// diskTier is the bounded on-disk spill layer under the memory tier.
+// The index (and LRU order) is held in memory; a restart rebuilds it
+// from a directory scan, ordering entries by mtime as an approximation
+// of recency.
+type diskTier struct {
+	dir     string
+	limit   int64 // <= 0 = unbounded
+	onEvict func(n int64)
+	tmpSeq  atomic.Uint64
+
+	mu    sync.Mutex
+	index map[Key]*list.Element
+	lru   *list.List // front = most recently used; values are *diskItem
+	bytes int64
+}
+
+// diskItem is one on-disk resident; size is the payload size (header
+// excluded), matching the memory tier's accounting.
+type diskItem struct {
+	key  Key
+	size int64
+}
+
+// newDiskTier opens (creating if needed) the tier rooted at dir and
+// rebuilds the index from the files already there, oldest first.
+func newDiskTier(dir string, limit int64, onEvict func(int64)) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockcache: create cache dir: %w", err)
+	}
+	d := &diskTier{
+		dir:     dir,
+		limit:   limit,
+		onEvict: onEvict,
+		index:   make(map[Key]*list.Element),
+		lru:     list.New(),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blockcache: scan cache dir: %w", err)
+	}
+	type found struct {
+		item  diskItem
+		mtime int64
+	}
+	var existing []found
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		raw, err := hex.DecodeString(de.Name())
+		if err != nil || len(raw) != len(Key{}) {
+			// Foreign or temp file; leftover temps are garbage from a
+			// crashed write and safe to drop.
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(dir, de.Name()))
+			}
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.Size() < diskHeaderLen {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		existing = append(existing, found{
+			item:  diskItem{key: k, size: info.Size() - diskHeaderLen},
+			mtime: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(existing, func(i, j int) bool { return existing[i].mtime < existing[j].mtime })
+	for _, f := range existing {
+		it := f.item
+		d.index[it.key] = d.lru.PushFront(&diskItem{key: it.key, size: it.size})
+		d.bytes += it.size
+	}
+	d.evictOver()
+	return d, nil
+}
+
+func (d *diskTier) path(key Key) string { return filepath.Join(d.dir, key.String()) }
+
+// get reads key's payload from disk. The returned slice is freshly
+// allocated and owned by the caller. A read failure (e.g. racing an
+// eviction, or a corrupt file) is a miss.
+func (d *diskTier) get(key Key) (payload []byte, tuples int, done, ok bool) {
+	d.mu.Lock()
+	el, resident := d.index[key]
+	if resident {
+		d.lru.MoveToFront(el)
+	}
+	d.mu.Unlock()
+	if !resident {
+		return nil, 0, false, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil || len(raw) < diskHeaderLen {
+		d.drop(key)
+		return nil, 0, false, false
+	}
+	tuples = int(binary.BigEndian.Uint32(raw[:4]))
+	done = raw[4] != 0
+	return raw[diskHeaderLen:], tuples, done, true
+}
+
+// drop removes key from the index and disk (used when a resident file
+// turns out to be unreadable).
+func (d *diskTier) drop(key Key) {
+	d.mu.Lock()
+	if el, ok := d.index[key]; ok {
+		d.bytes -= el.Value.(*diskItem).size
+		d.lru.Remove(el)
+		delete(d.index, key)
+	}
+	d.mu.Unlock()
+	_ = os.Remove(d.path(key))
+}
+
+// put writes the entry under key. Write errors are swallowed: the disk
+// tier is an optimization and a full disk must not fail a pull.
+func (d *diskTier) put(key Key, payload []byte, tuples int, done bool) {
+	d.mu.Lock()
+	_, resident := d.index[key]
+	d.mu.Unlock()
+	if resident {
+		return
+	}
+	tmp := filepath.Join(d.dir, fmt.Sprintf(".tmp-%d", d.tmpSeq.Add(1)))
+	buf := make([]byte, diskHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(tuples))
+	if done {
+		buf[4] = 1
+	}
+	copy(buf[diskHeaderLen:], payload)
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	d.mu.Lock()
+	if _, ok := d.index[key]; !ok {
+		d.index[key] = d.lru.PushFront(&diskItem{key: key, size: int64(len(payload))})
+		d.bytes += int64(len(payload))
+	}
+	d.mu.Unlock()
+	d.evictOver()
+}
+
+// evictOver deletes least-recently-used files until the tier is back
+// under its byte budget.
+func (d *diskTier) evictOver() {
+	if d.limit <= 0 {
+		return
+	}
+	var victims []Key
+	d.mu.Lock()
+	for d.bytes > d.limit && d.lru.Len() > 0 {
+		back := d.lru.Back()
+		it := back.Value.(*diskItem)
+		d.lru.Remove(back)
+		delete(d.index, it.key)
+		d.bytes -= it.size
+		victims = append(victims, it.key)
+	}
+	d.mu.Unlock()
+	for _, k := range victims {
+		_ = os.Remove(d.path(k))
+	}
+	if len(victims) > 0 && d.onEvict != nil {
+		d.onEvict(int64(len(victims)))
+	}
+}
+
+// occupancy reports the tier's live payload bytes and entry count.
+func (d *diskTier) occupancy() (bytes, entries int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes, int64(d.lru.Len())
+}

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wsopt/internal/blockcache"
 	"wsopt/internal/metrics"
 	"wsopt/internal/replica"
 	"wsopt/internal/resilience"
@@ -942,6 +943,10 @@ type BackendStats struct {
 	// observed (boot id changed or the feed's LSNs regressed); each one
 	// rewound the cursor and cleared this backend's standby store.
 	PrimaryRestarts uint64 `json:"primary_restarts"`
+	// Cache is the backend's encoded-block cache snapshot, fetched
+	// best-effort from its /stats when GET /stats is served; nil when the
+	// backend runs without a cache or did not answer in time.
+	Cache *blockcache.Stats `json:"cache,omitempty"`
 }
 
 // SessionInfo is one live session's routing view in Stats.
@@ -1023,11 +1028,50 @@ func (g *Gateway) Stats() Stats {
 	return st
 }
 
-func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := g.Stats()
+	g.attachBackendCaches(r.Context(), &st)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(g.Stats()); err != nil {
+	if err := json.NewEncoder(w).Encode(st); err != nil {
 		g.logf("encode stats: %v", err)
 	}
+}
+
+// attachBackendCaches enriches each backend's Stats entry with that
+// backend's own encoded-block cache snapshot, fetched in parallel from
+// its /stats endpoint. Strictly best-effort with a short deadline: a
+// dead, slow, or cache-less backend just leaves the field nil — the
+// gateway's own stats must never hang on a backend's. Kept out of
+// Stats() so in-process callers stay free of network fan-out.
+func (g *Gateway) attachBackendCaches(ctx context.Context, st *Stats) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range st.Backends {
+		wg.Add(1)
+		go func(b *BackendStats) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/stats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.hc.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var payload struct {
+				Cache *blockcache.Stats `json:"cache"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&payload); err == nil {
+				b.Cache = payload.Cache
+			}
+		}(&st.Backends[i])
+	}
+	wg.Wait()
 }
 
 // codecContentType maps a shipped codec name to its HTTP content type.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory heap relation. Reads (Scan) may run concurrently
@@ -91,7 +92,21 @@ func (t *Table) Scan() Iterator {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// version counts dataset mutations (DDL and bulk loads). Consumers
+	// that cache derived artifacts — the service's encoded-block cache —
+	// capture it as an epoch: any write bumps it, so stale cache keys can
+	// never be derived again.
+	version atomic.Uint64
 }
+
+// Version returns the catalog's dataset version, bumped on every DDL
+// change and on every BumpVersion call (the service calls it after each
+// online bulk load).
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion records a dataset mutation that happened outside the
+// catalog's own methods (e.g. rows appended to an existing table).
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog {
@@ -110,6 +125,7 @@ func (c *Catalog) CreateTable(name string, schema Schema) (*Table, error) {
 		return nil, fmt.Errorf("minidb: table %q already exists", name)
 	}
 	c.tables[name] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -132,6 +148,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("minidb: no such table %q", name)
 	}
 	delete(c.tables, name)
+	c.version.Add(1)
 	return nil
 }
 

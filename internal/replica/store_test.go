@@ -1,0 +1,108 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStandbyCopyImmuneToResetAndReapply pins the private-copy invariant
+// the gateway's failover path depends on: a SessionState obtained from
+// Store.Get must keep serving its original payload bytes even after the
+// puller Resets the store (primary restart) and the same session id is
+// re-applied with different state. The audit behind this test: Get
+// returns a struct copy whose Payload slice aliases the stored record's
+// bytes, and that is safe ONLY because Apply always replaces the Payload
+// pointer (never writes through the old one) and Reset replaces the
+// whole map. If either ever mutates in place, a promoted standby replay
+// would ship bytes from an unrelated session reusing the id.
+func TestStandbyCopyImmuneToResetAndReapply(t *testing.T) {
+	st := NewStore(16)
+	orig := []byte("block-seq-3-original-payload")
+	st.Apply(Record{LSN: 1, Op: OpCreate, Session: "s01", Committed: 0})
+	st.Apply(Record{LSN: 2, Op: OpCommit, Session: "s01", Seq: 3, Committed: 30, Tuples: 10, Codec: "xml", Payload: orig})
+
+	standby, ok := st.Get("s01")
+	if !ok {
+		t.Fatal("no standby state for s01")
+	}
+	want := append([]byte(nil), standby.Payload...)
+
+	// Primary restart: the puller clears the store, then an unrelated
+	// session that reuses the id streams through with different bytes.
+	st.Reset()
+	st.Apply(Record{LSN: 1, Op: OpCreate, Session: "s01", Committed: 100})
+	st.Apply(Record{LSN: 2, Op: OpCommit, Session: "s01", Seq: 1, Committed: 140, Tuples: 40, Codec: "xml",
+		Payload: []byte("DIFFERENT-SESSION-DIFFERENT-BYTES")})
+
+	if !bytes.Equal(standby.Payload, want) {
+		t.Fatalf("standby copy mutated by reset + re-apply: %q", standby.Payload)
+	}
+	if standby.Seq != 3 || standby.Committed != 30 {
+		t.Fatalf("standby copy's scalars mutated: seq %d committed %d", standby.Seq, standby.Committed)
+	}
+
+	// The store itself must see only the new state.
+	fresh, ok := st.Get("s01")
+	if !ok || fresh.Seq != 1 || fresh.Committed != 140 {
+		t.Fatalf("post-restart state wrong: %+v (ok=%v)", fresh, ok)
+	}
+}
+
+// TestStandbyCopySurvivesConcurrentResetAndApply is the -race arm of the
+// same invariant: readers hold Get copies and compare them against their
+// recorded bytes while writers hammer Apply (same ids, fresh payloads)
+// and Reset. Any in-place payload mutation or unsynchronized map swap
+// shows up as a corruption failure or a race report.
+func TestStandbyCopySurvivesConcurrentResetAndApply(t *testing.T) {
+	st := NewStore(16)
+	const rounds = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			sid := fmt.Sprintf("s%02d", i%4)
+			st.Apply(Record{LSN: uint64(i + 1), Op: OpCommit, Session: sid, Seq: uint64(i),
+				Committed: int64(10 * i), Tuples: 10, Payload: []byte(fmt.Sprintf("payload-%d", i))})
+			if i%50 == 49 {
+				st.Reset()
+			}
+		}
+		close(stop)
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sid := fmt.Sprintf("s%02d", r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ss, ok := st.Get(sid)
+				if !ok {
+					continue
+				}
+				snap := append([]byte(nil), ss.Payload...)
+				// Re-check after the writer has had time to overwrite the
+				// session: the copy must still read as it did at Get time.
+				if !bytes.Equal(ss.Payload, snap) {
+					t.Errorf("standby copy for %s mutated under concurrent writes", sid)
+					return
+				}
+				if want := fmt.Sprintf("payload-%d", ss.Seq); string(snap) != want {
+					t.Errorf("standby copy for %s is torn: seq %d with payload %q", sid, ss.Seq, snap)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

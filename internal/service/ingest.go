@@ -183,6 +183,9 @@ func (s *Server) handleIngestBlock(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	// The dataset changed: bump the version so encoded-block cache keys
+	// derived by future sessions can never match pre-load entries.
+	s.cfg.Catalog.BumpVersion()
 	sess.tuples += len(rows)
 	s.stats.blocksIngested.Add(1)
 	s.stats.tuplesIngested.Add(int64(len(rows)))

@@ -5,8 +5,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
+
+	"wsopt/internal/blockcache"
+	"wsopt/internal/netsim"
+	"wsopt/internal/replica"
 )
 
 // TestPooledBufferNotReusedWhileReplayLive is the liveness proof for the
@@ -146,5 +151,122 @@ func TestExpireIdleReleasesReplayBuffers(t *testing.T) {
 	}
 	if released != 1 {
 		t.Fatalf("janitor released %d buffers, want 1", released)
+	}
+}
+
+// TestCloseRaceOwnershipHandoff is the regression test for the
+// delete-during-pull ownership window: when DELETE wins the session-map
+// race while a pull holds the session lock (sleeping its injected
+// delay), closeSession's TryLock fails and its OpClose is already in
+// the replication log. Pre-fix, the pull would then (a) ship its
+// OpCommit AFTER the OpClose — resurrecting a ghost standby session on
+// every follower — and (b) park its fresh replay buffer in the
+// unreachable session, leaking the buffer's pool slot forever. The fix
+// hands both duties to the pull: it ships nothing and releases every
+// buffer itself. Run with -race; the cached arm covers the same window
+// on the cache-entry commit path.
+func TestCloseRaceOwnershipHandoff(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		name := "pooled"
+		if cached {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			var released []*replayBlock
+			testReplayRelease = func(rb *replayBlock) {
+				mu.Lock()
+				released = append(released, rb)
+				mu.Unlock()
+			}
+			defer func() { testReplayRelease = nil }()
+
+			rlog := replica.NewLog(64)
+			cfg := Config{
+				Catalog:    testCatalog(t, 200),
+				Replica:    rlog,
+				CostModel:  netsim.CostModel{LatencyMS: 300},
+				SleepScale: 1,
+			}
+			if cached {
+				c, err := blockcache.New(blockcache.Config{MemBytes: 1 << 20})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Cache = c
+			}
+			srv, ts := newTestServer(t, cfg)
+			id, _ := openSession(t, ts, `{"table":"items"}`)
+
+			// Block 1 commits normally (and ships), so the close-racing
+			// pull below has a superseded buffer to release.
+			resp := pullSeq(t, ts, id, 10, 1)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+
+			sess, ok := srv.sessions.get(id)
+			if !ok {
+				t.Fatal("session vanished")
+			}
+
+			// Block 2 sleeps ~300ms holding the session lock.
+			pulled := make(chan []byte, 1)
+			go func() {
+				resp := pullSeq(t, ts, id, 10, 2)
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				pulled <- body
+			}()
+			// Wait until the pull demonstrably holds the lock, then land
+			// the DELETE mid-pull: closeSession's TryLock must fail.
+			for sess.mu.TryLock() {
+				sess.mu.Unlock()
+				time.Sleep(time.Millisecond)
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+			dresp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+
+			// The racing client still gets its block: the bytes were in
+			// hand before the close won the map race.
+			if body := <-pulled; len(body) == 0 {
+				t.Fatal("close-racing pull returned no payload")
+			}
+
+			// Follower-visible invariant: nothing for this session lands
+			// after its OpClose, so no ghost standby session can be
+			// resurrected.
+			recs, _, _ := rlog.Read(1, 1000)
+			closeSeen := false
+			for _, rec := range recs {
+				if rec.Session != id {
+					continue
+				}
+				if closeSeen {
+					t.Fatalf("record %s (LSN %d) shipped after OpClose — ghost session resurrected on followers", rec.Op, rec.LSN)
+				}
+				if rec.Op == replica.OpClose {
+					closeSeen = true
+				}
+			}
+			if !closeSeen {
+				t.Fatal("OpClose never shipped")
+			}
+
+			// Ownership invariant: once the log drops its references,
+			// every replay block has been fully released — block 1 (held
+			// by the log) and block 2 (the pull's close handoff). Pre-fix,
+			// block 2 stays parked in the unreachable session forever.
+			rlog.Close()
+			mu.Lock()
+			n := len(released)
+			mu.Unlock()
+			if n != 2 {
+				t.Fatalf("%d replay blocks released, want 2 (close-racing pull must release its own commit)", n)
+			}
+		})
 	}
 }

@@ -32,10 +32,12 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wsopt/internal/blockcache"
 	"wsopt/internal/metrics"
 	"wsopt/internal/minidb"
 	"wsopt/internal/netsim"
@@ -137,6 +139,13 @@ type Config struct {
 	// holds a reference to each shipped block's pooled buffer until the
 	// record is evicted (see replayBlock.refs).
 	Replica *replica.Log
+	// Cache, when non-nil, is the content-addressed encoded-block cache
+	// consulted before every scan + encode. Keys commit to the plan, the
+	// absolute cursor, the block size, the codec (and gzip level), and
+	// the catalog's dataset version, so repeated queries across sessions
+	// — including gateway failover re-opens — serve hits at ~memcpy cost
+	// and a dataset write invalidates by construction (see DESIGN.md §15).
+	Cache *blockcache.Cache
 }
 
 // Server is the block-pull web service.
@@ -264,6 +273,8 @@ type Stats struct {
 	// FaultsInjected counts transport faults fired by the chaos layer,
 	// by kind.
 	FaultsInjected FaultStats `json:"faults_injected"`
+	// Cache snapshots the encoded-block cache (nil when disabled).
+	Cache *blockcache.Stats `json:"cache,omitempty"`
 }
 
 // FaultStats breaks injected faults down by kind.
@@ -378,6 +389,16 @@ type session struct {
 	// safe to reuse because the previous block's rows are fully encoded
 	// into the replay buffer before the next pull starts.
 	batch []minidb.Row
+	// cacheFP is the session's plan fingerprint for the encoded-block
+	// cache (nil when the server runs without one); immutable after
+	// create. The per-pull cache key is cacheFP + cursor + size.
+	cacheFP []byte
+	// iterPos is the absolute tuple position of iter: the create offset
+	// plus every row ever pulled from it. Without a cache it always
+	// equals cursor plus any parked pending rows; with one, cache hits
+	// advance cursor without touching the iterator, and the next miss
+	// fast-forwards iter from iterPos to cursor before scanning.
+	iterPos int64
 	// pendingRows parks rows already pulled from the iterator whose
 	// encoding failed (or whose pull was cancelled mid-delay), so a
 	// same-seq retry re-serves instead of losing them.
@@ -390,24 +411,27 @@ type session struct {
 func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // replayBlock is the buffered response of the last served block. Its
-// payload is backed by a pooled encode buffer: the buffer is returned to
-// blockBufPool only when the block is superseded by the next committed
+// payload is backed either by a pooled encode buffer (uncached blocks)
+// or by a retained immutable cache entry (cache hits): the backing is
+// released only when the block is superseded by the next committed
 // block or the session closes — never while a retry could still request
 // this seq — so replays serve the exact committed bytes.
 //
-// The buffer can have more than one consumer: the session itself (for
+// The backing can have more than one consumer: the session itself (for
 // same-seq replays) and the replication log (which holds the payload
 // until the shipped record is evicted). refs counts them; releaseReplay
-// drops one reference and only pools the buffer when the last consumer
-// is gone.
+// drops one reference and only pools the buffer (or releases the cache
+// entry) when the last consumer is gone.
 type replayBlock struct {
-	buf     *bytes.Buffer
+	buf     *bytes.Buffer     // pooled encode buffer (nil for cache hits)
+	entry   *blockcache.Entry // retained cache entry (nil for pooled blocks)
 	payload []byte
 	tuples  int
 	done    bool
 	delayMS float64
-	// refs is the number of live references to buf: 1 for the owning
-	// session, +1 per replication record still retaining the payload.
+	// refs is the number of live references to the backing: 1 for the
+	// owning session, +1 per replication record still retaining the
+	// payload.
 	refs atomic.Int32
 }
 
@@ -415,6 +439,15 @@ type replayBlock struct {
 // reference already counted.
 func newReplayBlock(buf *bytes.Buffer, tuples int, done bool, delayMS float64) *replayBlock {
 	rb := &replayBlock{buf: buf, payload: buf.Bytes(), tuples: tuples, done: done, delayMS: delayMS}
+	rb.refs.Store(1)
+	return rb
+}
+
+// newCachedReplay wraps a cache entry; ownership of the caller's
+// retained reference transfers to the replayBlock, which releases it
+// from releaseReplay when the last consumer is gone.
+func newCachedReplay(ent *blockcache.Entry, delayMS float64) *replayBlock {
+	rb := &replayBlock{entry: ent, payload: ent.Bytes(), tuples: ent.Tuples(), done: ent.Done(), delayMS: delayMS}
 	rb.refs.Store(1)
 	return rb
 }
@@ -433,12 +466,13 @@ var blockBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // observes every replay-buffer release.
 var testReplayRelease func(rb *replayBlock)
 
-// releaseReplay drops one reference to rb's encode buffer and returns it
-// to the pool when the last reference is gone. The session calls it when
-// the block is superseded under the session lock or the closed session
-// is unreachable to new pulls; the replication log calls it (via
-// Record.Release) when the shipped record is evicted. Either order is
-// safe — only the final release pools the buffer.
+// releaseReplay drops one reference to rb's backing and recycles it when
+// the last reference is gone: a pooled encode buffer goes back to the
+// pool, a cache entry gets its retained reference released. The session
+// calls it when the block is superseded under the session lock or the
+// closed session is unreachable to new pulls; the replication log calls
+// it (via Record.Release) when the shipped record is evicted. Either
+// order is safe — only the final release recycles the backing.
 func releaseReplay(rb *replayBlock) {
 	if rb == nil {
 		return
@@ -448,11 +482,16 @@ func releaseReplay(rb *replayBlock) {
 	}
 	// Only the releaser that took the last reference gets here; the
 	// atomic Add orders it after every other holder's release.
-	if rb.buf == nil {
+	if rb.buf == nil && rb.entry == nil {
 		return
 	}
 	if testReplayRelease != nil {
 		testReplayRelease(rb)
+	}
+	if ent := rb.entry; ent != nil {
+		rb.entry, rb.payload = nil, nil
+		ent.Release()
+		return
 	}
 	buf := rb.buf
 	rb.buf, rb.payload = nil, nil
@@ -615,7 +654,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	n := s.nextID.Add(1)
 	id := fmt.Sprintf("s%08x", n)
-	sess := &session{id: id, iter: it, group: req.StreamGroup, cursor: int64(req.Offset), rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	sess := &session{id: id, iter: it, group: req.StreamGroup, cursor: int64(req.Offset), iterPos: int64(req.Offset), rng: rand.New(rand.NewSource(s.sessionSeed(n)))}
+	if s.cfg.Cache != nil {
+		sess.cacheFP = s.planFingerprint(&req)
+	}
 	sess.touch()
 	s.sessions.put(id, sess)
 	committed = true
@@ -645,6 +687,118 @@ func skipRows(it minidb.Iterator, n int) error {
 		}
 	}
 	return nil
+}
+
+// planFingerprint hashes everything that determines a session's encoded
+// bytes at a given cursor: the full query plan, the codec (name plus
+// gzip level — two levels produce different bytes for the same rows),
+// and the catalog's dataset version, captured once at create so a
+// session opened after a write can never hit pre-write entries. The
+// create offset is deliberately excluded: the cache key carries the
+// absolute cursor, so two sessions over the same plan share entries no
+// matter where each started — including a gateway failover re-open.
+func (s *Server) planFingerprint(req *createRequest) []byte {
+	level := 0
+	if gz, ok := s.codec.(wire.Gzipped); ok {
+		level = gz.Level
+	}
+	return blockcache.Fingerprint(
+		req.Table,
+		strings.Join(req.Columns, "\x00"),
+		req.Where,
+		strconv.FormatBool(req.Distinct),
+		strconv.Itoa(req.Limit),
+		s.codec.Name(),
+		strconv.Itoa(level),
+		strconv.FormatUint(s.cfg.Catalog.Version(), 10),
+	)
+}
+
+// catchUpIterator fast-forwards the session's iterator to the committed
+// cursor when earlier cache hits advanced the cursor without consuming
+// the iterator. A no-op when they are already level (always, without a
+// cache). Caller holds sess.mu.
+func catchUpIterator(sess *session) error {
+	if sess.iterPos >= sess.cursor {
+		return nil
+	}
+	if err := skipRows(sess.iter, int(sess.cursor-sess.iterPos)); err != nil {
+		return err
+	}
+	sess.iterPos = sess.cursor
+	return nil
+}
+
+// fillCacheEntry is the cache's single-flight fill: scan the next block
+// and encode it into an immutable cache entry. It runs on the GetOrFill
+// leader — this pull's own goroutine, holding sess.mu. The pooled
+// encode buffer never escapes: blockcache.NewEntry copies the bytes,
+// and the buffer is back in the pool before the entry is published, so
+// a cached payload can never alias a recycled pool buffer.
+func (s *Server) fillCacheEntry(sess *session, size int) (*blockcache.Entry, error) {
+	if err := catchUpIterator(sess); err != nil {
+		return nil, err
+	}
+	rows, done, err := minidb.NextBlockAppend(sess.iter, size, sess.batch)
+	if err != nil {
+		return nil, err
+	}
+	sess.batch = rows
+	sess.iterPos += int64(len(rows))
+	buf := blockBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := s.codec.Encode(buf, sess.iter.Schema(), rows); err != nil {
+		buf.Reset()
+		blockBufPool.Put(buf)
+		// Park the rows: the iterator has advanced, so losing them would
+		// skip tuples. The same-seq retry sees hasPending and re-encodes
+		// through the uncached path.
+		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
+		s.stats.encodeFailures.Add(1)
+		s.metrics.encodeFailures.Inc()
+		s.logf("session %s: encode block: %v", sess.id, err)
+		return nil, fmt.Errorf("encode block: %w", err)
+	}
+	ent := blockcache.NewEntry(buf.Bytes(), len(rows), done)
+	buf.Reset()
+	blockBufPool.Put(buf)
+	return ent, nil
+}
+
+// serveCachedBlock prices, commits, and writes a cache-entry-backed
+// block. Caller holds sess.mu and has NOT yet committed anything; the
+// entry arrives retained for this pull and its reference is either
+// handed to the committed replayBlock or released on abort.
+func (s *Server) serveCachedBlock(w http.ResponseWriter, r *http.Request, sess *session, ent *blockcache.Entry, hasSeq bool, fault faultKind, started time.Time) {
+	delayMS := s.priceBlock(ent.Tuples(), sess.rng)
+	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
+		if !sleepInterruptible(r.Context(), time.Duration(delayMS*scale*float64(time.Millisecond))) {
+			// Nothing committed; the entry stays resident, so the same-seq
+			// retry is a pure hit. Just drop this pull's reference.
+			ent.Release()
+			s.logf("session %s: pull cancelled mid-delay (cached block)", sess.id)
+			return
+		}
+	}
+	superseded := sess.replay
+	sess.lastSeq++
+	rb := newCachedReplay(ent, delayMS)
+	sess.cursor += int64(ent.Tuples())
+	sess.done = ent.Done()
+	if sess.closed.Load() {
+		// The session was deleted while this pull held the lock; see the
+		// uncached commit path for the full ownership handoff story.
+		sess.replay = nil
+		sess.batch = nil
+		releaseReplay(superseded)
+		s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
+		releaseReplay(rb)
+		return
+	}
+	sess.replay = rb
+	s.shipCommit(sess, rb)
+	releaseReplay(superseded)
+	s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
@@ -712,8 +866,35 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cache fast path. Bypassed while rows are parked: a parked block's
+	// shape was fixed by the pull that parked it, so a size-keyed cache
+	// entry would misdescribe it.
+	if s.cfg.Cache != nil && !sess.hasPending {
+		key := blockcache.DeriveKey(sess.cacheFP, sess.cursor, size)
+		ent, _, cerr := s.cfg.Cache.GetOrFill(key, func() (*blockcache.Entry, error) {
+			return s.fillCacheEntry(sess, size)
+		})
+		switch {
+		case cerr == nil:
+			s.serveCachedBlock(w, r, sess, ent, hasSeq, fault, started)
+			return
+		case cerr == blockcache.ErrFillFailed:
+			// Another session's concurrent fill of this key failed; fall
+			// through and produce the block the uncached way.
+		default:
+			// Our own fill failed (scan or encode error); it has already
+			// parked rows and counted stats where appropriate.
+			httpError(w, http.StatusInternalServerError, "%v", cerr)
+			return
+		}
+	}
+
 	rows, done := sess.pendingRows, sess.pendingDone
 	if !sess.hasPending {
+		if err := catchUpIterator(sess); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 		rows, done, err = minidb.NextBlockAppend(sess.iter, size, sess.batch)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
@@ -722,6 +903,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		// The batch is reusable next pull: by then these rows are either
 		// encoded into the committed replay buffer or parked as pending.
 		sess.batch = rows
+		sess.iterPos += int64(len(rows))
 	}
 	buf := blockBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -761,13 +943,30 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	// previous block — only then may its pooled buffer be reused.
 	superseded := sess.replay
 	sess.lastSeq++
-	sess.replay = newReplayBlock(buf, len(rows), done, delayMS)
+	rb := newReplayBlock(buf, len(rows), done, delayMS)
 	sess.cursor += int64(len(rows))
 	sess.done = done
-	s.shipCommit(sess, sess.replay)
+	if sess.closed.Load() {
+		// The session was deleted or expired while this pull held the
+		// lock: closeSession's TryLock failed, its OpClose is already in
+		// the replication log, and no future pull can reach this session
+		// to release anything. Releasing the buffers is therefore this
+		// pull's job — and it must NOT ship the commit: an OpCommit
+		// landing after the OpClose would resurrect a ghost session on
+		// every follower. The client still gets its block (it raced the
+		// close fairly and the bytes are in hand).
+		sess.replay = nil
+		sess.batch = nil
+		releaseReplay(superseded)
+		s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
+		releaseReplay(rb)
+		return
+	}
+	sess.replay = rb
+	s.shipCommit(sess, rb)
 	releaseReplay(superseded)
 
-	s.writeBlock(w, sess, sess.replay, hasSeq, false, fault, started)
+	s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
 }
 
 // sleepInterruptible sleeps for d unless the context is cancelled first;

@@ -1,6 +1,10 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"wsopt/internal/blockcache"
+)
 
 // serverStats is the lock-free backing store of the exported Stats
 // snapshot: one atomic per counter, incremented on the block hot path
@@ -30,7 +34,13 @@ type serverStats struct {
 func (s *Server) Stats() Stats {
 	st := &s.stats
 	streamOpened, streamPeak, groupsActive := s.groups.snapshot()
+	var cache *blockcache.Stats
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		cache = &cs
+	}
 	return Stats{
+		Cache:                cache,
 		StreamSessionsOpened: streamOpened,
 		PeakGroupStreams:     streamPeak,
 		StreamGroupsActive:   groupsActive,

@@ -9,7 +9,7 @@ go build ./...
 go vet ./...
 go test -race ./...
 # Replay the checked-in fuzz seed corpora (deterministic, no generation).
-go test -run '^Fuzz' ./internal/wire ./internal/minidb
+go test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache
 # Concurrency stress gate: hot-path stress tests under -race, including
 # the e2e run that drives a race-built wsblockd with concurrent wsload.
 go test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
@@ -27,3 +27,10 @@ go test -race -count=1 -run '^TestCoupledLoop' ./internal/sim
 # bounded stall, replication lag drained).
 go test -race -count=1 -run '^TestFailover' ./internal/sim
 go test -count=1 -run '^TestChaosGate$' ./internal/e2e
+# Encoded-block cache gate: blockcache semantics, the service's cache
+# wiring and close-race ownership handoff, the standby-copy invariant,
+# and the e2e cache-hot chaos arm (exact tuples, warm-hit failover).
+go test -race -count=1 ./internal/blockcache
+go test -race -count=1 -run 'TestCache|TestCloseRace' ./internal/service
+go test -race -count=1 -run '^TestStandby' ./internal/replica
+go test -count=1 -run '^TestChaosGateCache$' ./internal/e2e
