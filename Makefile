@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate verify chaos bench bench-contention bench-wire bench-vector bench-slo bench-gate bench-cache clean
+.PHONY: all build vet test race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate push-chaos benchtrend verify chaos bench bench-contention bench-wire bench-vector bench-slo bench-gate bench-cache bench-push clean
 
 all: verify
 
@@ -20,7 +20,7 @@ race:
 # generation) so a codec or parser regression on a known-nasty input
 # fails the gate deterministically.
 fuzzseeds:
-	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache
+	$(GO) test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache ./internal/service
 
 # stress runs the concurrency gate: the hot-path stress tests (sharded
 # session store, atomic stats, expiry janitor vs pulls) under -race,
@@ -63,12 +63,31 @@ cache-gate:
 	$(GO) test -race -count=1 -run '^TestStandby' ./internal/replica
 	$(GO) test -count=1 -run '^TestChaosGateCache$$' ./internal/e2e
 
+# push-chaos runs the push transport gates: the service-side push
+# protocol suite (framing, backpressure, unacked-tail replay, cache
+# serve) and the client stream transport suite (resume, session re-open,
+# failover, controller-driven window) under -race, then the e2e chaos
+# run — SIGKILL of the replica serving a live push stream with unacked
+# frames in flight; the query must still deliver the exact relation
+# through a stream reconnect and a session failover to the survivor.
+push-chaos:
+	$(GO) test -race -count=1 -run 'TestPush|TestStream|TestRunPush' ./internal/service ./internal/client
+	$(GO) test -count=1 -run '^TestChaosPush$$' ./internal/e2e
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # under the race detector, survive the fuzz seed corpora, hold up under
 # the concurrency stress gate, keep the wire hot path within its
 # allocation budget, keep the coupled control loops stable, and survive
-# the gateway chaos gate and the encoded-block cache gate.
-verify: build vet race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate
+# the gateway chaos gate, the encoded-block cache gate, and the push
+# transport chaos gate.
+verify: build vet race fuzzseeds stress allocgate slo-sim chaos-gate cache-gate push-chaos
+
+# benchtrend folds the committed BENCH_*.json reports into one
+# trajectory file (BENCH_trend.json) and gates the wire hot path: a live
+# re-measurement of binary-codec encode+decode throughput must stay
+# within 20% of the committed BENCH_wire.json baseline.
+benchtrend:
+	$(GO) run ./cmd/benchtrend -json BENCH_trend.json
 
 # chaos runs just the fault-injection exactly-once tests.
 chaos:
@@ -115,6 +134,15 @@ bench-slo:
 # check.
 bench-gate:
 	$(GO) run ./cmd/wsbench -gate -sf 0.01 -json BENCH_gate.json
+
+# bench-push records the pull-vs-push transport sweep into
+# BENCH_push.json: the same data and link cost structure measured
+# through both transports over a static-size grid plus adaptive arms on
+# the high-RTT reference link. The sweep gates itself: push must be
+# >= 1.5x pull at the pull arm's own optimum size, with the push
+# optimum at a strictly smaller size.
+bench-push:
+	$(GO) run ./cmd/wsbench -push -sf 0.05 -codec binary -json BENCH_push.json
 
 # bench-cache records the encoded-block cache sweep into
 # BENCH_cache.json: hot (cached) vs cold full-table scan throughput for

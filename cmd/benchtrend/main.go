@@ -1,0 +1,317 @@
+// Command benchtrend aggregates the committed BENCH_*.json reports into
+// one trajectory file and gates the wire hot path against its recorded
+// baseline.
+//
+// Every benchmark target (`make bench-wire`, `make bench-push`, ...)
+// commits a standalone JSON report; benchtrend folds their headline
+// numbers into BENCH_trend.json so the repository's performance
+// trajectory reads as one document instead of seven. It then re-measures
+// binary-codec wire throughput with exactly the methodology bench-wire
+// records — encode + scratch-decode round-trips over live customer rows
+// — and fails if the live number regresses more than -regress (default
+// 20%) below the committed BENCH_wire.json baseline at the same block
+// size. The gate takes the best of -trials short trials, so a transient
+// scheduling hiccup does not fail the build while a real hot-path
+// regression still does.
+//
+// Usage:
+//
+//	benchtrend [-dir .] [-json BENCH_trend.json] [-regress 0.20] [-skip-measure]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"wsopt/internal/minidb"
+	"wsopt/internal/tpch"
+	"wsopt/internal/wire"
+)
+
+// trendEntry is one benchmark file's headline numbers in the trajectory.
+type trendEntry struct {
+	File    string             `json:"file"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// trendGate records the live wire-throughput regression check.
+type trendGate struct {
+	BlockRows        int     `json:"block_rows"`
+	BaselineMBPerSec float64 `json:"baseline_mb_per_sec"`
+	MeasuredMBPerSec float64 `json:"measured_mb_per_sec"`
+	Ratio            float64 `json:"ratio"`
+	Threshold        float64 `json:"threshold"`
+	Passed           bool    `json:"passed"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtrend: ")
+	var (
+		dir         = flag.String("dir", ".", "directory holding the committed BENCH_*.json reports")
+		jsonOut     = flag.String("json", "BENCH_trend.json", "trajectory file to write (empty = stdout only)")
+		regress     = flag.Float64("regress", 0.20, "maximum tolerated fractional regression of binary-codec wire MB/s")
+		trials      = flag.Int("trials", 3, "measurement trials; the best one is compared to the baseline")
+		trialDur    = flag.Duration("trial-dur", 300*time.Millisecond, "duration of each measurement trial")
+		skipMeasure = flag.Bool("skip-measure", false, "aggregate only; skip the live wire-throughput gate")
+	)
+	flag.Parse()
+	if *regress <= 0 || *regress >= 1 {
+		log.Fatalf("-regress %g out of range (0, 1)", *regress)
+	}
+
+	entries, baseline, err := aggregate(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		log.Fatalf("no BENCH_*.json reports under %s", *dir)
+	}
+	for _, e := range entries {
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-22s %-28s %g\n", e.File, k, e.Metrics[k])
+		}
+	}
+
+	var gate *trendGate
+	if !*skipMeasure {
+		if baseline == nil {
+			log.Fatal("BENCH_wire.json has no binary-codec cell to gate against")
+		}
+		g, err := measureGate(*baseline, *regress, *trials, *trialDur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gate = g
+		fmt.Printf("\nwire gate: binary @%d rows measured %.1f MB/s vs baseline %.1f MB/s (%.2fx, threshold %.2fx)\n",
+			g.BlockRows, g.MeasuredMBPerSec, g.BaselineMBPerSec, g.Ratio, g.Threshold)
+	}
+
+	if *jsonOut != "" {
+		doc := struct {
+			Entries []trendEntry `json:"entries"`
+			Gate    *trendGate   `json:"gate,omitempty"`
+		}{Entries: entries, Gate: gate}
+		f, err := os.Create(filepath.Join(*dir, *jsonOut))
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trajectory written to %s", filepath.Join(*dir, *jsonOut))
+	}
+
+	if gate != nil && !gate.Passed {
+		log.Fatalf("wire throughput gate: %.1f MB/s is %.0f%% of the %.1f MB/s baseline, below the %.0f%% floor",
+			gate.MeasuredMBPerSec, gate.Ratio*100, gate.BaselineMBPerSec, gate.Threshold*100)
+	}
+}
+
+// wireBaseline is the binary-codec cell of BENCH_wire.json the gate
+// measures against.
+type wireBaseline struct {
+	SF        float64
+	BlockRows int
+	MBPerSec  float64
+}
+
+// aggregate reads every recognized BENCH_*.json under dir and distills
+// each to its headline metrics. Unknown BENCH files are listed with no
+// metrics rather than skipped, so a new benchmark that predates its
+// extractor still shows up in the trajectory.
+func aggregate(dir string) ([]trendEntry, *wireBaseline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	var entries []trendEntry
+	var baseline *wireBaseline
+	for _, p := range paths {
+		name := filepath.Base(p)
+		if name == "BENCH_trend.json" {
+			continue // the aggregate itself
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", name, err)
+		}
+		e := trendEntry{File: name, Metrics: map[string]float64{}}
+		switch name {
+		case "BENCH_wire.json":
+			for _, r := range rows(doc, "results") {
+				codec, _ := r["codec"].(string)
+				mbps := num(r, "mb_per_sec")
+				key := "mb_per_sec_best_" + codec
+				if mbps > e.Metrics[key] {
+					e.Metrics[key] = mbps
+				}
+				if codec == "binary" && (baseline == nil || mbps > baseline.MBPerSec) {
+					baseline = &wireBaseline{SF: num(doc, "sf"), BlockRows: int(num(r, "block_rows")), MBPerSec: mbps}
+				}
+			}
+		case "BENCH_contention.json":
+			for _, r := range rows(doc, "levels") {
+				e.Metrics[fmt.Sprintf("blocks_per_sec_%dc", int(num(r, "clients")))] = num(r, "blocks_per_sec")
+			}
+		case "BENCH_vector.json":
+			// Headline: worst final-vs-optimum per-tuple ratio across the
+			// scenario matrix for the vector controller.
+			worst := 0.0
+			for _, r := range rows(doc, "results") {
+				if c, _ := r["controller"].(string); c != "vector-hybrid" {
+					continue
+				}
+				if opt := num(r, "optimum_per_tuple_ms"); opt > 0 {
+					if ratio := num(r, "final_per_tuple_ms") / opt; ratio > worst {
+						worst = ratio
+					}
+				}
+			}
+			e.Metrics["vector_worst_final_over_optimum"] = worst
+		case "BENCH_slo.json":
+			for _, r := range rows(doc, "results") {
+				if mode, _ := r["mode"].(string); mode == "regulated" {
+					key := "within_slo_frac_" + str(r, "scenario")
+					e.Metrics[key] = num(r, "within_slo_frac")
+				}
+			}
+		case "BENCH_gate.json":
+			for _, r := range rows(doc, "results") {
+				e.Metrics["mean_wall_ms_"+str(r, "arm")] = num(r, "mean_wall_ms")
+			}
+		case "BENCH_cache.json":
+			best := 0.0
+			for _, r := range rows(doc, "results") {
+				if s := num(r, "speedup"); s > best {
+					best = s
+				}
+			}
+			e.Metrics["hot_over_cold_best_speedup"] = best
+		case "BENCH_push.json":
+			e.Metrics["equal_size_speedup"] = num(doc, "equal_size_speedup")
+			e.Metrics["pull_opt_size"] = num(doc, "pull_opt_size")
+			e.Metrics["push_opt_size"] = num(doc, "push_opt_size")
+			for _, r := range rows(doc, "adaptive") {
+				e.Metrics["adaptive_mean_sim_ms_"+str(r, "transport")] = num(r, "mean_sim_ms")
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, baseline, nil
+}
+
+func rows(doc map[string]any, key string) []map[string]any {
+	list, _ := doc[key].([]any)
+	out := make([]map[string]any, 0, len(list))
+	for _, it := range list {
+		if m, ok := it.(map[string]any); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func num(m map[string]any, key string) float64 {
+	v, _ := m[key].(float64)
+	return v
+}
+
+func str(m map[string]any, key string) string {
+	v, _ := m[key].(string)
+	return v
+}
+
+// measureGate re-runs the bench-wire methodology for the baseline's
+// binary-codec cell — encode + scratch-decode round-trips over live
+// customer rows at the same block size — and compares the best trial to
+// the committed number.
+func measureGate(base wireBaseline, regress float64, trials int, dur time.Duration) (*trendGate, error) {
+	cat, err := tpch.Load(base.SF)
+	if err != nil {
+		return nil, err
+	}
+	it, err := cat.Execute(minidb.Query{Table: "customer"})
+	if err != nil {
+		return nil, err
+	}
+	var block []minidb.Row
+	for len(block) < base.BlockRows {
+		batch, done, err := minidb.NextBlock(it, base.BlockRows-len(block))
+		if err != nil {
+			return nil, err
+		}
+		block = append(block, batch...)
+		if done {
+			break
+		}
+	}
+	if len(block) < base.BlockRows {
+		for i := 0; len(block) < base.BlockRows; i++ {
+			block = append(block, block[i%len(block)])
+		}
+	}
+	schema := it.Schema()
+
+	codec := wire.Binary{}
+	best := 0.0
+	for trial := 0; trial < trials; trial++ {
+		var enc bytes.Buffer
+		rd := bytes.NewReader(nil)
+		scratch := new(wire.Scratch)
+		var trips int64
+		var wireBytes int
+		start := time.Now()
+		for time.Since(start) < dur {
+			enc.Reset()
+			if err := codec.Encode(&enc, schema, block); err != nil {
+				return nil, err
+			}
+			wireBytes = enc.Len()
+			rd.Reset(enc.Bytes())
+			if _, _, err := wire.DecodeBlock(codec, rd, scratch); err != nil {
+				return nil, err
+			}
+			trips++
+		}
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			if mbps := float64(trips) * float64(wireBytes) / wall / 1e6; mbps > best {
+				best = mbps
+			}
+		}
+	}
+
+	g := &trendGate{
+		BlockRows:        base.BlockRows,
+		BaselineMBPerSec: base.MBPerSec,
+		MeasuredMBPerSec: best,
+		Threshold:        1 - regress,
+	}
+	if base.MBPerSec > 0 {
+		g.Ratio = best / base.MBPerSec
+	}
+	g.Passed = g.Ratio >= g.Threshold
+	return g, nil
+}

@@ -117,6 +117,10 @@ func main() {
 			"run the encoded-block cache sweep instead of the controller matrix: hot (cached) vs cold full-table scans for every codec")
 		cacheDur  = flag.Duration("cache-duration", 2*time.Second, "how long each cache-sweep arm runs (whole passes; one extra unmeasured pass fills the cache)")
 		cacheSize = flag.Int("cache-size", 4096, "fixed block size of the cache sweep")
+
+		pushSweep = flag.Bool("push", false,
+			"run the pull-vs-push transport sweep instead of the controller matrix: static-size grid plus adaptive arms on the high-RTT reference link")
+		pushSizes = flag.String("push-sizes", "", "push sweep: comma-separated block-size grid in paper-scale tuples (default 200..20000)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wsbench: ", 0)
@@ -157,6 +161,12 @@ func main() {
 	}
 	if *cacheSweep {
 		if err := runCacheSweep(logger, cat, *cacheDur, *cacheSize, *sf, *jsonOut); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	if *pushSweep {
+		if err := runPushSweep(logger, cat, codec, *pushSizes, *runs, *sf, *seed, *jsonOut); err != nil {
 			logger.Fatal(err)
 		}
 		return

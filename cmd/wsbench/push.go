@@ -1,0 +1,294 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"wsopt/internal/client"
+	"wsopt/internal/core"
+	"wsopt/internal/minidb"
+	"wsopt/internal/netsim"
+	"wsopt/internal/profile"
+	"wsopt/internal/service"
+	"wsopt/internal/stats"
+	"wsopt/internal/tpch"
+	"wsopt/internal/wire"
+)
+
+// pushLinkModel is the high-RTT reference link of the push sweep — the
+// same shape internal/netsim's push tests pin: a second of per-request
+// overhead over a cheap per-tuple cost, with the knee forcing the pull
+// optimum to a size where nearly half of every block's cost is the
+// round-trip the push transport removes. (conf1.1 itself is per-tuple
+// dominated at its optimum, so it cannot show the transport contrast.)
+func pushLinkModel() netsim.CostModel {
+	return netsim.CostModel{
+		LatencyMS:     1040,
+		PerTupleMS:    0.09,
+		KneeTuples:    11000,
+		PenaltyMS:     1e-4,
+		LatencyJitter: 0.08,
+		TupleJitter:   0.01,
+	}
+}
+
+// pushCell is one fixed-block-size entry of the push sweep: the same
+// query, data, and cost structure measured through both transports.
+type pushCell struct {
+	Size       int     `json:"size"`
+	PaperSize  int     `json:"paper_size"`
+	PullSimMS  float64 `json:"pull_sim_ms"`
+	PushSimMS  float64 `json:"push_sim_ms"`
+	PullStdMS  float64 `json:"pull_std_ms"`
+	PushStdMS  float64 `json:"push_std_ms"`
+	Speedup    float64 `json:"speedup"`
+	PushFrames int64   `json:"push_frames"`
+}
+
+// pushAdaptiveArm is one transport's adaptive (hybrid-controller) run
+// summary in the push sweep.
+type pushAdaptiveArm struct {
+	Transport  string  `json:"transport"`
+	MeanSimMS  float64 `json:"mean_sim_ms"`
+	MeanSize   float64 `json:"mean_size"`
+	Blocks     int     `json:"blocks"`
+	Reconnects int64   `json:"reconnects,omitempty"`
+}
+
+// runPushSweep measures the pull-vs-push contrast end to end over live
+// transports: two identical in-process services serve the same data
+// under the same link cost structure, except the push service prices
+// blocks with the derived push model (the per-request round-trip
+// replaced by the residual per-frame overhead, netsim.CostModel.Push).
+// A static-size grid locates each transport's optimum; the headline
+// gates — push >= 1.5x pull at the PULL arm's own optimum size, and the
+// push optimum at a strictly smaller size — fail the sweep if the
+// transport stops delivering them. `make bench-push` records it as
+// BENCH_push.json.
+func runPushSweep(logger *log.Logger, cat *minidb.Catalog, codec wire.Codec,
+	sizesCSV string, runs int, sf float64, seed int64, jsonOut string) error {
+	// The grid is specified in paper-scale tuples (150K-customer result
+	// set) and scaled to the served dataset, like the controller matrix.
+	scale := float64(profile.CustomerTuples) / float64(tpch.CustomerCount(sf))
+	paperSizes := []int{200, 500, 1000, 2000, 4000, 8000, 12000, 16000, 20000}
+	if sizesCSV != "" {
+		paperSizes = nil
+		for _, part := range strings.Split(sizesCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -push-sizes entry %q: want a positive tuple count", part)
+			}
+			paperSizes = append(paperSizes, n)
+		}
+	}
+	model := scaleModel(pushLinkModel(), scale)
+	pushModel := model.Push(0)
+
+	mkClient := func(m netsim.CostModel, push bool) (*client.Client, *service.Server, func(), error) {
+		srv, err := service.New(service.Config{Catalog: cat, Codec: codec, CostModel: m, Seed: seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c, err := client.New(ts.URL, codec, nil)
+		if err != nil {
+			ts.Close()
+			return nil, nil, nil, err
+		}
+		if push {
+			c.SetPush(client.PushConfig{Enabled: true})
+		}
+		return c, srv, ts.Close, nil
+	}
+
+	pullC, _, closePull, err := mkClient(model, false)
+	if err != nil {
+		return err
+	}
+	defer closePull()
+	pushC, pushSrv, closePush, err := mkClient(pushModel, true)
+	if err != nil {
+		return err
+	}
+	defer closePush()
+
+	q := client.Query{Table: "customer", Columns: []string{"c_custkey", "c_acctbal"}}
+	ctx := context.Background()
+	measure := func(c *client.Client, size int) ([]float64, int, error) {
+		totals := make([]float64, 0, runs)
+		blocks := 0
+		for r := 0; r < runs; r++ {
+			res, err := c.Run(ctx, q, core.NewStatic(size), client.MetricPerTuple, true)
+			if err != nil {
+				return nil, 0, err
+			}
+			totals = append(totals, res.SimulatedMS)
+			blocks = res.Blocks
+		}
+		return totals, blocks, nil
+	}
+
+	var cells []pushCell
+	seen := map[int]bool{}
+	for _, ps := range paperSizes {
+		size := int(float64(ps)/scale + 0.5)
+		if size < 1 {
+			size = 1
+		}
+		if seen[size] {
+			continue
+		}
+		seen[size] = true
+		framesBefore := pushSrv.Stats().PushFramesSent
+		pullTotals, _, err := measure(pullC, size)
+		if err != nil {
+			return fmt.Errorf("pull arm at size %d: %v", size, err)
+		}
+		pushTotals, _, err := measure(pushC, size)
+		if err != nil {
+			return fmt.Errorf("push arm at size %d: %v", size, err)
+		}
+		cell := pushCell{Size: size, PaperSize: ps}
+		cell.PullSimMS, cell.PullStdMS = stats.MeanStd(pullTotals)
+		cell.PushSimMS, cell.PushStdMS = stats.MeanStd(pushTotals)
+		if cell.PushSimMS > 0 {
+			cell.Speedup = cell.PullSimMS / cell.PushSimMS
+		}
+		cell.PushFrames = pushSrv.Stats().PushFramesSent - framesBefore
+		cells = append(cells, cell)
+		logger.Printf("push sweep: size %d (paper %d) pull %.0fms push %.0fms (%.2fx)",
+			size, ps, cell.PullSimMS, cell.PushSimMS, cell.Speedup)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Size < cells[j].Size })
+
+	pullOpt, pushOpt := cells[0], cells[0]
+	for _, c := range cells {
+		if c.PullSimMS < pullOpt.PullSimMS {
+			pullOpt = c
+		}
+		if c.PushSimMS < pushOpt.PushSimMS {
+			pushOpt = c
+		}
+	}
+	equalSizeSpeedup := pullOpt.Speedup // push measured at pull's own optimum size
+
+	// Adaptive arms: the hybrid controller, free to pick its size on
+	// each transport. Push should finish faster and settle smaller.
+	mkHybrid := func() (core.Controller, error) {
+		cfg := core.DefaultConfig()
+		cfg.Limits = core.Limits{Min: int(100/scale + 0.5), Max: int(20000 / scale)}
+		if cfg.Limits.Min < 1 {
+			cfg.Limits.Min = 1
+		}
+		cfg.InitialSize = cfg.Limits.Clamp(int(1000/scale + 0.5))
+		cfg.B1 = 2000 / scale
+		cfg.DitherFactor = 25 / scale
+		cfg.Seed = seed
+		return core.NewHybrid(cfg)
+	}
+	adaptive := make([]pushAdaptiveArm, 0, 2)
+	for _, arm := range []struct {
+		name string
+		c    *client.Client
+	}{{"pull", pullC}, {"push", pushC}} {
+		var totals []float64
+		var sizes []int
+		blocks := 0
+		for r := 0; r < runs; r++ {
+			ctl, err := mkHybrid()
+			if err != nil {
+				return err
+			}
+			res, err := arm.c.Run(ctx, q, ctl, client.MetricPerTuple, true)
+			if err != nil {
+				return fmt.Errorf("adaptive %s arm: %v", arm.name, err)
+			}
+			totals = append(totals, res.SimulatedMS)
+			sizes = append(sizes, res.Sizes...)
+			blocks = res.Blocks
+		}
+		mean := 0.0
+		for _, s := range sizes {
+			mean += float64(s)
+		}
+		if len(sizes) > 0 {
+			mean /= float64(len(sizes))
+		}
+		adaptive = append(adaptive, pushAdaptiveArm{
+			Transport: arm.name, MeanSimMS: stats.Mean(totals), MeanSize: mean, Blocks: blocks,
+		})
+	}
+
+	fmt.Printf("push sweep: %d customers, link %s (push overhead %.0f%%), %d runs per cell\n\n",
+		tpch.CustomerCount(sf), model, netsim.PushOverheadFrac*100, runs)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "size\tpull sim ms\tpush sim ms\tspeedup")
+	for _, c := range cells {
+		marks := ""
+		if c.Size == pullOpt.Size {
+			marks += " <- pull opt"
+		}
+		if c.Size == pushOpt.Size {
+			marks += " <- push opt"
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2fx%s\n", c.Size, c.PullSimMS, c.PushSimMS, c.Speedup, marks)
+	}
+	w.Flush()
+	fmt.Printf("\nequal-size speedup (at pull optimum %d): %.2fx\n", pullOpt.Size, equalSizeSpeedup)
+	for _, a := range adaptive {
+		fmt.Printf("adaptive %s: %.0f sim ms, mean size %.0f\n", a.Transport, a.MeanSimMS, a.MeanSize)
+	}
+
+	if jsonOut != "" {
+		doc := struct {
+			Codec            string            `json:"codec"`
+			SF               float64           `json:"sf"`
+			Runs             int               `json:"runs"`
+			Seed             int64             `json:"seed"`
+			Link             string            `json:"link"`
+			PushOverheadFrac float64           `json:"push_overhead_frac"`
+			Cells            []pushCell        `json:"cells"`
+			PullOptSize      int               `json:"pull_opt_size"`
+			PushOptSize      int               `json:"push_opt_size"`
+			EqualSizeSpeedup float64           `json:"equal_size_speedup"`
+			Adaptive         []pushAdaptiveArm `json:"adaptive"`
+		}{
+			Codec: codec.Name(), SF: sf, Runs: runs, Seed: seed,
+			Link: model.String(), PushOverheadFrac: netsim.PushOverheadFrac,
+			Cells: cells, PullOptSize: pullOpt.Size, PushOptSize: pushOpt.Size,
+			EqualSizeSpeedup: equalSizeSpeedup, Adaptive: adaptive,
+		}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("push report written to %s", jsonOut)
+	}
+
+	// The acceptance gates: a transport change that erodes the headline
+	// contrast fails the sweep, not just shifts a number in a file.
+	if equalSizeSpeedup < 1.5 || math.IsNaN(equalSizeSpeedup) {
+		return fmt.Errorf("push sweep gate: equal-size speedup %.2fx < 1.5x at pull optimum %d", equalSizeSpeedup, pullOpt.Size)
+	}
+	if pushOpt.Size >= pullOpt.Size {
+		return fmt.Errorf("push sweep gate: push optimum %d not smaller than pull optimum %d", pushOpt.Size, pullOpt.Size)
+	}
+	return nil
+}

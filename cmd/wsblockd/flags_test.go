@@ -4,11 +4,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wsopt/internal/wire"
 )
 
 func TestOptionsValidate(t *testing.T) {
 	valid := options{sessionTTL: 5 * time.Minute, replicate: 8192,
-		cacheMemBytes: 64 << 20, cacheDir: "/tmp/c", cacheDiskBytes: 256 << 20}
+		cacheMemBytes: 64 << 20, cacheDir: "/tmp/c", cacheDiskBytes: 256 << 20,
+		push: true, pushWindow: 32, pushMaxFrame: 4 << 20}
 
 	tests := []struct {
 		name    string
@@ -27,6 +30,13 @@ func TestOptionsValidate(t *testing.T) {
 		{"disk dir without mem tier", func(o *options) { o.cacheMemBytes = 0 }, "-cache-dir requires -cache-mem-bytes"},
 		{"disk budget without dir", func(o *options) { o.cacheDir = "" }, "-cache-disk-bytes requires -cache-dir"},
 		{"dir without disk budget", func(o *options) { o.cacheDiskBytes = 0 }, "-cache-dir requires -cache-disk-bytes"},
+		{"valid push defaults", func(o *options) { o.pushWindow, o.pushMaxFrame = 0, 0 }, ""},
+		{"valid push off", func(o *options) { o.push, o.pushWindow, o.pushMaxFrame = false, 0, 0 }, ""},
+		{"negative push window", func(o *options) { o.pushWindow = -1 }, "-push-window"},
+		{"negative push frame cap", func(o *options) { o.pushMaxFrame = -1 }, "-push-max-frame"},
+		{"push frame cap above wire limit", func(o *options) { o.pushMaxFrame = wire.MaxFramePayload + 1 }, "wire frame limit"},
+		{"push window without push", func(o *options) { o.push, o.pushMaxFrame = false, 0 }, "-push-window is meaningless"},
+		{"push frame cap without push", func(o *options) { o.push, o.pushWindow = false, 0 }, "-push-max-frame is meaningless"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -64,6 +64,10 @@ func main() {
 
 		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "expire sessions idle longer than this")
 
+		push         = flag.Bool("push", true, "serve the push streaming transport (POST /sessions/{id}/stream + credit side channel) alongside pull")
+		pushWindow   = flag.Int("push-window", 0, "push: cap the credit window a client may grant (0 = default 64)")
+		pushMaxFrame = flag.Int("push-max-frame", 0, "push: cap one frame's encoded payload in bytes (0 = default 8 MiB)")
+
 		cacheMemBytes  = flag.Int64("cache-mem-bytes", 0, "cache: hold up to this many bytes of encoded blocks in memory, content-addressed by plan+cursor+codec+dataset version (0 = disabled)")
 		cacheDir       = flag.String("cache-dir", "", "cache: spill evicted entries to files in this directory (requires -cache-mem-bytes and -cache-disk-bytes)")
 		cacheDiskBytes = flag.Int64("cache-disk-bytes", 0, "cache: byte budget for the -cache-dir disk tier")
@@ -87,6 +91,9 @@ func main() {
 		cacheMemBytes:  *cacheMemBytes,
 		cacheDir:       *cacheDir,
 		cacheDiskBytes: *cacheDiskBytes,
+		push:           *push,
+		pushWindow:     *pushWindow,
+		pushMaxFrame:   *pushMaxFrame,
 	}
 	if err := opts.validate(); err != nil {
 		logger.Fatal(err)
@@ -163,20 +170,23 @@ func main() {
 		}
 	}
 	srv, err := service.New(service.Config{
-		Catalog:          cat,
-		Codec:            codec,
-		CostModel:        model,
-		SleepScale:       *timescale,
-		Logger:           reqLogger,
-		Seed:             seed,
-		Faults:           faults,
-		Metrics:          reg,
-		MaxSessions:      *maxSessions,
-		RetryAfter:       *retryAfter,
-		LoadFromSessions: *loadFromLive,
-		Replica:          replog,
-		SessionTTL:       *sessionTTL,
-		Cache:            cache,
+		Catalog:           cat,
+		Codec:             codec,
+		CostModel:         model,
+		SleepScale:        *timescale,
+		Logger:            reqLogger,
+		Seed:              seed,
+		Faults:            faults,
+		Metrics:           reg,
+		MaxSessions:       *maxSessions,
+		RetryAfter:        *retryAfter,
+		LoadFromSessions:  *loadFromLive,
+		Replica:           replog,
+		SessionTTL:        *sessionTTL,
+		Cache:             cache,
+		PushDisabled:      !*push,
+		PushMaxWindow:     *pushWindow,
+		PushMaxFrameBytes: *pushMaxFrame,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -187,6 +197,9 @@ func main() {
 	}
 	if *maxSessions > 0 {
 		logger.Printf("admission control: max %d concurrent sessions (Retry-After %s)", *maxSessions, *retryAfter)
+	}
+	if !*push {
+		logger.Print("push transport disabled: serving pull only")
 	}
 	if replog != nil {
 		logger.Printf("replication: shipping session mutations via /replication/feed (retaining %d records)", *replicate)

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"time"
+
+	"wsopt/internal/wire"
 )
 
 // options holds the flag values whose bad settings the daemon would
@@ -16,6 +18,9 @@ type options struct {
 	cacheMemBytes  int64
 	cacheDir       string
 	cacheDiskBytes int64
+	push           bool
+	pushWindow     int
+	pushMaxFrame   int
 }
 
 func (o *options) validate() error {
@@ -39,6 +44,21 @@ func (o *options) validate() error {
 	}
 	if o.cacheDir != "" && o.cacheDiskBytes == 0 {
 		return fmt.Errorf("-cache-dir requires -cache-disk-bytes > 0 (the disk tier needs a byte budget)")
+	}
+	if o.pushWindow < 0 {
+		return fmt.Errorf("-push-window must be >= 0, got %d", o.pushWindow)
+	}
+	if o.pushMaxFrame < 0 {
+		return fmt.Errorf("-push-max-frame must be >= 0, got %d", o.pushMaxFrame)
+	}
+	if o.pushMaxFrame > wire.MaxFramePayload {
+		return fmt.Errorf("-push-max-frame %d exceeds the wire frame limit %d", o.pushMaxFrame, wire.MaxFramePayload)
+	}
+	if !o.push && o.pushWindow > 0 {
+		return fmt.Errorf("-push-window is meaningless with -push=false")
+	}
+	if !o.push && o.pushMaxFrame > 0 {
+		return fmt.Errorf("-push-max-frame is meaningless with -push=false")
 	}
 	return nil
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    options
+		wantErr string
+	}{
+		{"pull default", options{}, ""},
+		{"push default window", options{push: true}, ""},
+		{"push explicit window", options{push: true, pushWindow: 8}, ""},
+		{"negative window", options{push: true, pushWindow: -1}, "-push-window"},
+		{"window without push", options{pushWindow: 8}, "-push-window is meaningless"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validate() = %v, want error mentioning %q", err, tt.wantErr)
+			}
+		})
+	}
+}

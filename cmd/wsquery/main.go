@@ -9,6 +9,7 @@
 //	wsquery -table customer -controller constant -b1 800 -trace
 //	wsquery -table customer -events transfer.jsonl   # structured per-block trace
 //	wsquery -endpoints http://a:8080,http://b:8080 -table customer
+//	wsquery -table customer -push -push-window 8
 //	wsquery -table customer -controller vector -streams 8 -pipeline-depth 4
 //	wsquery -table customer -streams 8 -profile-store profiles.json
 //
@@ -60,6 +61,9 @@ func main() {
 		retries   = flag.Int("retries", 5, "attempts per request; block transfers replay safely via the seq protocol (1 = no retry)")
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt, full jitter)")
 
+		push       = flag.Bool("push", false, "use the server-push streaming transport: one long-lived stream per session, flow-controlled by credit grants")
+		pushWindow = flag.Int("push-window", 0, "push: credit window in blocks granted to the server (0 = default 4; vector runs let the controller drive it)")
+
 		streams      = flag.Int("streams", 1, "max parallel streams; >1 (or -controller vector) runs the multi-dimensional vector controller")
 		pipeDepth    = flag.Int("pipeline-depth", 1, "max per-stream pipeline depth (blocks in flight ahead of processing; vector runs only)")
 		profileStore = flag.String("profile-store", "", "JSON profile store; warm-starts the vector controller from the nearest stored workload optimum and records this run's outcome")
@@ -79,6 +83,10 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "wsquery: ", 0)
+	opts := options{push: *push, pushWindow: *pushWindow}
+	if err := opts.validate(); err != nil {
+		logger.Fatal(err)
+	}
 	var limits core.Limits
 	if _, err := fmt.Sscanf(*limitsArg, "%d:%d", &limits.Min, &limits.Max); err != nil {
 		logger.Fatalf("bad -limits %q: %v", *limitsArg, err)
@@ -134,6 +142,9 @@ func main() {
 	}); err != nil {
 		logger.Fatal(err)
 	}
+	if *push {
+		c.SetPush(client.PushConfig{Enabled: true, Window: *pushWindow})
+	}
 	var reg *metrics.Registry
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()
@@ -162,7 +173,7 @@ func main() {
 			size: *size, b1: *b1, b2: *b2, limits: limits,
 			streams: *streams, depth: *pipeDepth, chunk: *chunkTuples,
 			storePath: *profileStore, tupleBytes: *tupleBytes, sf: *workloadSF,
-			useInjected: *useInj,
+			useInjected: *useInj, push: *push,
 		}); err != nil {
 			logger.Fatal(err)
 		}
@@ -258,6 +269,7 @@ type vectorOpts struct {
 	tupleBytes  int
 	sf          float64
 	useInjected bool
+	push        bool
 }
 
 // runVectorQuery executes the query with the multi-dimensional controller
@@ -266,7 +278,12 @@ type vectorOpts struct {
 // the run's outcome is recorded back, so later runs of similar workloads
 // skip the search.
 func runVectorQuery(ctx context.Context, logger *log.Logger, c *client.Client, q client.Query, o vectorOpts) error {
+	// Under push the credit-window dimension joins the search; the pull
+	// config pins it so trajectories stay comparable with prior runs.
 	cfg := core.DefaultVectorConfig()
+	if o.push {
+		cfg = core.DefaultPushVectorConfig()
+	}
 	cfg.Dims[core.DimSize].Initial = o.size
 	cfg.Dims[core.DimSize].Limits = o.limits
 	cfg.Dims[core.DimSize].B1 = o.b1

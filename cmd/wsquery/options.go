@@ -1,0 +1,23 @@
+package main
+
+import "fmt"
+
+// options holds the flag values whose bad combinations would otherwise
+// surface as a confusing mid-query failure (a credit window of zero
+// grants nothing and the stream would sit stalled forever; a window
+// without -push silently does nothing). validate fails fast, before a
+// session is opened.
+type options struct {
+	push       bool
+	pushWindow int
+}
+
+func (o *options) validate() error {
+	if o.pushWindow < 0 {
+		return fmt.Errorf("-push-window must be >= 0, got %d", o.pushWindow)
+	}
+	if !o.push && o.pushWindow > 0 {
+		return fmt.Errorf("-push-window is meaningless without -push")
+	}
+	return nil
+}

@@ -52,10 +52,15 @@ type Client struct {
 	deadline *resilience.DeadlineTracker
 	rcfg     ResilienceConfig
 	hc       *http.Client
-	codec    wire.Codec
-	retry    RetryPolicy
-	metrics  *clientMetrics
-	events   *EventWriter
+	// shc is the streaming variant of hc: same transport (and so the
+	// same keep-alive pool), but no overall timeout — a push stream
+	// legitimately lives as long as the query does.
+	shc     *http.Client
+	codec   wire.Codec
+	retry   RetryPolicy
+	push    PushConfig
+	metrics *clientMetrics
+	events  *EventWriter
 }
 
 // New builds a client for the service at baseURL using codec to decode
@@ -91,8 +96,10 @@ func NewMulti(urls []string, codec wire.Codec, hc *http.Client) (*Client, error)
 	c := &Client{
 		urls:  append([]string(nil), urls...),
 		hc:    hc,
+		shc:   &http.Client{Transport: hc.Transport},
 		codec: codec,
 		rcfg:  ResilienceConfig{}.normalized(),
+		push:  PushConfig{}.normalized(),
 	}
 	// A private registry keeps recording unconditional; SetMetrics
 	// rebinds the series to a shared registry when one exists.
@@ -704,18 +711,19 @@ func (c *Client) Run(ctx context.Context, q Query, ctl core.Controller, metric M
 	if err != nil {
 		return nil, err
 	}
+	tr := c.transportFor(sess, windowFn(ctl))
 	defer func() {
 		// Best-effort cleanup; the session may already be gone.
-		_ = sess.Close(context.WithoutCancel(ctx))
+		_ = tr.Close(context.WithoutCancel(ctx))
 	}()
 	sess.OnDisturbance = func(reason string) {
 		core.NotifyDisturbance(ctl, reason)
 	}
 
 	res := &RunResult{}
-	for !sess.Done() {
+	for !tr.Done() {
 		size := ctl.Size()
-		blk, err := sess.Next(ctx, size)
+		blk, err := tr.Next(ctx, size)
 		if err != nil {
 			res.Failovers, res.HedgeWins = sess.failovers, sess.hedgeWins
 			return res, err

@@ -20,6 +20,13 @@ import (
 
 func testStack(t *testing.T, rows int, codec wire.Codec) (*Client, *service.Server) {
 	t.Helper()
+	return testStackHC(t, rows, codec, nil)
+}
+
+// testStackHC is testStack with a caller-supplied http.Client (e.g. a
+// dial-counting one).
+func testStackHC(t *testing.T, rows int, codec wire.Codec, hc *http.Client) (*Client, *service.Server) {
+	t.Helper()
 	cat := minidb.NewCatalog()
 	tbl, err := cat.CreateTable("data", minidb.Schema{
 		{Name: "k", Type: minidb.Int64},
@@ -46,7 +53,7 @@ func testStack(t *testing.T, rows int, codec wire.Codec) (*Client, *service.Serv
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	c, err := New(ts.URL, codec, nil)
+	c, err := New(ts.URL, codec, hc)
 	if err != nil {
 		t.Fatal(err)
 	}

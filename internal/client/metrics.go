@@ -22,6 +22,10 @@ type clientMetrics struct {
 	hedgeLosses      *metrics.Counter
 	deadlineTimeouts *metrics.Counter
 
+	pushFrames     *metrics.Counter
+	pushGrants     *metrics.Counter
+	pushReconnects *metrics.Counter
+
 	breakerToClosed   *metrics.Counter
 	breakerToOpen     *metrics.Counter
 	breakerToHalfOpen *metrics.Counter
@@ -47,6 +51,10 @@ func newClientMetrics(reg *metrics.Registry, c *Client) *clientMetrics {
 		hedgeWins:        reg.Counter("wsopt_client_hedge_wins_total", "Blocks won by the hedged pull (session adopted the mirror)."),
 		hedgeLosses:      reg.Counter("wsopt_client_hedge_losses_total", "Hedged pulls that lost the race or failed."),
 		deadlineTimeouts: reg.Counter("wsopt_client_deadline_timeouts_total", "Pulls cancelled by the adaptive per-block deadline."),
+
+		pushFrames:     reg.Counter("wsopt_client_push_frames_total", "Blocks delivered over the push stream transport."),
+		pushGrants:     reg.Counter("wsopt_client_push_grants_total", "Credit grants posted on the push side channel."),
+		pushReconnects: reg.Counter("wsopt_client_push_reconnects_total", "Push streams torn down and re-opened (resume, watchdog, or failover)."),
 
 		breakerToClosed:   reg.Counter("wsopt_client_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", metrics.L("to", "closed")),
 		breakerToOpen:     reg.Counter("wsopt_client_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", metrics.L("to", "open")),

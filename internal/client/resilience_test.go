@@ -17,8 +17,9 @@ import (
 	"wsopt/internal/wire"
 )
 
-// gate wraps a replica's handler so a test can make its block endpoint
-// misbehave on command: refuse pulls with 503, or stall them.
+// gate wraps a replica's handler so a test can make its block
+// endpoints — pull and push alike — misbehave on command: refuse them
+// with 503, or stall them.
 type gate struct {
 	h http.Handler
 
@@ -34,7 +35,9 @@ func (g *gate) set(fail bool, stall time.Duration) {
 }
 
 func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasSuffix(r.URL.Path, "/next") {
+	if strings.HasSuffix(r.URL.Path, "/next") ||
+		strings.HasSuffix(r.URL.Path, "/stream") ||
+		strings.HasSuffix(r.URL.Path, "/credit") {
 		g.mu.Lock()
 		fail, stall := g.fail, g.stall
 		g.mu.Unlock()

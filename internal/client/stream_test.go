@@ -1,0 +1,290 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsopt/internal/core"
+	"wsopt/internal/metrics"
+	"wsopt/internal/resilience"
+	"wsopt/internal/wire"
+)
+
+// TestRunPushDeliversAll runs the same adaptive query over both
+// transports and asserts the push run delivers the identical result
+// volume — the transport must be invisible to the query.
+func TestRunPushDeliversAll(t *testing.T) {
+	const rows = 700
+	cfg := core.Config{
+		InitialSize: 50, Limits: core.Limits{Min: 10, Max: 200},
+		B1: 30, B2: 25, AvgHorizon: 1, CriterionWindow: 5, CriterionThreshold: 1,
+	}
+
+	c, srv := testStack(t, rows, wire.Binary{})
+	ctl, err := core.NewConstant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := c.Run(context.Background(), Query{Table: "data"}, ctl, MetricPerTuple, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetPush(PushConfig{Enabled: true})
+	ctl2, err := core.NewConstant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := c.Run(context.Background(), Query{Table: "data"}, ctl2, MetricPerTuple, true)
+	if err != nil {
+		t.Fatalf("push run failed: %v", err)
+	}
+	if push.Tuples != pull.Tuples || push.Tuples != rows {
+		t.Fatalf("push delivered %d tuples, pull %d, want %d", push.Tuples, pull.Tuples, rows)
+	}
+	st := srv.Stats()
+	if st.PushStreamsOpened < 1 {
+		t.Fatal("push run opened no stream server-side")
+	}
+	if st.PushFramesSent < int64(push.Blocks) {
+		t.Fatalf("server sent %d frames but client accounted %d blocks", st.PushFramesSent, push.Blocks)
+	}
+}
+
+// TestPushKeepAliveReuse is the stream-path extension of the PR 5
+// dial-counting regression gate: two whole push queries — session
+// opens, streams, credit grants, deletes — must ride at most two dialed
+// connections (the stream occupies one while grants and management
+// traffic share another), with both reused across queries. A stream
+// body abandoned short of EOF after the done frame would force a
+// re-dial per query.
+func TestPushKeepAliveReuse(t *testing.T) {
+	var dials atomic.Int64
+	const rows = 400
+	c, _ := testStackHC(t, rows, wire.Binary{}, newDialCountingClient(&dials))
+	c.SetPush(PushConfig{Enabled: true, Window: 2})
+
+	for q := 0; q < 2; q++ {
+		res, err := c.Run(context.Background(), Query{Table: "data"}, core.NewStatic(40), MetricPerBlock, false)
+		if err != nil {
+			t.Fatalf("push run %d failed: %v", q, err)
+		}
+		if res.Tuples != rows {
+			t.Fatalf("push run %d delivered %d tuples, want %d", q, res.Tuples, rows)
+		}
+	}
+	if got := dials.Load(); got > 2 {
+		t.Fatalf("two push queries used %d dials, want <= 2 (stream bodies not drained to EOF?)", got)
+	}
+}
+
+// TestPushChaosExactlyOnce: the service randomly severs and truncates
+// push frames and refuses stream opens; reconnects must replay the
+// unacked tail so every tuple arrives exactly once.
+func TestPushChaosExactlyOnce(t *testing.T) {
+	const rows = 3000
+	reg := metrics.NewRegistry()
+	c, srv := chaosStack(t, rows, wire.Binary{}, 7, reg)
+	c.SetPush(PushConfig{Enabled: true, Window: 4})
+
+	sess, err := c.OpenSession(context.Background(), Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.transportFor(sess, nil)
+	seen := make(map[int64]int, rows)
+	retries := 0
+	for !tr.Done() {
+		blk, err := tr.Next(context.Background(), 100)
+		if err != nil {
+			t.Fatalf("push pull under chaos failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		retries += blk.Attempts - 1
+	}
+	if err := tr.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertExactSet(t, seen, rows)
+
+	st := srv.Stats()
+	injected := st.FaultsInjected.Dropped + st.FaultsInjected.Truncated + st.FaultsInjected.Refused
+	if injected == 0 {
+		t.Fatal("chaos run injected no faults; the test proved nothing")
+	}
+	if retries == 0 {
+		t.Fatal("client reported no retries despite injected faults")
+	}
+	if st.FaultsInjected.Dropped+st.FaultsInjected.Truncated > 0 && st.PushFramesReplayed == 0 {
+		t.Fatal("streams were severed but no frame was replayed")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("wsopt_client_push_reconnects_total"); got < 1 {
+		t.Fatal("no push reconnects recorded despite severed streams")
+	}
+	t.Logf("push chaos: %d faults, %d retries, %d frames replayed, %d reconnects",
+		injected, retries, st.PushFramesReplayed, snap.Counter("wsopt_client_push_reconnects_total"))
+}
+
+// TestPushSessionLostReopens deletes the server-side session mid-stream;
+// the client must open a fresh session at the committed cursor and
+// deliver the remainder exactly once.
+func TestPushSessionLostReopens(t *testing.T) {
+	const rows = 600
+	c, _ := testStack(t, rows, wire.Binary{})
+	c.SetRetry(RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	c.SetPush(PushConfig{Enabled: true, Window: 2})
+
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []string
+	sess.OnDisturbance = func(reason string) { reasons = append(reasons, reason) }
+	tr := c.transportFor(sess, nil)
+
+	seen := make(map[int64]int, rows)
+	killed := false
+	for !tr.Done() {
+		blk, err := tr.Next(ctx, 50)
+		if err != nil {
+			t.Fatalf("push pull failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		if !killed && len(seen) >= rows/3 {
+			killed = true
+			// Delete the session behind the transport's back: the stream
+			// ends without a done frame and the reconnect finds a 404.
+			u, err := joinURL(sess.Endpoint(), "sessions", sess.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drain(resp)
+		}
+	}
+	if err := tr.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertExactSet(t, seen, rows)
+	if !killed {
+		t.Fatal("session was never deleted; the test proved nothing")
+	}
+	found := false
+	for _, r := range reasons {
+		if strings.Contains(r, "re-opened") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disturbances = %q, want a session re-open notice", reasons)
+	}
+}
+
+// TestPushFailoverResumesOnSecondReplica: replica A starts refusing the
+// push endpoints mid-stream (credits bounce, the stream stalls, the
+// watchdog reconnects into 503s); the breaker opens and the session
+// fails over to replica B, resuming at the committed cursor.
+func TestPushFailoverResumesOnSecondReplica(t *testing.T) {
+	const rows = 1200
+	gateA, urlA := replica(t, rows)
+	_, urlB := replica(t, rows)
+
+	c, err := NewMulti([]string{urlA, urlB}, wire.XML{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err := c.SetResilience(ResilienceConfig{
+		Breaker:        resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+		Deadline:       resilience.DeadlineConfig{Min: 50 * time.Millisecond, Max: 250 * time.Millisecond},
+		DisableHedging: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPush(PushConfig{Enabled: true, Window: 2})
+
+	ctx := context.Background()
+	sess, err := c.OpenSession(ctx, Query{Table: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.transportFor(sess, nil)
+	seen := make(map[int64]int, rows)
+	for !tr.Done() {
+		blk, err := tr.Next(ctx, 100)
+		if err != nil {
+			t.Fatalf("push pull failed: %v", err)
+		}
+		for _, r := range blk.Rows {
+			seen[r[0].I]++
+		}
+		if len(seen) >= rows/3 {
+			gateA.set(true, 0)
+		}
+	}
+	if err := tr.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertExactSet(t, seen, rows)
+	if got := sess.Failovers(); got < 1 {
+		t.Fatalf("session failovers = %d, want >= 1", got)
+	}
+	if sess.Endpoint() != urlB {
+		t.Fatalf("session endpoint = %s, want %s after failover", sess.Endpoint(), urlB)
+	}
+}
+
+// TestPushWindowFollowsController: a vector controller with a live
+// window dimension drives the credit window; the transport must pass
+// its target through to the server (visible as credit grants with the
+// controller's window).
+func TestPushWindowFollowsController(t *testing.T) {
+	const rows = 2500
+	c, srv := testStack(t, rows, wire.Binary{})
+	c.SetPush(PushConfig{Enabled: true})
+
+	vcfg := core.DefaultPushVectorConfig()
+	vcfg.Dims[core.DimSize] = core.DimConfig{
+		Initial: 100, Limits: core.Limits{Min: 50, Max: 400}, B1: 50, B2: 50,
+	}
+	ctl, err := core.NewVector(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunVector(context.Background(), Query{Table: "data"}, ctl, VectorRunConfig{
+		UseInjected: true,
+		ChunkTuples: 600,
+		MaxStreams:  2,
+	})
+	if err != nil {
+		t.Fatalf("push vector run failed: %v", err)
+	}
+	if res.Tuples != rows {
+		t.Fatalf("vector push run delivered %d tuples, want %d", res.Tuples, rows)
+	}
+	st := srv.Stats()
+	if st.PushStreamsOpened < 1 {
+		t.Fatal("vector push run opened no stream")
+	}
+	if got := ctl.Window(); got < 1 {
+		t.Fatalf("controller window = %d, want >= 1", got)
+	}
+}
+

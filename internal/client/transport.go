@@ -1,0 +1,79 @@
+package client
+
+import (
+	"context"
+
+	"wsopt/internal/core"
+)
+
+// Transport is one strategy for moving an open session's result blocks
+// from server to client. The pull transport (Session itself) requests
+// each block and pays a request round-trip per block; the push
+// transport (streamSession) holds one long-lived stream the server
+// frames blocks onto under credit-based flow control, so the per-block
+// RTT disappears from the transfer's critical path. Both speak the same
+// seq/replay protocol underneath, so retries, reconnects and failovers
+// deliver every tuple exactly once regardless of transport.
+type Transport interface {
+	// Next delivers the next block of up to size tuples.
+	Next(ctx context.Context, size int) (*Block, error)
+	// Done reports whether the result set has been exhausted.
+	Done() bool
+	// Seq returns the sequence number of the most recent block.
+	Seq() uint64
+	// Close releases the transport and deletes the server-side session.
+	Close(ctx context.Context) error
+}
+
+// The pull path is the Transport default.
+var _ Transport = (*Session)(nil)
+
+// DefaultPushWindow is the credit window used when no controller drives
+// the window dimension: enough to keep the server producing ahead of
+// the client without retaining much unacked state.
+const DefaultPushWindow = 4
+
+// PushConfig enables and tunes the client side of the server-push
+// streaming transport (DESIGN.md §16).
+type PushConfig struct {
+	// Enabled switches Run/RunVector sessions from pull to push.
+	Enabled bool
+	// Window is the credit window granted when the controller does not
+	// expose a window knob (core.Windower); default DefaultPushWindow.
+	Window int
+}
+
+func (pc PushConfig) normalized() PushConfig {
+	if pc.Window < 1 {
+		pc.Window = DefaultPushWindow
+	}
+	return pc
+}
+
+// SetPush configures the push transport. Call before opening sessions.
+func (c *Client) SetPush(pc PushConfig) { c.push = pc.normalized() }
+
+// PushEnabled reports whether the push transport is enabled.
+func (c *Client) PushEnabled() bool { return c.push.Enabled }
+
+// transportFor wraps an open session in the configured transport. win,
+// when non-nil, supplies the live credit-window target (the
+// controller's window knob); nil fixes it at the configured default.
+// Transparent-gateway sessions always pull: the gateway tier owns
+// failover per pull request and does not proxy the stream endpoints.
+func (c *Client) transportFor(sess *Session, win func() int) Transport {
+	if !c.push.Enabled || sess.transparent {
+		return sess
+	}
+	return newStreamSession(sess, win)
+}
+
+// windowFn adapts a controller to the push window supplier: a
+// controller exposing core.Windower drives the credit window; any other
+// controller leaves it at the configured fixed default.
+func windowFn(ctl core.Controller) func() int {
+	if w, ok := ctl.(core.Windower); ok {
+		return w.Window
+	}
+	return nil
+}

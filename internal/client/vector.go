@@ -193,6 +193,14 @@ func (r *vectorRun) depth() int {
 	return r.ctl.Depth()
 }
 
+// window reads the controller's credit-window knob for the push
+// transport (pinned at 1 in the default pull config).
+func (r *vectorRun) window() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctl.Window()
+}
+
 // pulled is the per-block record the in-chunk prefetcher hands to the
 // accounting point: the lightweight measurements always, the cloned block
 // only when a handler needs the rows.
@@ -395,8 +403,9 @@ func (r *vectorRun) chunk(ctx context.Context, start int) error {
 	if err != nil {
 		return err
 	}
+	tr := r.c.transportFor(sess, r.window)
 	defer func() {
-		_ = sess.Close(context.WithoutCancel(ctx))
+		_ = tr.Close(context.WithoutCancel(ctx))
 	}()
 	sess.OnDisturbance = func(reason string) {
 		r.mu.Lock()
@@ -409,8 +418,8 @@ func (r *vectorRun) chunk(ctx context.Context, start int) error {
 	if depth <= 1 {
 		// Lock-step, as Run: every pull's size decision sees the
 		// previous block's observation.
-		for !sess.Done() {
-			blk, err := sess.Next(ctx, r.size())
+		for !tr.Done() {
+			blk, err := tr.Next(ctx, r.size())
 			if err != nil {
 				return err
 			}
@@ -435,8 +444,8 @@ func (r *vectorRun) chunk(ctx context.Context, start int) error {
 		feed := make(chan pulled, depth-1)
 		go func() {
 			defer close(feed)
-			for !sess.Done() {
-				blk, err := sess.Next(cctx, r.size())
+			for !tr.Done() {
+				blk, err := tr.Next(cctx, r.size())
 				if err != nil {
 					select {
 					case feed <- pulled{err: err}:

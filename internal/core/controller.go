@@ -45,6 +45,15 @@ type Controller interface {
 	Name() string
 }
 
+// Windower is implemented by controllers that also command the push
+// transport's credit window — how many blocks the server may keep in
+// flight beyond the client's cumulative ack. Push runners feed the
+// granted window from it; controllers without the knob get a static
+// window from configuration instead.
+type Windower interface {
+	Window() int
+}
+
 // Resetter is implemented by controllers whose internal adaptation state can
 // be cleared without changing their configuration, e.g. between queries.
 type Resetter interface {

@@ -36,8 +36,14 @@ const (
 	// DimDepth is the pipeline depth: how many blocks a stream keeps in
 	// flight or buffered ahead of the consumer.
 	DimDepth
+	// DimWindow is the push transport's credit window: how many encoded
+	// blocks the server may keep in flight beyond the client's cumulative
+	// ack. It is pinned (Limits.Min == Limits.Max) in pull mode, where it
+	// has no effect, and unpinned by push runners so the controller can
+	// trade window against block size on high-RTT paths.
+	DimWindow
 	// NumDims is the number of controlled dimensions.
-	NumDims = 3
+	NumDims = 4
 )
 
 // String implements fmt.Stringer for traces and reports.
@@ -49,6 +55,8 @@ func (d Dim) String() string {
 		return "streams"
 	case DimDepth:
 		return "depth"
+	case DimWindow:
+		return "window"
 	default:
 		return fmt.Sprintf("dim(%d)", int(d))
 	}
@@ -60,6 +68,10 @@ type Vector struct {
 	Size    int `json:"size"`
 	Streams int `json:"streams"`
 	Depth   int `json:"depth"`
+	// Window is the push credit window. Profiles recorded before the
+	// push transport omit it; a zero decodes and clamps to the
+	// dimension's lower limit on warm start.
+	Window int `json:"window,omitempty"`
 }
 
 // Get returns the named coordinate.
@@ -71,6 +83,8 @@ func (v Vector) Get(d Dim) int {
 		return v.Streams
 	case DimDepth:
 		return v.Depth
+	case DimWindow:
+		return v.Window
 	}
 	return 0
 }
@@ -84,12 +98,17 @@ func (v Vector) With(d Dim, val int) Vector {
 		v.Streams = val
 	case DimDepth:
 		v.Depth = val
+	case DimWindow:
+		v.Window = val
 	}
 	return v
 }
 
 // String implements fmt.Stringer.
 func (v Vector) String() string {
+	if v.Window > 1 {
+		return fmt.Sprintf("(size=%d, streams=%d, depth=%d, window=%d)", v.Size, v.Streams, v.Depth, v.Window)
+	}
 	return fmt.Sprintf("(size=%d, streams=%d, depth=%d)", v.Size, v.Streams, v.Depth)
 }
 
@@ -128,6 +147,13 @@ func (c DimConfig) validate(d Dim) error {
 	}
 	return nil
 }
+
+// pinned reports whether the dimension is frozen at a single admissible
+// value. A pinned dimension is excluded from the coordinate-descent
+// schedule entirely — never probed, never dominant, never refreshed —
+// so a controller with a pinned dimension steps bit-identically to one
+// built before the dimension existed.
+func (c DimConfig) pinned() bool { return c.Limits.Min == c.Limits.Max }
 
 // span is the width of the admissible range, used to normalize per-dim
 // sensitivities so a 100-tuple move and a 1-stream move are comparable.
@@ -190,6 +216,20 @@ func DefaultVectorConfig() VectorConfig {
 	cfg.Dims[DimSize] = DimConfig{Initial: 1000, Limits: DefaultLimits, B1: 2000, B2: 25, DitherFactor: 25}
 	cfg.Dims[DimStreams] = DimConfig{Initial: 1, Limits: Limits{Min: 1, Max: 16}, B1: 2, B2: 4, DitherFactor: 0}
 	cfg.Dims[DimDepth] = DimConfig{Initial: 1, Limits: Limits{Min: 1, Max: 8}, B1: 1, B2: 2, DitherFactor: 0}
+	// The window dimension only exists on the push transport; in the
+	// default (pull) configuration it is pinned at 1 so the controller's
+	// probe/step trajectory is unchanged from the three-dimensional one.
+	cfg.Dims[DimWindow] = DimConfig{Initial: 1, Limits: Limits{Min: 1, Max: 1}, B1: 1, B2: 0, DitherFactor: 0}
+	return cfg
+}
+
+// DefaultPushVectorConfig is DefaultVectorConfig with the credit-window
+// dimension unpinned for a push-transport run: window 1..64, starting at
+// 4 blocks in flight, with unit-scale gains like the other small
+// integer dimensions.
+func DefaultPushVectorConfig() VectorConfig {
+	cfg := DefaultVectorConfig()
+	cfg.Dims[DimWindow] = DimConfig{Initial: 4, Limits: Limits{Min: 1, Max: 64}, B1: 4, B2: 4, DitherFactor: 0}
 	return cfg
 }
 
@@ -265,7 +305,19 @@ func NewVector(cfg VectorConfig) (*VectorController, error) {
 	}
 	refresh := cfg.RefreshPeriod
 	if refresh == 0 {
-		refresh = 2 * NumDims
+		// The schedule only cycles through unpinned dimensions, so the
+		// default refresh period scales with the active count — a pinned
+		// window leaves the three-dimensional cadence untouched.
+		active := 0
+		for d := Dim(0); d < NumDims; d++ {
+			if !cfg.Dims[d].pinned() {
+				active++
+			}
+		}
+		if active == 0 {
+			active = 1
+		}
+		refresh = 2 * active
 	}
 	v := &VectorController{
 		cfg:     cfg,
@@ -282,11 +334,22 @@ func NewVector(cfg VectorConfig) (*VectorController, error) {
 		v.dith[d] = newDither(cfg.Dims[d].DitherFactor, cfg.Seed+int64(d)*1_000_003)
 		v.dir[d] = 1
 	}
+	v.markPinned()
 	if cfg.Metrics != nil {
 		v.phaseCtr = cfg.Metrics.Counter("wsopt_core_phase_transitions_total",
 			"Transient<->steady phase transitions across all switching controllers.")
 	}
 	return v, nil
+}
+
+// markPinned pre-marks pinned dimensions as probed so the probe sweep
+// and the refresh scheduler never select them.
+func (v *VectorController) markPinned() {
+	for d := Dim(0); d < NumDims; d++ {
+		if v.cfg.Dims[d].pinned() {
+			v.probed[d] = true
+		}
+	}
 }
 
 // Vector returns the currently commanded operating point.
@@ -295,6 +358,7 @@ func (v *VectorController) Vector() Vector {
 		Size:    v.coord(DimSize),
 		Streams: v.coord(DimStreams),
 		Depth:   v.coord(DimDepth),
+		Window:  v.coord(DimWindow),
 	}
 }
 
@@ -310,6 +374,10 @@ func (v *VectorController) Streams() int { return v.coord(DimStreams) }
 
 // Depth returns the pipeline-depth coordinate.
 func (v *VectorController) Depth() int { return v.coord(DimDepth) }
+
+// Window returns the push credit-window coordinate. It implements
+// Windower; pull-mode configurations pin it at 1.
+func (v *VectorController) Window() int { return v.coord(DimWindow) }
 
 // Name implements Controller.
 func (v *VectorController) Name() string { return "vector-hybrid" }
@@ -393,24 +461,37 @@ func (v *VectorController) chooseDim() Dim {
 	return v.DominantDim()
 }
 
-// DominantDim returns the dimension with the highest sensitivity score —
-// the coordinate the controller currently steps outside refresh rounds.
+// DominantDim returns the unpinned dimension with the highest
+// sensitivity score — the coordinate the controller currently steps
+// outside refresh rounds.
 func (v *VectorController) DominantDim() Dim {
-	best := Dim(0)
-	for d := Dim(1); d < NumDims; d++ {
-		if v.sens[d] > v.sens[best] {
+	best := Dim(-1)
+	for d := Dim(0); d < NumDims; d++ {
+		if v.cfg.Dims[d].pinned() {
+			continue
+		}
+		if best < 0 || v.sens[d] > v.sens[best] {
 			best = d
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
 
 func (v *VectorController) stalestDim() Dim {
-	best := Dim(0)
-	for d := Dim(1); d < NumDims; d++ {
-		if v.steppedAt[d] < v.steppedAt[best] {
+	best := Dim(-1)
+	for d := Dim(0); d < NumDims; d++ {
+		if v.cfg.Dims[d].pinned() {
+			continue
+		}
+		if best < 0 || v.steppedAt[d] < v.steppedAt[best] {
 			best = d
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -547,6 +628,7 @@ func (v *VectorController) Reset() {
 		v.steppedAt[d] = 0
 		v.sens[d] = 0
 	}
+	v.markPinned()
 }
 
 // Disturb implements Disturber: the measurement history is invalidated but
@@ -568,4 +650,5 @@ func (v *VectorController) Disturb() {
 		v.probed[d] = false
 		v.sens[d] = 0
 	}
+	v.markPinned()
 }

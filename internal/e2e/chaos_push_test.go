@@ -1,0 +1,162 @@
+package e2e
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"wsopt/internal/client"
+	"wsopt/internal/tpch"
+)
+
+// TestChaosPush is the push transport's exactly-once chaos run: two real
+// wsblockd replicas, a real wsquery streaming over the push transport
+// with breakers and failover armed, and a SIGKILL of the serving replica
+// while frames are demonstrably in flight. The query must finish with
+// the exact relation, the per-block event trace must account for every
+// tuple and show blocks served by the survivor, and the client's metrics
+// must show the stream reconnecting and the session failing over — the
+// same guarantees the pull chaos runs prove, now across a severed
+// long-lived stream with unacked frames on it.
+func TestChaosPush(t *testing.T) {
+	wsblockd, wsquery := buildBinaries(t)
+	// conf1.1 delays at timescale 0.2 stretch each ~100-tuple block to
+	// roughly a tenth of a second of real time: the credit window keeps a
+	// few frames in flight, so the kill lands with retained unacked state
+	// on the server and undelivered frames on the wire.
+	a := startDaemon(t, wsblockd, "-conf", "conf1.1", "-timescale", "0.2")
+	b := startDaemon(t, wsblockd, "-conf", "conf1.1", "-timescale", "0.2")
+
+	wantTuples := tpch.CustomerCount(scaleFactor)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "client-metrics.prom")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+
+	cmd := exec.Command(wsquery,
+		"-endpoints", a.baseURL+","+b.baseURL,
+		"-push", "-push-window", "4",
+		"-table", "customer", "-controller", "static", "-size", "100",
+		"-retries", "30", "-retry-base", "2ms",
+		"-breaker-threshold", "2", "-breaker-cooldown", "1h",
+		"-metrics-out", metricsPath, "-events", eventsPath)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start wsquery: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	// Wait until replica A has demonstrably pushed frames down the
+	// stream, then kill it without ceremony: SIGKILL, no shutdown, no
+	// drain. Requiring a few frames beyond the window guarantees credits
+	// have round-tripped — the kill severs an active, flowing stream.
+	killBy := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(killBy) {
+			t.Fatalf("replica A never sent 6 push frames\nwsquery output so far:\n%s", out.String())
+		}
+		_, body := httpGet(t, a.metricsURL+"/metrics")
+		if parseMetrics(body)["wsopt_service_push_frames_sent_total"] >= 6 {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("wsquery finished before replica A could be killed (err=%v):\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := a.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL replica A: %v", err)
+	}
+	_ = a.cmd.Wait()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wsquery failed after replica A was killed: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("wsquery did not finish within 60s of the kill\n%s", out.String())
+	}
+
+	// Exactly-once across the kill: the reported tuple count and the
+	// per-block event trace must both account for the full relation, with
+	// no block delivered twice (seqs strictly increase per endpoint run).
+	m := tuplesRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("wsquery output has no tuple report:\n%s", out.String())
+	}
+	tuples, _ := strconv.Atoi(m[1])
+	if tuples != wantTuples {
+		t.Fatalf("push query across the kill delivered %d tuples, want %d\n%s", tuples, wantTuples, out.String())
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := client.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("parse events: %v", err)
+	}
+	evTuples, movedToB := 0, false
+	for _, ev := range events {
+		evTuples += ev.Tuples
+		if ev.Endpoint == b.baseURL {
+			movedToB = true
+		}
+	}
+	if evTuples != wantTuples {
+		t.Fatalf("events account for %d tuples, want %d", evTuples, wantTuples)
+	}
+	if !movedToB {
+		t.Fatalf("no event records a block pushed by replica B (%s)", b.baseURL)
+	}
+
+	// The client's own metrics must tell the push story: every block
+	// arrived as a push frame, the severed stream forced at least one
+	// reconnect, and the session failed over to the survivor.
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := parseMetrics(string(raw))
+	// >=, not ==: a scan ending exactly on a block boundary delivers its
+	// done flag on a trailing empty frame that no event records.
+	if got := series["wsopt_client_push_frames_total"]; got < float64(len(events)) {
+		t.Errorf("wsopt_client_push_frames_total = %g, want >= %d (every block a push frame)", got, len(events))
+	}
+	if got := series["wsopt_client_push_reconnects_total"]; got < 1 {
+		t.Errorf("wsopt_client_push_reconnects_total = %g, want >= 1\n%s", got, raw)
+	}
+	if got := series["wsopt_client_failovers_total"]; got < 1 {
+		t.Errorf("wsopt_client_failovers_total = %g, want >= 1\n%s", got, raw)
+	}
+	if got := series["wsopt_client_tuples_total"]; got != float64(wantTuples) {
+		t.Errorf("wsopt_client_tuples_total = %g, want %d", got, wantTuples)
+	}
+
+	// The survivor served the tail over a push stream of its own.
+	_, body := httpGet(t, b.metricsURL+"/metrics")
+	bSeries := parseMetrics(body)
+	if got := bSeries["wsopt_service_push_streams_opened_total"]; got < 1 {
+		t.Errorf("replica B wsopt_service_push_streams_opened_total = %g, want >= 1", got)
+	}
+	if got := bSeries["wsopt_service_push_frames_sent_total"]; got < 1 {
+		t.Errorf("replica B wsopt_service_push_frames_sent_total = %g, want >= 1", got)
+	}
+
+	b.stop(t)
+}

@@ -20,6 +20,12 @@ type serviceMetrics struct {
 	tuplesIngested *metrics.Counter
 	ingestReplays  *metrics.Counter
 
+	pushStreamsOpened  *metrics.Counter
+	pushFramesSent     *metrics.Counter
+	pushFramesReplayed *metrics.Counter
+	pushCreditGrants   *metrics.Counter
+	pushCreditStalls   *metrics.Counter
+
 	faultsDropped   *metrics.Counter
 	faultsTruncated *metrics.Counter
 	faultsRefused   *metrics.Counter
@@ -43,6 +49,12 @@ func newServiceMetrics(reg *metrics.Registry, s *Server) *serviceMetrics {
 		blocksIngested: reg.Counter("wsopt_service_blocks_ingested_total", "Blocks received from uploading clients."),
 		tuplesIngested: reg.Counter("wsopt_service_tuples_ingested_total", "Tuples received from uploading clients."),
 		ingestReplays:  reg.Counter("wsopt_service_ingest_replays_total", "Duplicate upload blocks acknowledged without re-applying."),
+
+		pushStreamsOpened:  reg.Counter("wsopt_service_push_streams_opened_total", "Push streams opened (reconnects included)."),
+		pushFramesSent:     reg.Counter("wsopt_service_push_frames_sent_total", "Push data frames fully written (replays included)."),
+		pushFramesReplayed: reg.Counter("wsopt_service_push_frames_replayed_total", "Push frames re-sent from the retained unacked tail."),
+		pushCreditGrants:   reg.Counter("wsopt_service_push_credit_grants_total", "Credit updates accepted on the push side channel."),
+		pushCreditStalls:   reg.Counter("wsopt_service_push_credit_stalls_total", "Push producer waits that blocked on an exhausted credit window."),
 
 		faultsDropped:   reg.Counter("wsopt_service_faults_injected_total", "Transport faults fired by the chaos layer, by kind.", metrics.L("kind", "dropped")),
 		faultsTruncated: reg.Counter("wsopt_service_faults_injected_total", "Transport faults fired by the chaos layer, by kind.", metrics.L("kind", "truncated")),

@@ -139,6 +139,21 @@ type Config struct {
 	// holds a reference to each shipped block's pooled buffer until the
 	// record is evicted (see replayBlock.refs).
 	Replica *replica.Log
+	// PushDisabled turns the server-push streaming transport off: the
+	// stream and credit endpoints answer 404 and every session is
+	// pull-only. The default (false) serves both transports; pull stays
+	// the default on the client side.
+	PushDisabled bool
+	// PushMaxWindow caps the credit window a client may grant (default
+	// 64 blocks in flight). A grant above the cap is clamped, not
+	// refused — the window is a hint, the cap is the server's memory
+	// protection.
+	PushMaxWindow int
+	// PushMaxFrameBytes caps a single push frame's encoded payload
+	// (default 8 MiB). A block that encodes past the cap terminates the
+	// stream with an error frame — it signals a block-size/codec
+	// configuration the operator must fix, not a transient.
+	PushMaxFrameBytes int
 	// Cache, when non-nil, is the content-addressed encoded-block cache
 	// consulted before every scan + encode. Keys commit to the plan, the
 	// absolute cursor, the block size, the codec (and gzip level), and
@@ -202,6 +217,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.PushMaxWindow <= 0 {
+		cfg.PushMaxWindow = DefaultPushMaxWindow
+	}
+	if cfg.PushMaxFrameBytes <= 0 {
+		cfg.PushMaxFrameBytes = DefaultPushMaxFrameBytes
+	}
+	if cfg.PushMaxFrameBytes > wire.MaxFramePayload {
+		return nil, fmt.Errorf("service: push max frame %d exceeds wire limit %d", cfg.PushMaxFrameBytes, wire.MaxFramePayload)
+	}
 	s := &Server{
 		cfg:      cfg,
 		codec:    cfg.Codec,
@@ -218,6 +242,10 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleCreate)
 	mux.HandleFunc("POST /sessions/{id}/next", s.handleNext)
+	if !cfg.PushDisabled {
+		mux.HandleFunc("POST /sessions/{id}/stream", s.handleStream)
+		mux.HandleFunc("POST /sessions/{id}/credit", s.handleCredit)
+	}
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /load", s.handleGetLoad)
@@ -260,6 +288,20 @@ type Stats struct {
 	// SessionsShed counts session creations refused by admission control
 	// (503 + Retry-After) because MaxSessions cursors were already open.
 	SessionsShed int64 `json:"sessions_shed"`
+	// PushStreamsOpened counts push streams ever opened (reconnects
+	// included — it is stream opens, not sessions in push mode).
+	PushStreamsOpened int64 `json:"push_streams_opened"`
+	// PushFramesSent counts data frames fully written to push streams
+	// (replays included); every one is also counted in BlocksServed.
+	PushFramesSent int64 `json:"push_frames_sent"`
+	// PushFramesReplayed counts frames re-sent from the retained unacked
+	// tail to a reconnecting stream; also counted in BlocksReplayed.
+	PushFramesReplayed int64 `json:"push_frames_replayed"`
+	// PushCreditGrants counts credit updates accepted on the side channel.
+	PushCreditGrants int64 `json:"push_credit_grants"`
+	// PushCreditStalls counts producer waits that actually blocked on an
+	// exhausted credit window — the server-side backpressure signal.
+	PushCreditStalls int64 `json:"push_credit_stalls"`
 	// StreamSessionsOpened counts sessions created with a stream-group
 	// tag — cursors that were one parallel stream of a larger query.
 	StreamSessionsOpened int64 `json:"stream_sessions_opened"`
@@ -405,6 +447,14 @@ type session struct {
 	pendingRows []minidb.Row
 	pendingDone bool
 	hasPending  bool
+
+	// push holds the session's push-stream state once a stream has been
+	// opened (nil while the session is pull-only). Atomic because the
+	// close/expiry paths read it without the session lock; it is set
+	// exactly once, under sess.mu, by the first stream open. A session
+	// with push state refuses further pulls — the two transports share
+	// the seq/replay protocol but not a live cursor.
+	push atomic.Pointer[pushState]
 }
 
 // touch records activity for the expiry janitor.
@@ -505,6 +555,12 @@ func releaseReplay(rb *replayBlock) {
 // losing a buffer to the GC is always safe, reusing a live one never is.
 func closeSession(sess *session) {
 	sess.closed.Store(true)
+	if ps := sess.push.Load(); ps != nil {
+		// Wake a producer parked on credits and release the retained
+		// in-flight frames; the producer's own commit path handles the
+		// closed-race ownership handoff exactly like a pull.
+		ps.close()
+	}
 	if sess.mu.TryLock() {
 		releaseReplay(sess.replay)
 		sess.replay = nil
@@ -765,40 +821,143 @@ func (s *Server) fillCacheEntry(sess *session, size int) (*blockcache.Entry, err
 	return ent, nil
 }
 
-// serveCachedBlock prices, commits, and writes a cache-entry-backed
-// block. Caller holds sess.mu and has NOT yet committed anything; the
-// entry arrives retained for this pull and its reference is either
-// handed to the committed replayBlock or released on abort.
-func (s *Server) serveCachedBlock(w http.ResponseWriter, r *http.Request, sess *session, ent *blockcache.Entry, hasSeq bool, fault faultKind, started time.Time) {
-	delayMS := s.priceBlock(ent.Tuples(), sess.rng)
-	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
-		if !sleepInterruptible(r.Context(), time.Duration(delayMS*scale*float64(time.Millisecond))) {
-			// Nothing committed; the entry stays resident, so the same-seq
-			// retry is a pure hit. Just drop this pull's reference.
-			ent.Release()
-			s.logf("session %s: pull cancelled mid-delay (cached block)", sess.id)
-			return
+// errProduceCancelled reports that the caller's context died during the
+// injected delay: nothing was committed, the rows (or the cache entry)
+// survive for a same-seq retry, and there is nothing to write.
+var errProduceCancelled = fmt.Errorf("service: block production cancelled mid-delay")
+
+// scanEncodeLocked produces the next block's encoded bytes: parked
+// pending rows first, otherwise a fresh scan of the iterator, encoded
+// into a pooled buffer. On success the pending park is cleared and the
+// caller owns the returned buffer (commit it or pool it). On an encode
+// failure the scanned rows are parked so a same-seq retry re-serves
+// them. Caller holds sess.mu.
+func (s *Server) scanEncodeLocked(sess *session, size int) (buf *bytes.Buffer, rows []minidb.Row, done bool, err error) {
+	rows, done = sess.pendingRows, sess.pendingDone
+	if !sess.hasPending {
+		if err := catchUpIterator(sess); err != nil {
+			return nil, nil, false, err
 		}
+		rows, done, err = minidb.NextBlockAppend(sess.iter, size, sess.batch)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		// The batch is reusable next pull: by then these rows are either
+		// encoded into the committed replay buffer or parked as pending.
+		sess.batch = rows
+		sess.iterPos += int64(len(rows))
 	}
+	buf = blockBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := s.codec.Encode(buf, sess.iter.Schema(), rows); err != nil {
+		// Park the rows: the iterator has advanced, so losing them here
+		// would skip tuples. A retry of the same seq re-encodes.
+		buf.Reset()
+		blockBufPool.Put(buf)
+		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
+		s.stats.encodeFailures.Add(1)
+		s.metrics.encodeFailures.Inc()
+		s.logf("session %s: encode block: %v", sess.id, err)
+		return nil, nil, false, fmt.Errorf("encode block: %w", err)
+	}
+	sess.pendingRows, sess.hasPending = nil, false
+	return buf, rows, done, nil
+}
+
+// commitLocked makes rb the session's committed block: the previous
+// replay buffer is superseded, lastSeq advances, the cursor moves past
+// rb's tuples, and the commit is replicated. It reports whether the
+// session was still alive at the commit point. When it returns false
+// the session was deleted or expired while the caller held the lock:
+// closeSession's TryLock failed, its OpClose is already in the
+// replication log, and no future pull can reach this session to release
+// anything — so the buffers were released here, the commit was NOT
+// shipped (an OpCommit landing after the OpClose would resurrect a
+// ghost session on every follower), and the caller must releaseReplay
+// its own rb after writing the bytes it still owes the client. Caller
+// holds sess.mu.
+func (s *Server) commitLocked(sess *session, rb *replayBlock) (alive bool) {
 	superseded := sess.replay
 	sess.lastSeq++
-	rb := newCachedReplay(ent, delayMS)
-	sess.cursor += int64(ent.Tuples())
-	sess.done = ent.Done()
+	sess.cursor += int64(rb.tuples)
+	sess.done = rb.done
 	if sess.closed.Load() {
-		// The session was deleted while this pull held the lock; see the
-		// uncached commit path for the full ownership handoff story.
 		sess.replay = nil
 		sess.batch = nil
 		releaseReplay(superseded)
-		s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
-		releaseReplay(rb)
-		return
+		return false
 	}
 	sess.replay = rb
 	s.shipCommit(sess, rb)
 	releaseReplay(superseded)
-	s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
+	return true
+}
+
+// produceBlockLocked advances the session by exactly one block: cache
+// fast path when available, scan+encode otherwise, then the injected
+// delay and the commit. It returns the committed replay block and
+// whether the session survived the commit (see commitLocked). On
+// errProduceCancelled nothing was committed and the state is parked for
+// a same-seq retry. Both the pull handler and the push producer drive
+// the session through this single path. Caller holds sess.mu.
+func (s *Server) produceBlockLocked(ctx context.Context, sess *session, size int) (rb *replayBlock, alive bool, err error) {
+	// Cache fast path. Bypassed while rows are parked: a parked block's
+	// shape was fixed by the pull that parked it, so a size-keyed cache
+	// entry would misdescribe it.
+	if s.cfg.Cache != nil && !sess.hasPending {
+		key := blockcache.DeriveKey(sess.cacheFP, sess.cursor, size)
+		ent, _, cerr := s.cfg.Cache.GetOrFill(key, func() (*blockcache.Entry, error) {
+			return s.fillCacheEntry(sess, size)
+		})
+		switch {
+		case cerr == nil:
+			delayMS := s.priceBlock(ent.Tuples(), sess.rng)
+			if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
+				if !sleepInterruptible(ctx, time.Duration(delayMS*scale*float64(time.Millisecond))) {
+					// Nothing committed; the entry stays resident, so the
+					// same-seq retry is a pure hit. Drop this pull's reference.
+					ent.Release()
+					s.logf("session %s: pull cancelled mid-delay (cached block)", sess.id)
+					return nil, true, errProduceCancelled
+				}
+			}
+			rb = newCachedReplay(ent, delayMS)
+			return rb, s.commitLocked(sess, rb), nil
+		case cerr == blockcache.ErrFillFailed:
+			// Another session's concurrent fill of this key failed; fall
+			// through and produce the block the uncached way.
+		default:
+			// Our own fill failed (scan or encode error); it has already
+			// parked rows and counted stats where appropriate.
+			return nil, true, cerr
+		}
+	}
+
+	buf, rows, done, err := s.scanEncodeLocked(sess, size)
+	if err != nil {
+		return nil, true, err
+	}
+	delayMS := s.priceBlock(len(rows), sess.rng)
+	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
+		if !sleepInterruptible(ctx, time.Duration(delayMS*scale*float64(time.Millisecond))) {
+			// The client is gone mid-delay: park the rows and release the
+			// session immediately instead of pinning it for the full
+			// simulated delay. Nothing is committed, so a same-seq retry
+			// re-serves these exact rows (and this pull's buffer is free to
+			// pool again).
+			buf.Reset()
+			blockBufPool.Put(buf)
+			sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
+			s.logf("session %s: pull cancelled mid-delay, %d rows parked", sess.id, len(rows))
+			return nil, true, errProduceCancelled
+		}
+	}
+
+	// Commit the block before attempting to write it: from here on the
+	// session state says "seq N was produced", and any delivery failure
+	// is recovered by replaying the buffer.
+	rb = newReplayBlock(buf, len(rows), done, delayMS)
+	return rb, s.commitLocked(sess, rb), nil
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
@@ -848,6 +1007,11 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if sess.push.Load() != nil {
+		httpError(w, http.StatusConflict, "session is in push-stream mode")
+		return
+	}
+
 	if hasSeq {
 		switch {
 		case seq == sess.lastSeq && sess.replay != nil:
@@ -866,107 +1030,21 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cache fast path. Bypassed while rows are parked: a parked block's
-	// shape was fixed by the pull that parked it, so a size-keyed cache
-	// entry would misdescribe it.
-	if s.cfg.Cache != nil && !sess.hasPending {
-		key := blockcache.DeriveKey(sess.cacheFP, sess.cursor, size)
-		ent, _, cerr := s.cfg.Cache.GetOrFill(key, func() (*blockcache.Entry, error) {
-			return s.fillCacheEntry(sess, size)
-		})
-		switch {
-		case cerr == nil:
-			s.serveCachedBlock(w, r, sess, ent, hasSeq, fault, started)
-			return
-		case cerr == blockcache.ErrFillFailed:
-			// Another session's concurrent fill of this key failed; fall
-			// through and produce the block the uncached way.
-		default:
-			// Our own fill failed (scan or encode error); it has already
-			// parked rows and counted stats where appropriate.
-			httpError(w, http.StatusInternalServerError, "%v", cerr)
-			return
-		}
-	}
-
-	rows, done := sess.pendingRows, sess.pendingDone
-	if !sess.hasPending {
-		if err := catchUpIterator(sess); err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		rows, done, err = minidb.NextBlockAppend(sess.iter, size, sess.batch)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		// The batch is reusable next pull: by then these rows are either
-		// encoded into the committed replay buffer or parked as pending.
-		sess.batch = rows
-		sess.iterPos += int64(len(rows))
-	}
-	buf := blockBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := s.codec.Encode(buf, sess.iter.Schema(), rows); err != nil {
-		// Park the rows: the iterator has advanced, so losing them here
-		// would skip tuples. A retry of the same seq re-encodes.
-		buf.Reset()
-		blockBufPool.Put(buf)
-		sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
-		s.stats.encodeFailures.Add(1)
-		s.metrics.encodeFailures.Inc()
-		s.logf("session %s: encode block: %v", sess.id, err)
-		httpError(w, http.StatusInternalServerError, "encode block: %v", err)
+	rb, alive, err := s.produceBlockLocked(r.Context(), sess, size)
+	if err == errProduceCancelled {
 		return
 	}
-	sess.pendingRows, sess.hasPending = nil, false
-
-	delayMS := s.priceBlock(len(rows), sess.rng)
-	if scale := s.cfg.SleepScale; scale > 0 && delayMS > 0 {
-		if !sleepInterruptible(r.Context(), time.Duration(delayMS*scale*float64(time.Millisecond))) {
-			// The client is gone mid-delay: park the rows and release the
-			// session immediately instead of pinning it for the full
-			// simulated delay. Nothing is committed, so a same-seq retry
-			// re-serves these exact rows (and this pull's buffer is free to
-			// pool again).
-			buf.Reset()
-			blockBufPool.Put(buf)
-			sess.pendingRows, sess.pendingDone, sess.hasPending = rows, done, true
-			s.logf("session %s: pull cancelled mid-delay, %d rows parked", sess.id, len(rows))
-			return
-		}
-	}
-
-	// Commit the block before attempting to write it: from here on the
-	// session state says "seq N was produced", and any delivery failure
-	// is recovered by replaying the buffer. Committing supersedes the
-	// previous block — only then may its pooled buffer be reused.
-	superseded := sess.replay
-	sess.lastSeq++
-	rb := newReplayBlock(buf, len(rows), done, delayMS)
-	sess.cursor += int64(len(rows))
-	sess.done = done
-	if sess.closed.Load() {
-		// The session was deleted or expired while this pull held the
-		// lock: closeSession's TryLock failed, its OpClose is already in
-		// the replication log, and no future pull can reach this session
-		// to release anything. Releasing the buffers is therefore this
-		// pull's job — and it must NOT ship the commit: an OpCommit
-		// landing after the OpClose would resurrect a ghost session on
-		// every follower. The client still gets its block (it raced the
-		// close fairly and the bytes are in hand).
-		sess.replay = nil
-		sess.batch = nil
-		releaseReplay(superseded)
-		s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
-		releaseReplay(rb)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	sess.replay = rb
-	s.shipCommit(sess, rb)
-	releaseReplay(superseded)
-
 	s.writeBlock(w, sess, rb, hasSeq, false, fault, started)
+	if !alive {
+		// The session raced its close while this pull held the lock; the
+		// client still got its block, and releasing this pull's buffer is
+		// our job (see commitLocked).
+		releaseReplay(rb)
+	}
 }
 
 // sleepInterruptible sleeps for d unless the context is cancelled first;

@@ -22,6 +22,11 @@ type serverStats struct {
 	tuplesIngested       atomic.Int64
 	blocksIngestReplayed atomic.Int64
 	sessionsShed         atomic.Int64
+	pushStreamsOpened    atomic.Int64
+	pushFramesSent       atomic.Int64
+	pushFramesReplayed   atomic.Int64
+	pushCreditGrants     atomic.Int64
+	pushCreditStalls     atomic.Int64
 	faultsDropped        atomic.Int64
 	faultsTruncated      atomic.Int64
 	faultsRefused        atomic.Int64
@@ -54,6 +59,11 @@ func (s *Server) Stats() Stats {
 		TuplesIngested:       st.tuplesIngested.Load(),
 		BlocksIngestReplayed: st.blocksIngestReplayed.Load(),
 		SessionsShed:         st.sessionsShed.Load(),
+		PushStreamsOpened:    st.pushStreamsOpened.Load(),
+		PushFramesSent:       st.pushFramesSent.Load(),
+		PushFramesReplayed:   st.pushFramesReplayed.Load(),
+		PushCreditGrants:     st.pushCreditGrants.Load(),
+		PushCreditStalls:     st.pushCreditStalls.Load(),
 		FaultsInjected: FaultStats{
 			Dropped:   st.faultsDropped.Load(),
 			Truncated: st.faultsTruncated.Load(),

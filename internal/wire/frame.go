@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Push-stream framing. The pull protocol carries one encoded block per
+// HTTP response and hangs its metadata (tuple count, done flag, priced
+// delay, sequence number) off response headers. The push transport
+// multiplexes many blocks onto one long-lived chunked response, so that
+// metadata moves into a fixed-size length-prefixed frame header in the
+// body. The payload of a data frame is byte-identical to what the pull
+// path would have written as the response body for the same block —
+// codecs, the encoded-block cache, and the seq/replay protocol are
+// shared between both transports; only the envelope differs.
+
+// Frame types.
+const (
+	// FrameData carries one encoded block; the payload decodes with the
+	// session's codec exactly like a pull response body.
+	FrameData byte = 0x01
+	// FrameError terminates the stream abnormally; the payload is a
+	// UTF-8 message. The client treats it like a failed pull attempt:
+	// the session state (committed cursor, seq) is untouched and the
+	// usual resume/failover machinery takes over.
+	FrameError byte = 0x02
+)
+
+// Frame flag bits.
+const (
+	frameFlagDone   byte = 1 << 0
+	frameFlagReplay byte = 1 << 1
+)
+
+// frameMagic guards against a client reading a non-push body (an HTML
+// error page, a pull response) as a frame stream.
+var frameMagic = [4]byte{'W', 'S', 'F', '1'}
+
+// frameHeaderLen is the fixed encoded header size:
+// magic(4) type(1) flags(1) pad(2) seq(8) delay(8) tuples(4) paylen(4).
+const frameHeaderLen = 32
+
+// MaxFramePayload caps a single frame's payload absent explicit
+// configuration; ReadFrame refuses anything larger so a corrupted
+// length prefix cannot force an unbounded allocation.
+const MaxFramePayload = 64 << 20
+
+// Frame is one unit of the push stream.
+type Frame struct {
+	Type    byte
+	Done    bool    // last frame of the result set (FrameData only)
+	Replay  bool    // served from the replay buffer after a reconnect
+	Seq     uint64  // block sequence number, same numbering as pull seq
+	DelayMS float64 // priced transfer delay for the block (cost model)
+	Tuples  uint32  // decoded row count of the payload
+	Payload []byte  // encoded block (FrameData) or message (FrameError)
+}
+
+// WriteFrame encodes f to w. It performs exactly two writes (header,
+// payload); callers that need atomic flush boundaries should wrap w in
+// a bufio.Writer and flush after each frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if f.Type != FrameData && f.Type != FrameError {
+		return fmt.Errorf("wire: bad frame type 0x%02x", f.Type)
+	}
+	if len(f.Payload) > MaxFramePayload {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(f.Payload), MaxFramePayload)
+	}
+	var hdr [frameHeaderLen]byte
+	copy(hdr[0:4], frameMagic[:])
+	hdr[4] = f.Type
+	var flags byte
+	if f.Done {
+		flags |= frameFlagDone
+	}
+	if f.Replay {
+		flags |= frameFlagReplay
+	}
+	hdr[5] = flags
+	binary.BigEndian.PutUint64(hdr[8:16], f.Seq)
+	binary.BigEndian.PutUint64(hdr[16:24], math.Float64bits(f.DelayMS))
+	binary.BigEndian.PutUint32(hdr[24:28], f.Tuples)
+	binary.BigEndian.PutUint32(hdr[28:32], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame decodes the next frame from r. maxPayload bounds the
+// payload allocation (0 means MaxFramePayload); buf, if non-nil, is
+// reused for the payload when it fits. The returned Frame's Payload
+// aliases the (possibly grown) buffer, which is also returned for the
+// caller to recycle into the next call.
+//
+// A clean end of stream at a frame boundary returns io.EOF; a stream
+// that dies mid-frame returns io.ErrUnexpectedEOF. Any header
+// corruption (bad magic, unknown type, oversized length) returns a
+// descriptive error rather than panicking or allocating per the
+// corrupted length.
+func ReadFrame(r io.Reader, maxPayload int, buf []byte) (Frame, []byte, error) {
+	if maxPayload <= 0 || maxPayload > MaxFramePayload {
+		maxPayload = MaxFramePayload
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Frame{}, buf, io.EOF // clean boundary
+		}
+		return Frame{}, buf, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	if [4]byte(hdr[0:4]) != frameMagic {
+		return Frame{}, buf, fmt.Errorf("wire: bad frame magic %q", hdr[0:4])
+	}
+	f := Frame{Type: hdr[4]}
+	if f.Type != FrameData && f.Type != FrameError {
+		return Frame{}, buf, fmt.Errorf("wire: bad frame type 0x%02x", f.Type)
+	}
+	flags := hdr[5]
+	if flags&^(frameFlagDone|frameFlagReplay) != 0 {
+		return Frame{}, buf, fmt.Errorf("wire: bad frame flags 0x%02x", flags)
+	}
+	f.Done = flags&frameFlagDone != 0
+	f.Replay = flags&frameFlagReplay != 0
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return Frame{}, buf, fmt.Errorf("wire: bad frame padding")
+	}
+	f.Seq = binary.BigEndian.Uint64(hdr[8:16])
+	f.DelayMS = math.Float64frombits(binary.BigEndian.Uint64(hdr[16:24]))
+	if math.IsNaN(f.DelayMS) || math.IsInf(f.DelayMS, 0) || f.DelayMS < 0 {
+		return Frame{}, buf, fmt.Errorf("wire: bad frame delay %v", f.DelayMS)
+	}
+	f.Tuples = binary.BigEndian.Uint32(hdr[24:28])
+	paylen := binary.BigEndian.Uint32(hdr[28:32])
+	if int64(paylen) > int64(maxPayload) {
+		return Frame{}, buf, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", paylen, maxPayload)
+	}
+	if cap(buf) < int(paylen) {
+		buf = make([]byte, paylen)
+	}
+	buf = buf[:paylen]
+	if paylen > 0 {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, buf, err
+		}
+	}
+	f.Payload = buf
+	return f, buf, nil
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Benchmark trajectory gate: fold the committed BENCH_*.json reports
+# into BENCH_trend.json and fail on a >20% regression of binary-codec
+# wire throughput against the committed BENCH_wire.json baseline.
+# Same as `make benchtrend`, for environments without make; extra
+# arguments pass through (e.g. -skip-measure to aggregate only).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchtrend "$@"

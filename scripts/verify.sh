@@ -9,7 +9,7 @@ go build ./...
 go vet ./...
 go test -race ./...
 # Replay the checked-in fuzz seed corpora (deterministic, no generation).
-go test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache
+go test -run '^Fuzz' ./internal/wire ./internal/minidb ./internal/blockcache ./internal/service
 # Concurrency stress gate: hot-path stress tests under -race, including
 # the e2e run that drives a race-built wsblockd with concurrent wsload.
 go test -race -count=1 -run '^TestStress' ./internal/service/... ./internal/e2e/...
@@ -34,3 +34,9 @@ go test -race -count=1 ./internal/blockcache
 go test -race -count=1 -run 'TestCache|TestCloseRace' ./internal/service
 go test -race -count=1 -run '^TestStandby' ./internal/replica
 go test -count=1 -run '^TestChaosGateCache$' ./internal/e2e
+# Push transport chaos gate: the service push protocol and client stream
+# transport suites under -race, then the e2e SIGKILL of the replica
+# serving a live push stream (exact tuples across the reconnect and the
+# failover to the survivor).
+go test -race -count=1 -run 'TestPush|TestStream|TestRunPush' ./internal/service ./internal/client
+go test -count=1 -run '^TestChaosPush$' ./internal/e2e
